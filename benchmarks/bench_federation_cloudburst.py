@@ -1,0 +1,122 @@
+"""Sec 7 (future work): mixed local/Grid/EC2 runs via MyCluster federation.
+
+"We also plan to test the feasibility of a mixed local/Grid/EC2 run
+employing MyCluster."  The bench runs the same oversized campaign on:
+
+- the home cluster alone (a busy day: only 60 cores free),
+- home + Purdue TeraGrid slice (MyCluster federation),
+- home + a fixed 20-instance EC2 virtual cluster,
+- home + *elastic* EC2 (UniCloud-style demand-driven provisioning),
+
+comparing makespan, and dollar cost where EC2 is involved.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sched import (
+    ClusterScheduler,
+    EC2_INSTANCE_TYPES,
+    EC2CostModel,
+    EnsembleCampaign,
+    JobState,
+    SGEPolicy,
+    Simulator,
+    TERAGRID_SITES,
+    ec2_virtual_cluster,
+    mseas_cluster,
+)
+from repro.sched.elastic import ElasticEC2Pool
+from repro.sched.federation import federate
+from repro.sched.iomodel import IOConfiguration, IOMode
+
+N_MEMBERS = 400
+LOCAL_CORES = 60  # "a busy day": most of the home cluster is taken
+
+
+def fast_io():
+    return IOConfiguration(
+        mode=IOMode.PRESTAGED, prestage_cost_s=0.0,
+        pert_input_mb=0.0, pemodel_input_mb=0.0, output_mb=0.0,
+    )
+
+
+def run_scenarios():
+    out = {}
+    cost_model = EC2CostModel()
+
+    def campaign_on(cluster):
+        campaign = EnsembleCampaign(cluster, io_config=fast_io())
+        return campaign.run(campaign.ensemble_specs(N_MEMBERS))
+
+    out["local only"] = (campaign_on(mseas_cluster(LOCAL_CORES)), 0.0)
+
+    fed_grid = federate(
+        [mseas_cluster(LOCAL_CORES), TERAGRID_SITES["Purdue"].cluster()]
+    )
+    out["local + Purdue"] = (campaign_on(fed_grid), 0.0)
+
+    fed_ec2 = federate(
+        [mseas_cluster(LOCAL_CORES), ec2_virtual_cluster("c1.xlarge", 20)]
+    )
+    stats = campaign_on(fed_ec2)
+    hours = stats.makespan_seconds / 3600.0
+    fixed_cost = cost_model.compute_cost(
+        EC2_INSTANCE_TYPES["c1.xlarge"], 20, hours
+    )
+    out["local + EC2 x20 fixed"] = (stats, fixed_cost)
+
+    # elastic EC2: instances boot on demand and release at hour boundaries
+    sim = Simulator()
+    scheduler = ClusterScheduler(
+        sim, mseas_cluster(LOCAL_CORES), SGEPolicy(), fast_io()
+    )
+    pool = ElasticEC2Pool(sim, scheduler, "c1.xlarge", max_instances=20)
+    campaign = EnsembleCampaign(mseas_cluster(LOCAL_CORES))
+    scheduler.submit(campaign.ensemble_specs(N_MEMBERS))
+    sim.run()
+    done = sum(1 for j in scheduler.jobs.values() if j.state is JobState.DONE)
+    assert done == 2 * N_MEMBERS
+    makespan = max(
+        j.end_time for j in scheduler.jobs.values() if j.state is JobState.DONE
+    )
+
+    class _ElasticStats:
+        makespan_seconds = makespan
+        makespan_minutes = makespan / 60.0
+
+    out["local + EC2 elastic"] = (_ElasticStats(), pool.total_cost())
+    out["_pool"] = pool
+    return out
+
+
+def test_federation_cloudburst(benchmark):
+    results = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+    pool = results.pop("_pool")
+
+    rows = [
+        [
+            label,
+            f"{stats.makespan_minutes:.0f} min",
+            f"${cost:.2f}" if cost else "-",
+        ]
+        for label, (stats, cost) in results.items()
+    ]
+    print_table(
+        f"Sec 7: {N_MEMBERS}-member campaign, {LOCAL_CORES} free local cores "
+        f"(elastic pool booted {pool.boots} instances)",
+        ["resources", "makespan", "EC2 cost"],
+        rows,
+    )
+
+    local = results["local only"][0]
+    grid = results["local + Purdue"][0]
+    fixed = results["local + EC2 x20 fixed"][0]
+    elastic, elastic_cost = results["local + EC2 elastic"]
+    # every augmentation helps
+    assert grid.makespan_seconds < local.makespan_seconds
+    assert fixed.makespan_seconds < local.makespan_seconds
+    assert elastic.makespan_seconds < local.makespan_seconds
+    # elastic stays within the cap and costs something sane
+    assert pool.boots <= 20
+    assert 0.0 < elastic_cost < 200.0

@@ -1,0 +1,59 @@
+"""Fig 3: the serial ESSE implementation and its bottlenecks.
+
+The serial shepherd runs perturb/forecast for all members, then the diff
+loop, then the SVD + convergence test, repeating with a larger N on
+failure.  The bench reports the per-phase breakdown, demonstrating the
+paper's bottleneck analysis: no exposed parallelism -- the forecast loop
+dominates and nothing overlaps.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core import ESSEConfig
+from repro.workflow import SerialESSEWorkflow
+
+
+def test_fig3_serial_workflow(benchmark, small_esse_setup, tmp_path):
+    runner = small_esse_setup["runner"]
+    background = small_esse_setup["background"]
+    config = ESSEConfig(
+        initial_ensemble_size=6,
+        max_ensemble_size=24,
+        convergence_tolerance=0.93,
+        max_subspace_rank=8,
+    )
+
+    def run_serial():
+        workflow = SerialESSEWorkflow(runner, config, tmp_path / "serial")
+        workflow.status.clear()
+        return workflow.run(background)
+
+    result = benchmark.pedantic(run_serial, rounds=1, iterations=1)
+
+    fractions = result.timings.phase_fractions()
+    rows = [
+        [phase, f"{seconds:.3f} s", f"{100 * fraction:.1f}%"]
+        for phase, seconds, fraction in [
+            ("pert+forecast loop", sum(result.timings.pert_forecast),
+             fractions["pert_forecast"]),
+            ("diff loop", sum(result.timings.diff), fractions["diff"]),
+            ("SVD + convergence", sum(result.timings.svd_conv),
+             fractions["svd_conv"]),
+        ]
+    ]
+    print_table(
+        f"Fig 3: serial shepherd phases (N={result.ensemble_size}, "
+        f"rounds={len(result.timings.round_sizes)}, "
+        f"converged={result.converged})",
+        ["phase", "time", "fraction"],
+        rows,
+    )
+
+    # bottleneck 1: the forecast loop dominates and is fully serial
+    assert fractions["pert_forecast"] > 0.5
+    # phases are strictly sequential: their fractions account for all time
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    # the staged enlargement ran at least one round
+    assert len(result.timings.round_sizes) >= 1
+    assert result.ensemble_size >= 6

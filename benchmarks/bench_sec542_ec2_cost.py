@@ -1,0 +1,54 @@
+"""Sec 5.4.2: the EC2 dollar-cost model.
+
+"Cost-wise for example an ESSE calculation with 1.5GB input data, 960
+ensemble members each sending back 11MB (for a total of 6.6GB [sic;
+arithmetic uses 10.56 GB]) would cost: 1.5(GB)x0.1 + 10.56(GB)x0.17 +
+2(hr)*20*0.8 = $33.95.  Use of reserved instances would drop pricing for
+the cpu usage by more than a factor of 3."
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.sched.ec2 import EC2_INSTANCE_TYPES, EC2CostModel
+
+
+def cost_sweep():
+    model = EC2CostModel()
+    out = {
+        "paper_on_demand": model.paper_example(),
+        "paper_reserved": model.paper_example(reserved=True),
+    }
+    for name, itype in EC2_INSTANCE_TYPES.items():
+        out[name] = model.campaign_cost(
+            itype, n_instances=20, wall_hours=2.0, input_gb=1.5, output_gb=10.56
+        )
+    return out
+
+
+def test_sec542_ec2_cost(benchmark):
+    costs = benchmark.pedantic(cost_sweep, rounds=5, iterations=1)
+
+    rows = [
+        ["paper example (c1.xlarge x20, 2h)", f"${costs['paper_on_demand']:.2f}", "$33.95"],
+        ["same, reserved instances", f"${costs['paper_reserved']:.2f}", ">3x cheaper CPU"],
+    ]
+    for name in EC2_INSTANCE_TYPES:
+        rows.append([f"{name} x20, 2h, same data", f"${costs[name]:.2f}", ""])
+    print_table(
+        "Sec 5.4.2: ESSE campaign cost on EC2 (2009 price book)",
+        ["scenario", "cost", "paper"],
+        rows,
+    )
+
+    assert costs["paper_on_demand"] == pytest.approx(33.95, abs=0.01)
+    # reserved cuts the CPU share by >3x (transfers unchanged)
+    cpu_on_demand = 2 * 20 * 0.8
+    cpu_reserved = costs["paper_reserved"] - (costs["paper_on_demand"] - cpu_on_demand)
+    assert cpu_on_demand / cpu_reserved > 3.0
+    # hour rounding: 2h 1s bills as 3 hours
+    model = EC2CostModel()
+    itype = EC2_INSTANCE_TYPES["c1.xlarge"]
+    assert model.compute_cost(itype, 20, 2.0 + 1 / 3600.0) == pytest.approx(
+        3 * 20 * 0.8
+    )

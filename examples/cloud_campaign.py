@@ -1,0 +1,86 @@
+"""Scaling ESSE out to the Grid and the Cloud (paper Secs 5.3-5.4).
+
+Uses the calibrated infrastructure simulator to answer the paper's
+operational questions for a 600-member ESSE campaign:
+
+- how long does it take on the home cluster (SGE vs Condor, NFS vs
+  prestaged inputs)?
+- what do the TeraGrid sites of Table 1 contribute, given queue waits?
+- what does an EC2 virtual cluster cost, on-demand vs reserved, and how do
+  the instance types of Table 2 compare per dollar?
+"""
+
+import numpy as np
+
+from repro.sched import (
+    EC2_INSTANCE_TYPES,
+    EC2CostModel,
+    EnsembleCampaign,
+    TERAGRID_SITES,
+    ec2_virtual_cluster,
+    mseas_cluster,
+)
+from repro.sched.iomodel import IOConfiguration, IOMode
+from repro.sched.schedulers import CondorPolicy, SGEPolicy
+
+N_MEMBERS = 600
+
+
+def main() -> None:
+    print(f"=== {N_MEMBERS}-member ESSE campaign on the home cluster ===")
+    for label, policy, mode in [
+        ("SGE,    prestaged", SGEPolicy(), IOMode.PRESTAGED),
+        ("SGE,    NFS input", SGEPolicy(), IOMode.NFS),
+        ("Condor, prestaged", CondorPolicy(), IOMode.PRESTAGED),
+        ("Condor, NFS input", CondorPolicy(), IOMode.NFS),
+    ]:
+        campaign = EnsembleCampaign(
+            mseas_cluster(), policy=policy, io_config=IOConfiguration(mode=mode)
+        )
+        stats = campaign.run(campaign.ensemble_specs(N_MEMBERS))
+        print(f"  {label}: {stats.makespan_minutes:6.1f} min "
+              f"(pert CPU util {100 * stats.cpu_utilization_by_kind['pert']:3.0f}%)")
+
+    print("\n=== TeraGrid augmentation (Table 1 sites) ===")
+    rng = np.random.default_rng(0)
+    for name, site in TERAGRID_SITES.items():
+        if name == "local":
+            continue
+        campaign = EnsembleCampaign(site.cluster())
+        stats = campaign.run(campaign.ensemble_specs(100))
+        wait = site.sample_queue_wait(rng)
+        print(f"  {name:7s} ({site.processor}): 100 members in "
+              f"{stats.makespan_minutes:6.1f} min after a "
+              f"{wait / 60:.0f} min queue wait "
+              f"(pemodel {site.pemodel_seconds():.0f} s/task)")
+
+    print("\n=== EC2 virtual clusters (Table 2 types, 20 instances) ===")
+    cost_model = EC2CostModel()
+    for name, itype in EC2_INSTANCE_TYPES.items():
+        cluster = ec2_virtual_cluster(name, 20)
+        campaign = EnsembleCampaign(
+            cluster,
+            io_config=IOConfiguration(mode=IOMode.PRESTAGED),
+            task_times={"pert": itype.pert_seconds,
+                        "pemodel": itype.pemodel_seconds,
+                        "acoustic": 180.0},
+        )
+        # scale member count to what 20 instances finish in a few hours
+        n = 4 * cluster.total_cores
+        stats = campaign.run(campaign.ensemble_specs(n))
+        hours = stats.makespan_seconds / 3600.0
+        cost = cost_model.campaign_cost(
+            itype, 20, hours, input_gb=1.5, output_gb=n * 11.0 / 1000.0
+        )
+        print(f"  {name:10s} x20 ({cluster.total_cores:3d} cores): {n:4d} members "
+              f"in {60 * hours:6.1f} min -> ${cost:7.2f} "
+              f"(${cost / n:.3f}/member)")
+
+    print("\n=== the paper's cost example (Sec 5.4.2) ===")
+    print(f"  on demand: ${cost_model.paper_example():.2f}  (paper: $33.95)")
+    print(f"  reserved:  ${cost_model.paper_example(reserved=True):.2f}  "
+          f"(CPU cost cut by >3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Serial vs many-task ESSE workflows (paper Figs 3-4), side by side.
+
+Runs the same adaptive ESSE ensemble through the paper's two
+implementations and shows what the MTC transformation buys:
+
+- the serial shepherd's phase breakdown (its four bottlenecks),
+- the parallel pipeline's event timeline: members completing out of order,
+  the continuously-running differ, decoupled SVD checks via the three-file
+  protocol, and cancellation of superfluous members on convergence.
+"""
+
+import tempfile
+
+from repro.core import (
+    ESSEConfig,
+    PerturbationGenerator,
+    similarity_coefficient,
+    synthetic_initial_subspace,
+)
+from repro.core.ensemble import EnsembleRunner
+from repro.ocean import PEModel
+from repro.ocean.bathymetry import monterey_grid
+from repro.workflow import ParallelESSEWorkflow, SerialESSEWorkflow
+
+
+def main() -> None:
+    grid = monterey_grid(nx=16, ny=14, nz=3)
+    model = PEModel(grid=grid)
+    background = model.run(model.rest_state(), 86400.0)
+    subspace = synthetic_initial_subspace(
+        model.layout, grid.shape2d, grid.nz, rank=8, seed=0
+    )
+    perturber = PerturbationGenerator(model.layout, subspace, root_seed=5)
+    runner = EnsembleRunner(model, perturber, duration=12 * 400.0, root_seed=5)
+    config = ESSEConfig(
+        initial_ensemble_size=6,
+        max_ensemble_size=24,
+        convergence_tolerance=0.93,
+        max_subspace_rank=8,
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        print("=== serial shepherd (Fig 3) ===")
+        serial = SerialESSEWorkflow(runner, config, workdir + "/serial").run(
+            background
+        )
+        print(f"ensemble {serial.ensemble_size}, converged {serial.converged}, "
+              f"wall {serial.timings.total:.2f} s")
+        for phase, fraction in serial.timings.phase_fractions().items():
+            print(f"  {phase:14s} {100 * fraction:5.1f}% of shepherd time")
+
+        print("\n=== many-task pipeline (Fig 4) ===")
+        parallel = ParallelESSEWorkflow(
+            runner, config, workdir + "/parallel", n_workers=4
+        ).run(background)
+        print(f"ensemble {parallel.ensemble_size}, converged {parallel.converged}, "
+              f"wall {parallel.wall_seconds:.2f} s")
+        print(f"completed {parallel.n_completed}, cancelled "
+              f"{parallel.n_cancelled}, failed {parallel.n_failed}")
+        print(f"diff/forecast overlap: {100 * parallel.overlap_fraction():.0f}% "
+              "(0% by construction in the serial case)")
+
+        print("\nevent timeline (first 20 events):")
+        for event in parallel.events[:20]:
+            print(f"  t={event.time:6.2f}s  {event.kind:12s} {event.detail}")
+
+        rho = similarity_coefficient(serial.subspace, parallel.subspace)
+        print(f"\nsubspace agreement serial vs parallel: rho = {rho:.4f}")
+        speedup = serial.timings.total / parallel.wall_seconds
+        print(f"wall-clock speedup on this host: {speedup:.2f}x "
+              f"(thread pool of 4 on Python-level tasks; the paper's gains "
+              f"come from hundreds of cluster cores)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for offline editable installs (no network, no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

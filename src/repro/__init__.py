@@ -1,0 +1,36 @@
+"""ESSE many-task computing reproduction.
+
+Reproduction of Evangelinos, Lermusiaux, Xu, Haley & Hill, *Many Task
+Computing for Multidisciplinary Ocean Sciences: Real-Time Uncertainty
+Prediction and Data Assimilation* (MTAGS'09 / SC'09 workshop).
+
+The package is organised as:
+
+- :mod:`repro.core` -- ESSE proper: error subspaces, perturbations,
+  adaptive ensembles, SVD convergence and the assimilation update.
+- :mod:`repro.ocean` -- the primitive-equation-model substrate: a
+  stochastically forced shallow-water + tracer model over a synthetic
+  Monterey-Bay-like domain.
+- :mod:`repro.obs` -- synthetic observation instruments and measurement
+  operators (CTD, AUV, glider, SST).
+- :mod:`repro.acoustics` -- sound-speed, normal-mode transmission loss and
+  coupled physical-acoustical uncertainty.
+- :mod:`repro.workflow` -- the serial (Fig 3) and parallel many-task
+  (Fig 4) ESSE workflow implementations.
+- :mod:`repro.sched` -- discrete-event simulation of the local cluster,
+  SGE/Condor schedulers, TeraGrid sites and Amazon EC2 (Tables 1-2).
+- :mod:`repro.realtime` -- real-time forecasting timelines (Fig 1).
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "ocean",
+    "obs",
+    "acoustics",
+    "workflow",
+    "sched",
+    "realtime",
+    "util",
+]

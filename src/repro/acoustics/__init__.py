@@ -1,0 +1,42 @@
+"""Ocean acoustics: sound speed, normal-mode transmission loss, coupling.
+
+Paper Sec 2.2: ESSE ocean uncertainties are transferred to acoustic
+uncertainties along vertical sections; a broadband transmission-loss (TL)
+field is computed for each ocean realization, and the coupled
+physical-acoustical covariance yields joint uncertainty modes.  With enough
+compute one evaluates the whole "acoustic climate" -- TL for any
+source/receiver/frequency -- as a huge set of independent short tasks
+(6000+ jobs of ~3 minutes in Sec 5.2.1).
+
+This package implements that chain with an adiabatic normal-mode solver:
+
+- :mod:`~repro.acoustics.soundspeed` -- Mackenzie sound speed from (T, S, z),
+- :mod:`~repro.acoustics.environment` -- vertical sections through model states,
+- :mod:`~repro.acoustics.modes` -- the vertical eigenproblem,
+- :mod:`~repro.acoustics.tl` -- transmission-loss fields,
+- :mod:`~repro.acoustics.climate` -- many-task acoustic-climate ensembles,
+- :mod:`~repro.acoustics.coupled` -- coupled physical-acoustical covariance.
+"""
+
+from repro.acoustics.soundspeed import mackenzie_sound_speed, sound_speed_profile
+from repro.acoustics.environment import AcousticSection, extract_section
+from repro.acoustics.modes import ModeSet, solve_modes
+from repro.acoustics.tl import transmission_loss, TLField
+from repro.acoustics.climate import AcousticTask, AcousticClimate, acoustic_climate_tasks
+from repro.acoustics.coupled import CoupledCovariance, coupled_uncertainty_modes
+
+__all__ = [
+    "mackenzie_sound_speed",
+    "sound_speed_profile",
+    "AcousticSection",
+    "extract_section",
+    "ModeSet",
+    "solve_modes",
+    "transmission_loss",
+    "TLField",
+    "AcousticTask",
+    "AcousticClimate",
+    "acoustic_climate_tasks",
+    "CoupledCovariance",
+    "coupled_uncertainty_modes",
+]

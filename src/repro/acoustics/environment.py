@@ -1,0 +1,150 @@
+"""Vertical acoustic sections through ocean model states.
+
+"Sound-propagation studies often focus on vertical sections.  ESSE ocean
+physics uncertainties are transferred to acoustical uncertainties along
+such a section" (paper Sec 2.2).  :func:`extract_section` walks a straight
+line between two points of the model grid, collects the (T, S) columns,
+converts them to sound speed, and interpolates onto a fine uniform vertical
+grid suitable for the mode solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.soundspeed import sound_speed_profile
+from repro.ocean.grid import OceanGrid
+from repro.ocean.model import ModelState
+
+
+@dataclass(frozen=True)
+class AcousticSection:
+    """A range-dependent vertical sound-speed section.
+
+    Attributes
+    ----------
+    ranges:
+        Along-section range of each column, metres from the source end,
+        ascending, shape ``(nr,)``.
+    depths:
+        Uniform fine vertical grid, metres positive down, shape ``(nz,)``.
+    sound_speed:
+        Sound speed c(z, r), shape ``(nz, nr)``.
+    temperature:
+        Temperature interpolated on the same grid, shape ``(nz, nr)``
+        (kept for the coupled physical-acoustical covariance).
+    water_depth:
+        Waveguide depth at each range (m), shape ``(nr,)``.
+    """
+
+    ranges: np.ndarray
+    depths: np.ndarray
+    sound_speed: np.ndarray
+    temperature: np.ndarray
+    water_depth: np.ndarray
+
+    def __post_init__(self):
+        nr = self.ranges.size
+        nz = self.depths.size
+        if self.sound_speed.shape != (nz, nr):
+            raise ValueError(
+                f"sound_speed shape {self.sound_speed.shape} != ({nz}, {nr})"
+            )
+        if self.temperature.shape != (nz, nr):
+            raise ValueError("temperature shape mismatch")
+        if self.water_depth.shape != (nr,):
+            raise ValueError("water_depth shape mismatch")
+        if np.any(np.diff(self.ranges) <= 0):
+            raise ValueError("ranges must be strictly ascending")
+
+    @property
+    def length(self) -> float:
+        """Section length in metres."""
+        return float(self.ranges[-1] - self.ranges[0])
+
+    def column(self, r_index: int) -> tuple[np.ndarray, float]:
+        """(sound-speed profile, water depth) at one range index."""
+        return self.sound_speed[:, r_index], float(self.water_depth[r_index])
+
+
+def extract_section(
+    grid: OceanGrid,
+    state: ModelState,
+    start: tuple[float, float],
+    end: tuple[float, float],
+    n_ranges: int = 24,
+    dz: float = 4.0,
+    max_depth: float | None = None,
+    bathymetry: np.ndarray | None = None,
+) -> AcousticSection:
+    """Extract the sound-speed section between two points (metres).
+
+    Columns falling on land reuse the nearest wet column (the instrumented
+    line hugs the coast in Monterey Bay); the waveguide depth is the
+    deepest model level by default, or ``max_depth``.
+
+    Parameters
+    ----------
+    grid, state:
+        Model grid and state to sample.
+    start, end:
+        Section end points ``(x, y)`` in metres; the source sits at
+        ``start``.
+    n_ranges:
+        Number of columns along the section (>= 2).
+    dz:
+        Vertical resolution of the acoustic grid (m).
+    max_depth:
+        Waveguide truncation depth; defaults to the deepest model level.
+    bathymetry:
+        Optional water-depth field ``(ny, nx)`` (e.g.
+        :attr:`SyntheticBathymetry.depth`); when given, the waveguide depth
+        varies along range as ``min(bathymetry, max_depth)`` -- the
+        Monterey-canyon geometry the TL solver handles adiabatically.
+    """
+    if n_ranges < 2:
+        raise ValueError("need at least two range columns")
+    if dz <= 0:
+        raise ValueError("dz must be positive")
+    z_model = np.asarray(grid.z_levels)
+    bottom = float(max_depth if max_depth is not None else z_model[-1])
+    if bottom <= z_model[0]:
+        raise ValueError("max_depth must exceed the first model level")
+
+    depths = np.arange(0.0, bottom + dz / 2, dz)
+    fracs = np.linspace(0.0, 1.0, n_ranges)
+    xs = start[0] + fracs * (end[0] - start[0])
+    ys = start[1] + fracs * (end[1] - start[1])
+    ranges = fracs * float(np.hypot(end[0] - start[0], end[1] - start[1]))
+
+    if bathymetry is not None:
+        bathymetry = np.asarray(bathymetry, dtype=float)
+        if bathymetry.shape != grid.shape2d:
+            raise ValueError(
+                f"bathymetry shape {bathymetry.shape} != grid {grid.shape2d}"
+            )
+
+    c_cols = np.empty((depths.size, n_ranges))
+    t_cols = np.empty((depths.size, n_ranges))
+    water_depth = np.full(n_ranges, bottom)
+    for k, (x, y) in enumerate(zip(xs, ys)):
+        j, i = grid.nearest_point(x, y)
+        t_prof = state.temp[:, j, i]
+        s_prof = state.salt[:, j, i]
+        c_model = sound_speed_profile(t_prof, s_prof, z_model)
+        # Interpolate onto the fine grid; clamp beyond the model levels.
+        c_cols[:, k] = np.interp(depths, z_model, c_model)
+        t_cols[:, k] = np.interp(depths, z_model, t_prof)
+        if bathymetry is not None:
+            # at least a few nodes of water so the column supports modes
+            floor = max(float(bathymetry[j, i]), 4 * dz)
+            water_depth[k] = min(floor, bottom)
+    return AcousticSection(
+        ranges=ranges,
+        depths=depths,
+        sound_speed=c_cols,
+        temperature=t_cols,
+        water_depth=water_depth,
+    )

@@ -1,0 +1,76 @@
+"""Sound speed in sea water.
+
+Mackenzie's (1981) nine-term equation, the standard operational formula
+relating sound speed to temperature, salinity and depth.  Valid for
+T in [-2, 30] degC, S in [25, 40] psu, depth to 8000 m -- comfortably
+covering the Monterey Bay regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mackenzie_sound_speed(
+    temperature: np.ndarray | float,
+    salinity: np.ndarray | float,
+    depth: np.ndarray | float,
+) -> np.ndarray:
+    """Sound speed c(T, S, D) in m/s (Mackenzie 1981).
+
+    Parameters
+    ----------
+    temperature:
+        Potential temperature, degC.
+    salinity:
+        Salinity, psu.
+    depth:
+        Depth, metres (positive down).
+
+    All inputs broadcast together.
+    """
+    t = np.asarray(temperature, dtype=float)
+    s = np.asarray(salinity, dtype=float)
+    d = np.asarray(depth, dtype=float)
+    if np.any(d < 0):
+        raise ValueError("depth must be non-negative (positive down)")
+    c = (
+        1448.96
+        + 4.591 * t
+        - 5.304e-2 * t**2
+        + 2.374e-4 * t**3
+        + 1.340 * (s - 35.0)
+        + 1.630e-2 * d
+        + 1.675e-7 * d**2
+        - 1.025e-2 * t * (s - 35.0)
+        - 7.139e-13 * t * d**3
+    )
+    return c
+
+
+def sound_speed_profile(
+    temp_profile: np.ndarray,
+    salt_profile: np.ndarray,
+    z_levels: np.ndarray,
+) -> np.ndarray:
+    """Sound-speed profile from model (T, S) columns.
+
+    Parameters
+    ----------
+    temp_profile, salt_profile:
+        Arrays over depth levels; leading axis is depth, any trailing axes
+        broadcast (so whole sections work in one call).
+    z_levels:
+        Depth of each level, metres, matching the leading axis.
+    """
+    temp_profile = np.asarray(temp_profile, dtype=float)
+    salt_profile = np.asarray(salt_profile, dtype=float)
+    z = np.asarray(z_levels, dtype=float)
+    if temp_profile.shape != salt_profile.shape:
+        raise ValueError("temperature and salinity shapes differ")
+    if temp_profile.shape[0] != z.size:
+        raise ValueError(
+            f"{temp_profile.shape[0]} levels in profile vs {z.size} depths"
+        )
+    depth = z.reshape((-1,) + (1,) * (temp_profile.ndim - 1))
+    return mackenzie_sound_speed(temp_profile, salt_profile, depth)

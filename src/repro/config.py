@@ -1,0 +1,239 @@
+"""Declarative, validated experiment configuration.
+
+Paper Sec 7: "We plan to simplify the use of such setups via the use of an
+XML driven validating graphical user interface" (their reference [1] is a
+web-enabled configuration front-end for legacy ocean codes).  This module
+is that idea in library form: one plain dict/JSON document describes the
+whole experiment -- domain, ESSE tuning, observation network, timeline --
+is validated on load, and builds every runtime object.
+
+Example
+-------
+>>> cfg = ExperimentConfig.from_dict({
+...     "domain": {"nx": 20, "ny": 16, "nz": 3},
+...     "esse": {"initial_ensemble_size": 8, "max_ensemble_size": 32},
+... })
+>>> model = cfg.build_model()
+>>> driver = cfg.build_driver(model)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.driver import ESSEConfig, ESSEDriver
+from repro.obs.network import ObservationNetwork, aosn2_network
+from repro.ocean.bathymetry import monterey_grid
+from repro.ocean.model import ModelConfig, PEModel
+from repro.realtime.times import ExperimentTimeline
+
+
+class ConfigError(ValueError):
+    """A configuration document failed validation."""
+
+
+@dataclass(frozen=True)
+class DomainSection:
+    """Grid and domain parameters."""
+
+    nx: int = 42
+    ny: int = 36
+    nz: int = 10
+    dx: float = 3000.0
+    dy: float = 3000.0
+    max_level_depth: float = 400.0
+
+    def __post_init__(self):
+        if min(self.nx, self.ny) < 4 or self.nz < 1:
+            raise ConfigError("domain: nx/ny must be >= 4 and nz >= 1")
+        if self.dx <= 0 or self.dy <= 0 or self.max_level_depth <= 0:
+            raise ConfigError("domain: spacings and depth must be positive")
+
+
+@dataclass(frozen=True)
+class ModelSection:
+    """Numerical model parameters (subset of :class:`ModelConfig`)."""
+
+    dt: float = 400.0
+    viscosity: float = 120.0
+    diffusivity: float = 60.0
+
+    def __post_init__(self):
+        if self.dt <= 0:
+            raise ConfigError("model: dt must be positive")
+        if self.viscosity < 0 or self.diffusivity < 0:
+            raise ConfigError("model: mixing coefficients must be >= 0")
+
+
+@dataclass(frozen=True)
+class ESSESection:
+    """ESSE tuning (subset of :class:`ESSEConfig`)."""
+
+    initial_ensemble_size: int = 16
+    max_ensemble_size: int = 128
+    growth_factor: float = 2.0
+    convergence_tolerance: float = 0.97
+    max_subspace_rank: int = 60
+    root_seed: int = 0
+
+    def __post_init__(self):
+        try:
+            ESSEConfig(
+                initial_ensemble_size=self.initial_ensemble_size,
+                max_ensemble_size=self.max_ensemble_size,
+                growth_factor=self.growth_factor,
+                convergence_tolerance=self.convergence_tolerance,
+                max_subspace_rank=self.max_subspace_rank,
+            )
+        except ValueError as exc:
+            raise ConfigError(f"esse: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ObservationsSection:
+    """Observation-network parameters."""
+
+    network: str = "aosn2"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.network not in ("aosn2",):
+            raise ConfigError(
+                f"observations: unknown network {self.network!r} (have: aosn2)"
+            )
+
+
+@dataclass(frozen=True)
+class TimelineSection:
+    """Real-time timeline parameters."""
+
+    period_hours: float = 48.0
+    n_periods: int = 5
+    forecast_horizon_periods: int = 1
+
+    def __post_init__(self):
+        if self.period_hours <= 0 or self.n_periods < 1:
+            raise ConfigError("timeline: positive period and >= 1 periods required")
+        if self.forecast_horizon_periods < 1:
+            raise ConfigError("timeline: forecast horizon must be >= 1 period")
+
+
+_SECTIONS = {
+    "domain": DomainSection,
+    "model": ModelSection,
+    "esse": ESSESection,
+    "observations": ObservationsSection,
+    "timeline": TimelineSection,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One validated experiment document."""
+
+    domain: DomainSection = field(default_factory=DomainSection)
+    model: ModelSection = field(default_factory=ModelSection)
+    esse: ESSESection = field(default_factory=ESSESection)
+    observations: ObservationsSection = field(default_factory=ObservationsSection)
+    timeline: TimelineSection = field(default_factory=TimelineSection)
+
+    # -- document I/O ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ExperimentConfig":
+        """Build and validate from a plain dict.
+
+        Unknown sections or keys raise :class:`ConfigError` -- a silently
+        ignored typo in an at-sea configuration costs a forecast cycle.
+        """
+        if not isinstance(document, dict):
+            raise ConfigError(f"document must be a dict, got {type(document)}")
+        unknown = set(document) - set(_SECTIONS)
+        if unknown:
+            raise ConfigError(
+                f"unknown sections {sorted(unknown)}; valid: {sorted(_SECTIONS)}"
+            )
+        kwargs = {}
+        for name, section_cls in _SECTIONS.items():
+            raw = document.get(name, {})
+            if not isinstance(raw, dict):
+                raise ConfigError(f"section {name!r} must be a mapping")
+            valid_keys = set(section_cls.__dataclass_fields__)
+            bad = set(raw) - valid_keys
+            if bad:
+                raise ConfigError(
+                    f"section {name!r}: unknown keys {sorted(bad)}; "
+                    f"valid: {sorted(valid_keys)}"
+                )
+            kwargs[name] = section_cls(**raw)
+        return cls(**kwargs)
+
+    def to_dict(self) -> dict:
+        """The full document (all defaults made explicit)."""
+        return asdict(self)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentConfig":
+        """Load and validate a JSON document."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save(self, path: str | Path) -> None:
+        """Write the validated document as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    # -- builders --------------------------------------------------------------
+
+    def build_model(self) -> PEModel:
+        """The configured :class:`PEModel`."""
+        grid = monterey_grid(
+            nx=self.domain.nx,
+            ny=self.domain.ny,
+            nz=self.domain.nz,
+            dx=self.domain.dx,
+            dy=self.domain.dy,
+            max_level_depth=self.domain.max_level_depth,
+        )
+        return PEModel(
+            grid=grid,
+            config=ModelConfig(
+                dt=self.model.dt,
+                viscosity=self.model.viscosity,
+                diffusivity=self.model.diffusivity,
+            ),
+        )
+
+    def build_driver(self, model: PEModel) -> ESSEDriver:
+        """The configured :class:`ESSEDriver`."""
+        return ESSEDriver(
+            model,
+            ESSEConfig(
+                initial_ensemble_size=self.esse.initial_ensemble_size,
+                max_ensemble_size=self.esse.max_ensemble_size,
+                growth_factor=self.esse.growth_factor,
+                convergence_tolerance=self.esse.convergence_tolerance,
+                max_subspace_rank=self.esse.max_subspace_rank,
+            ),
+            root_seed=self.esse.root_seed,
+        )
+
+    def build_network(self, model: PEModel) -> ObservationNetwork:
+        """The configured observation network."""
+        return aosn2_network(
+            model.grid,
+            model.layout,
+            rng=np.random.default_rng(self.observations.seed),
+        )
+
+    def build_timeline(self, t0: float = 0.0) -> ExperimentTimeline:
+        """The configured real-time timeline."""
+        return ExperimentTimeline(
+            t0=t0,
+            period_length=self.timeline.period_hours * 3600.0,
+            n_periods=self.timeline.n_periods,
+            forecast_horizon_periods=self.timeline.forecast_horizon_periods,
+        )

@@ -1,0 +1,52 @@
+"""ESSE core: error subspaces, ensembles, convergence and assimilation."""
+
+from repro.core.state import FieldLayout, FieldSpec
+from repro.core.subspace import ErrorSubspace
+from repro.core.covariance import AnomalyAccumulator
+from repro.core.convergence import ConvergenceCriterion, similarity_coefficient
+from repro.core.perturbation import (
+    PerturbationGenerator,
+    synthetic_initial_subspace,
+)
+from repro.core.assimilation import AnalysisResult, ESSEAnalysis
+from repro.core.ensemble import EnsembleRunner, MemberResult
+from repro.core.driver import ESSEConfig, ESSEDriver, ForecastResult
+from repro.core.smoother import ESSESmoother, SmootherResult
+from repro.core.verification import (
+    VerificationReport,
+    anomaly_correlation,
+    bias,
+    crps,
+    rank_histogram,
+    rmse,
+    spread_skill_ratio,
+    verify_ensemble,
+)
+
+__all__ = [
+    "FieldLayout",
+    "FieldSpec",
+    "ErrorSubspace",
+    "AnomalyAccumulator",
+    "ConvergenceCriterion",
+    "similarity_coefficient",
+    "PerturbationGenerator",
+    "synthetic_initial_subspace",
+    "AnalysisResult",
+    "ESSEAnalysis",
+    "EnsembleRunner",
+    "MemberResult",
+    "ESSEConfig",
+    "ESSEDriver",
+    "ForecastResult",
+    "ESSESmoother",
+    "SmootherResult",
+    "VerificationReport",
+    "anomaly_correlation",
+    "bias",
+    "crps",
+    "rank_histogram",
+    "rmse",
+    "spread_skill_ratio",
+    "verify_ensemble",
+]

@@ -1,0 +1,174 @@
+"""Incremental accumulation of the ensemble anomaly (difference) matrix.
+
+Paper Sec 4/4.1: the "diff loop" continuously appends, to a large matrix,
+the normalized difference between each finished ensemble member and the
+central forecast -- out of order, as members complete on heterogeneous
+hosts, with bookkeeping of which perturbation index each column came from.
+:class:`AnomalyAccumulator` is that component: columns arrive keyed by
+member index, order does not matter, duplicates are rejected, and the
+current matrix (scaled by ``1/sqrt(N-1)``) can be snapshotted at any time
+for the concurrently running SVD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import FieldLayout
+from repro.core.subspace import ErrorSubspace
+
+
+class AnomalyAccumulator:
+    """Collects normalized member-minus-central anomaly columns.
+
+    Parameters
+    ----------
+    layout:
+        State layout; anomalies are normalized with its field scales.
+    central:
+        Central (unperturbed) forecast state vector, shape ``(n,)``.
+    capacity:
+        Initial column capacity; grows geometrically as members arrive, so
+        staged ensemble enlargement (N -> N2 -> ... Nmax) never reallocates
+        per member.
+    """
+
+    def __init__(
+        self,
+        layout: FieldLayout,
+        central: np.ndarray,
+        capacity: int = 64,
+    ):
+        central = np.asarray(central, dtype=np.float64)
+        if central.shape != (layout.size,):
+            raise ValueError(
+                f"central forecast shape {central.shape} != ({layout.size},)"
+            )
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.layout = layout
+        self.central = central.copy()
+        self._columns = np.empty((layout.size, capacity))
+        self._member_ids: list[int] = []
+        self._index_of: dict[int, int] = {}
+
+    # -- accumulation -------------------------------------------------------
+
+    def add_member(self, member_index: int, forecast: np.ndarray) -> None:
+        """Add one finished member's forecast (any completion order).
+
+        Raises
+        ------
+        ValueError
+            On duplicate member index or wrong shape -- both indicate
+            workflow bookkeeping bugs and must not be silent.
+        """
+        if member_index in self._index_of:
+            raise ValueError(f"member {member_index} already accumulated")
+        forecast = np.asarray(forecast, dtype=np.float64)
+        if forecast.shape != self.central.shape:
+            raise ValueError(
+                f"forecast shape {forecast.shape} != {self.central.shape}"
+            )
+        if not np.all(np.isfinite(forecast)):
+            raise ValueError(f"member {member_index}: non-finite forecast")
+        col = len(self._member_ids)
+        if col == self._columns.shape[1]:
+            grown = np.empty((self.central.size, 2 * self._columns.shape[1]))
+            grown[:, :col] = self._columns[:, :col]
+            self._columns = grown
+        self._columns[:, col] = self.layout.normalize(forecast - self.central)
+        self._index_of[member_index] = col
+        self._member_ids.append(member_index)
+
+    @property
+    def count(self) -> int:
+        """Number of accumulated members."""
+        return len(self._member_ids)
+
+    @property
+    def member_ids(self) -> tuple[int, ...]:
+        """Member indices in arrival order (the paper's bookkeeping)."""
+        return tuple(self._member_ids)
+
+    def has_member(self, member_index: int) -> bool:
+        """Whether a member's anomaly is already in the matrix."""
+        return member_index in self._index_of
+
+    # -- snapshots ------------------------------------------------------------
+
+    def matrix(self) -> np.ndarray:
+        """The scaled anomaly matrix ``M`` with ``M M^T ≈ P`` (copy).
+
+        Columns are ``(x_j - x_central) / sqrt(N - 1)`` in normalized
+        coordinates, so ``thin_svd(M)`` yields error modes and std-devs
+        directly.
+        """
+        n = self.count
+        if n < 2:
+            raise RuntimeError(f"need >= 2 members for an anomaly matrix, have {n}")
+        return self._columns[:, :n] / np.sqrt(n - 1)
+
+    def subspace(
+        self,
+        rank: int | None = None,
+        energy: float | None = None,
+    ) -> ErrorSubspace:
+        """SVD snapshot of the current matrix -> an :class:`ErrorSubspace`."""
+        return ErrorSubspace.from_anomalies(self.matrix(), rank=rank, energy=energy)
+
+    def sample_variance_field(self) -> np.ndarray:
+        """Pointwise sample variance (normalized units) without the SVD."""
+        m = self.matrix()
+        return np.einsum("ij,ij->i", m, m)
+
+
+class MemmapAnomalyAccumulator(AnomalyAccumulator):
+    """An anomaly matrix backed by an on-disk memory map.
+
+    Paper Sec 4.1: "the covariance matrix tends to be very large
+    (O((N G V)^2))" and lives on "a single machine with access to lots of
+    disk space".  For state dimensions where ``n x Nmax`` float64 no
+    longer fits in RAM, this variant keeps the columns in a ``.npy``
+    memory map: accumulation writes columns through the page cache and
+    snapshots for the SVD are read straight out of the map.
+
+    Parameters
+    ----------
+    layout, central:
+        As for :class:`AnomalyAccumulator`.
+    path:
+        Backing file (created/overwritten); ``.npy`` format, so it can be
+        inspected with ``np.load(..., mmap_mode='r')`` out of process.
+    max_members:
+        Fixed capacity (e.g. the campaign's Nmax); the file is allocated
+        once at this size -- no mid-campaign reallocation of a huge file.
+    """
+
+    def __init__(
+        self,
+        layout: FieldLayout,
+        central: np.ndarray,
+        path,
+        max_members: int = 1024,
+    ):
+        if max_members < 2:
+            raise ValueError("max_members must be >= 2")
+        super().__init__(layout, central, capacity=2)
+        self.path = path
+        self.max_members = int(max_members)
+        self._columns = np.lib.format.open_memmap(
+            path, mode="w+", dtype=np.float64, shape=(layout.size, max_members)
+        )
+
+    def add_member(self, member_index: int, forecast: np.ndarray) -> None:
+        """Add a member; raises when the fixed capacity is exhausted."""
+        if self.count >= self.max_members:
+            raise RuntimeError(
+                f"memmap accumulator full ({self.max_members} members)"
+            )
+        super().add_member(member_index, forecast)
+
+    def flush(self) -> None:
+        """Flush dirty pages to disk (end-of-stage checkpoint)."""
+        self._columns.flush()

@@ -1,0 +1,264 @@
+"""The ESSE driver: the full Fig 2 algorithm in one place.
+
+One forecast-and-assimilation cycle is:
+
+1. perturb the mean state with the current error subspace (Sec 3.1 i),
+2. run the stochastic forecast ensemble in stages (ii),
+3. continuously accumulate member-minus-central anomalies (iii),
+4. SVD the anomaly matrix and test subspace convergence, enlarging the
+   ensemble N -> N2 -> ... up to Nmax or until the forecast deadline (iv),
+5. assimilate the observation batch with the converged subspace (v).
+
+This module is the *algorithmic* implementation with a pluggable parallel
+mapper; :mod:`repro.workflow` re-expresses the same steps as the paper's
+serial (Fig 3) and many-task (Fig 4) file-based workflows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.assimilation import AnalysisResult, ESSEAnalysis
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.covariance import AnomalyAccumulator
+from repro.core.ensemble import EnsembleRunner, MemberResult
+from typing import TYPE_CHECKING
+
+from repro.core.perturbation import PerturbationGenerator
+from repro.core.subspace import ErrorSubspace
+
+if TYPE_CHECKING:  # avoid core <-> obs/ocean import cycles; hints only
+    from repro.obs.operators import ObservationOperator
+    from repro.ocean.model import ModelState, PEModel
+
+
+@dataclass(frozen=True)
+class ESSEConfig:
+    """Tuning of one ESSE cycle.
+
+    Parameters
+    ----------
+    initial_ensemble_size:
+        First-stage ensemble size N.
+    growth_factor:
+        Stage growth N -> ceil(N * growth_factor) (paper: "increase N to
+        N2, up to some maximal value Nmax").
+    max_ensemble_size:
+        Nmax: hard ceiling on members.
+    convergence_tolerance:
+        Similarity-coefficient threshold for convergence.
+    max_subspace_rank:
+        Cap on retained error modes.
+    svd_energy:
+        Retained variance fraction in each SVD snapshot.
+    deadline_seconds:
+        Tmax: wall-clock budget for the ensemble stage (None = unlimited);
+        "until the time Tmax available for the forecast expires" (Sec 4).
+    inflation:
+        Covariance inflation handed to the analysis.
+    svd_method:
+        ``"lapack"`` (exact) or ``"randomized"`` (sketching; scales to the
+        paper's 1000-10000-member ensembles).
+    """
+
+    initial_ensemble_size: int = 16
+    growth_factor: float = 2.0
+    max_ensemble_size: int = 128
+    convergence_tolerance: float = 0.97
+    max_subspace_rank: int = 60
+    svd_energy: float = 0.999
+    deadline_seconds: float | None = None
+    inflation: float = 1.0
+    svd_method: str = "lapack"
+
+    def __post_init__(self):
+        if self.initial_ensemble_size < 2:
+            raise ValueError("initial ensemble size must be >= 2")
+        if self.growth_factor <= 1.0:
+            raise ValueError("growth_factor must exceed 1")
+        if self.max_ensemble_size < self.initial_ensemble_size:
+            raise ValueError("max_ensemble_size < initial_ensemble_size")
+        if self.max_subspace_rank < 1:
+            raise ValueError("max_subspace_rank must be >= 1")
+        if self.svd_method not in ("lapack", "randomized"):
+            raise ValueError(f"unknown svd_method {self.svd_method!r}")
+
+    def stage_sizes(self) -> list[int]:
+        """Cumulative ensemble sizes of the growth stages (N, N2, ..., Nmax)."""
+        sizes = [self.initial_ensemble_size]
+        while sizes[-1] < self.max_ensemble_size:
+            nxt = min(
+                int(np.ceil(sizes[-1] * self.growth_factor)),
+                self.max_ensemble_size,
+            )
+            sizes.append(nxt)
+        return sizes
+
+
+@dataclass
+class ForecastResult:
+    """Outcome of the ensemble/convergence stage."""
+
+    central: ModelState
+    subspace: ErrorSubspace
+    ensemble_size: int
+    failed_members: tuple[int, ...]
+    convergence_history: tuple[tuple[int, float], ...]
+    converged: bool
+    member_forecasts: np.ndarray  # (N_ok, n) physical units
+    member_ids: tuple[int, ...]
+    wall_seconds: float = 0.0
+
+    @property
+    def failure_count(self) -> int:
+        """Members that crashed or timed out (tolerated)."""
+        return len(self.failed_members)
+
+
+class ESSEDriver:
+    """Runs ESSE forecast/assimilation cycles on a PE model.
+
+    Parameters
+    ----------
+    model:
+        Base (deterministic) model.
+    config:
+        ESSE tuning.
+    root_seed:
+        Experiment seed (member perturbations and model noise derive from
+        it).
+    """
+
+    def __init__(
+        self,
+        model: PEModel,
+        config: ESSEConfig | None = None,
+        root_seed: int = 0,
+    ):
+        self.model = model
+        self.config = config if config is not None else ESSEConfig()
+        self.root_seed = int(root_seed)
+        self.analysis = ESSEAnalysis(model.layout, inflation=self.config.inflation)
+
+    # -- forecast stage -----------------------------------------------------
+
+    def forecast(
+        self,
+        mean_state: ModelState,
+        subspace: ErrorSubspace,
+        duration: float,
+        mapper: Callable | None = None,
+        stochastic: bool = True,
+    ) -> ForecastResult:
+        """Ensemble uncertainty forecast with adaptive sizing (Fig 2 i-iv).
+
+        Parameters
+        ----------
+        mean_state:
+            Current estimate of the ocean state.
+        subspace:
+            Error subspace describing current uncertainty.
+        duration:
+            Forecast horizon (s).
+        mapper:
+            Optional parallel ``map(fn, iterable)`` used for member runs.
+        stochastic:
+            Disable to run a deterministic (no model-error) ensemble.
+        """
+        started = time.perf_counter()
+        cfg = self.config
+        perturber = PerturbationGenerator(
+            self.model.layout, subspace, root_seed=self.root_seed
+        )
+        runner = EnsembleRunner(
+            self.model, perturber, duration, self.root_seed, stochastic=stochastic
+        )
+        central = runner.central_forecast(mean_state)
+        accumulator = AnomalyAccumulator(
+            self.model.layout, self.model.to_vector(central)
+        )
+        criterion = ConvergenceCriterion(tolerance=cfg.convergence_tolerance)
+
+        failed: list[int] = []
+        forecasts: list[np.ndarray] = []
+        ids: list[int] = []
+        next_index = 0
+        current = None
+        for stage_target in cfg.stage_sizes():
+            batch = range(next_index, stage_target)
+            next_index = stage_target
+            results = runner.run_members(mean_state, batch, mapper=mapper)
+            for res in results:
+                if res.ok:
+                    accumulator.add_member(res.member_index, res.forecast)
+                    forecasts.append(res.forecast)
+                    ids.append(res.member_index)
+                else:
+                    failed.append(res.member_index)
+            if accumulator.count < 2:
+                continue
+            current = ErrorSubspace.from_anomalies(
+                accumulator.matrix(),
+                rank=cfg.max_subspace_rank,
+                energy=cfg.svd_energy,
+                method=cfg.svd_method,
+                rng=np.random.default_rng(self.root_seed),
+            )
+            criterion.update(current)
+            if criterion.converged:
+                break
+            if (
+                cfg.deadline_seconds is not None
+                and time.perf_counter() - started > cfg.deadline_seconds
+            ):
+                break
+        if current is None:
+            raise RuntimeError(
+                f"too few surviving members ({accumulator.count}) for a subspace"
+            )
+        return ForecastResult(
+            central=central,
+            subspace=current,
+            ensemble_size=accumulator.count,
+            failed_members=tuple(failed),
+            convergence_history=tuple(criterion.history),
+            converged=criterion.converged,
+            member_forecasts=np.array(forecasts),
+            member_ids=tuple(ids),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    # -- analysis stage ----------------------------------------------------
+
+    def assimilate(
+        self,
+        forecast: ForecastResult,
+        operator: ObservationOperator,
+    ) -> AnalysisResult:
+        """Fig 2 step (v): assimilate one observation batch."""
+        return self.analysis.update(
+            self.model.to_vector(forecast.central), forecast.subspace, operator
+        )
+
+    def cycle(
+        self,
+        mean_state: ModelState,
+        subspace: ErrorSubspace,
+        duration: float,
+        operator: ObservationOperator,
+        mapper: Callable | None = None,
+    ) -> tuple[ModelState, ErrorSubspace, ForecastResult, AnalysisResult]:
+        """One full forecast + assimilation cycle.
+
+        Returns
+        -------
+        (analysis_state, posterior_subspace, forecast_result, analysis_result)
+        """
+        fc = self.forecast(mean_state, subspace, duration, mapper=mapper)
+        an = self.assimilate(fc, operator)
+        analysis_state = self.model.from_vector(an.mean, time=fc.central.time)
+        return analysis_state, an.subspace, fc, an

@@ -1,0 +1,114 @@
+"""Ensemble forecasting: member specifications and execution.
+
+The ESSE ensemble has unusual properties (paper Sec 4): members are
+identified by a *perturbation index*, may complete in any order on
+heterogeneous hosts, may fail (tolerated), and the ensemble grows in stages
+until the subspace converges.  :class:`EnsembleRunner` encapsulates one
+member execution -- perturb, integrate, return the forecast vector -- as a
+pure function of (mean state, member index), which both the in-process
+driver and the many-task workflow reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.core.perturbation import PerturbationGenerator
+from repro.util.rng import member_rng
+
+if TYPE_CHECKING:  # avoid a core <-> ocean import cycle; hints only
+    from repro.ocean.model import ModelState, PEModel
+
+
+@dataclass(frozen=True)
+class MemberResult:
+    """Outcome of one ensemble-member forecast."""
+
+    member_index: int
+    forecast: np.ndarray | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the member completed."""
+        return self.forecast is not None
+
+
+class EnsembleRunner:
+    """Runs perturbed stochastic forecasts for one ESSE cycle.
+
+    Parameters
+    ----------
+    model:
+        The deterministic base model (grid/config/forcing shared by all
+        members).
+    perturber:
+        Initial-condition perturbation generator.
+    duration:
+        Forecast length (s).
+    root_seed:
+        Experiment seed; member stochastic forcing derives from it.
+    stochastic:
+        Whether members run with model-error (Wiener) forcing.
+    """
+
+    def __init__(
+        self,
+        model: PEModel,
+        perturber: PerturbationGenerator,
+        duration: float,
+        root_seed: int,
+        stochastic: bool = True,
+    ):
+        if duration <= 0:
+            raise ValueError("forecast duration must be positive")
+        self.model = model
+        self.perturber = perturber
+        self.duration = float(duration)
+        self.root_seed = int(root_seed)
+        self.stochastic = stochastic
+
+    def central_forecast(self, mean_state: ModelState) -> ModelState:
+        """The unperturbed, noise-free central forecast."""
+        return self.model.run(mean_state, self.duration)
+
+    def run_member(self, mean_state: ModelState, member_index: int) -> MemberResult:
+        """Perturb + integrate one member; failures are captured, not raised.
+
+        "Individual ensemble members are not significant (and their results
+        can be ignored if unavailable)" -- paper Sec 4 point 3.
+        """
+        try:
+            mean_vec = self.model.to_vector(mean_state)
+            perturbed = self.perturber.member_state(mean_vec, member_index)
+            state0 = self.model.from_vector(perturbed, time=mean_state.time)
+            if self.stochastic:
+                from repro.ocean.stochastic import StochasticForcing
+
+                noise = StochasticForcing(
+                    self.model.grid,
+                    rng=member_rng(self.root_seed, member_index, purpose="model"),
+                )
+                model = self.model.with_noise(noise)
+            else:
+                model = self.model
+            final = model.run(state0, self.duration)
+            return MemberResult(member_index, model.to_vector(final))
+        except Exception as exc:
+            return MemberResult(member_index, None, f"{type(exc).__name__}: {exc}")
+
+    def run_members(
+        self,
+        mean_state: ModelState,
+        member_indices: Iterable[int],
+        mapper: Callable | None = None,
+    ) -> list[MemberResult]:
+        """Run a batch of members through an optional parallel mapper."""
+        indices = list(member_indices)
+        run_map = mapper if mapper is not None else map
+        return list(run_map(lambda idx: self.run_member(mean_state, idx), indices))

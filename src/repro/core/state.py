@@ -1,0 +1,172 @@
+"""Augmented state vectors and named-field packing.
+
+ESSE operates on a single augmented state vector ``x`` (paper Eq. B1a)
+that concatenates every prognostic field.  :class:`FieldLayout` defines a
+stable packing of named, arbitrarily shaped fields into one 1-D float64
+vector and back, plus per-field *normalization scales* used to
+non-dimensionalize the multivariate error covariance before the SVD (so a
+0.1 m interface error and a 0.5 deg C temperature error are comparable, as
+in the paper's "normalized matrix").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One named field inside the packed state vector."""
+
+    name: str
+    shape: tuple[int, ...]
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+        if any(int(s) < 1 for s in self.shape):
+            raise ValueError(f"field {self.name}: shape must be positive, got {self.shape}")
+        if self.scale <= 0:
+            raise ValueError(f"field {self.name}: scale must be positive")
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries in the field."""
+        return int(np.prod(self.shape))
+
+
+class FieldLayout:
+    """Packing of named fields into one state vector.
+
+    Parameters
+    ----------
+    specs:
+        Ordered field specifications; the packing order is their order here.
+
+    Examples
+    --------
+    >>> layout = FieldLayout([FieldSpec("eta", (4, 5), scale=0.1),
+    ...                       FieldSpec("temp", (3, 4, 5), scale=0.5)])
+    >>> layout.size
+    80
+    """
+
+    def __init__(self, specs: list[FieldSpec] | tuple[FieldSpec, ...]):
+        if not specs:
+            raise ValueError("layout needs at least one field")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in layout: {names}")
+        self.specs = tuple(specs)
+        self._offsets: dict[str, tuple[int, int]] = {}
+        offset = 0
+        for spec in self.specs:
+            self._offsets[spec.name] = (offset, offset + spec.size)
+            offset += spec.size
+        self.size = offset
+        # Per-entry normalization vector, precomputed once.
+        scales = np.empty(self.size)
+        for spec in self.specs:
+            lo, hi = self._offsets[spec.name]
+            scales[lo:hi] = spec.scale
+        self._scales = scales
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Field names in packing order."""
+        return tuple(s.name for s in self.specs)
+
+    def spec(self, name: str) -> FieldSpec:
+        """The :class:`FieldSpec` for ``name``."""
+        for s in self.specs:
+            if s.name == name:
+                return s
+        raise KeyError(f"unknown field {name!r}; layout has {self.names}")
+
+    def slice_of(self, name: str) -> slice:
+        """The slice of the packed vector occupied by field ``name``."""
+        if name not in self._offsets:
+            raise KeyError(f"unknown field {name!r}; layout has {self.names}")
+        lo, hi = self._offsets[name]
+        return slice(lo, hi)
+
+    def pack(self, fields: dict[str, np.ndarray]) -> np.ndarray:
+        """Pack named arrays into one float64 vector.
+
+        Raises on missing/extra fields or shape mismatch -- silent
+        mispacking would corrupt every downstream covariance.
+        """
+        extra = set(fields) - set(self.names)
+        if extra:
+            raise KeyError(f"unexpected fields {sorted(extra)}")
+        out = np.empty(self.size)
+        for spec in self.specs:
+            if spec.name not in fields:
+                raise KeyError(f"missing field {spec.name!r}")
+            arr = np.asarray(fields[spec.name], dtype=np.float64)
+            if arr.shape != spec.shape:
+                raise ValueError(
+                    f"field {spec.name!r}: expected shape {spec.shape}, got {arr.shape}"
+                )
+            lo, hi = self._offsets[spec.name]
+            out[lo:hi] = arr.ravel()
+        return out
+
+    def unpack(self, vector: np.ndarray) -> dict[str, np.ndarray]:
+        """Split a packed vector back into named, shaped arrays (copies)."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.size,):
+            raise ValueError(f"expected vector of shape ({self.size},), got {vector.shape}")
+        out = {}
+        for spec in self.specs:
+            lo, hi = self._offsets[spec.name]
+            out[spec.name] = vector[lo:hi].reshape(spec.shape).copy()
+        return out
+
+    def view(self, vector: np.ndarray, name: str) -> np.ndarray:
+        """A reshaped *view* of one field inside a packed vector (no copy)."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.size,):
+            raise ValueError(f"expected vector of shape ({self.size},), got {vector.shape}")
+        lo, hi = self._offsets[name] if name in self._offsets else (None, None)
+        if lo is None:
+            raise KeyError(f"unknown field {name!r}; layout has {self.names}")
+        return vector[lo:hi].reshape(self.spec(name).shape)
+
+    # -- normalization ---------------------------------------------------
+
+    def normalize(self, vector_or_matrix: np.ndarray) -> np.ndarray:
+        """Non-dimensionalize: divide each entry by its field scale.
+
+        Accepts a vector ``(n,)`` or a matrix ``(n, m)`` of state columns.
+        """
+        arr = np.asarray(vector_or_matrix, dtype=np.float64)
+        if arr.shape[0] != self.size:
+            raise ValueError(
+                f"leading dimension {arr.shape[0]} != layout size {self.size}"
+            )
+        if arr.ndim == 1:
+            return arr / self._scales
+        return arr / self._scales[:, None]
+
+    def denormalize(self, vector_or_matrix: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`normalize`."""
+        arr = np.asarray(vector_or_matrix, dtype=np.float64)
+        if arr.shape[0] != self.size:
+            raise ValueError(
+                f"leading dimension {arr.shape[0]} != layout size {self.size}"
+            )
+        if arr.ndim == 1:
+            return arr * self._scales
+        return arr * self._scales[:, None]
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Read-only per-entry normalization scales."""
+        view = self._scales.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,200 @@
+"""Error subspaces: the central ESSE data structure.
+
+An error subspace is a rank-p factorization of the (normalized) error
+covariance,
+
+    P ≈ E diag(sigma^2) E^T,
+
+with ``E`` an ``(n, p)`` matrix of orthonormal *error modes* and ``sigma``
+the per-mode standard deviations.  ESSE "is based on a characterization and
+prediction of the largest uncertainties ... carried out by evolving an
+error subspace of variable size" (paper abstract): p changes in time as the
+convergence criterion dictates.
+
+All subspaces here live in *normalized* (non-dimensional) state
+coordinates -- see :meth:`repro.core.state.FieldLayout.normalize` -- so the
+SVD treats velocity, interface and tracer errors on a common footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.linalg import thin_svd, truncated_svd
+
+
+@dataclass(frozen=True)
+class ErrorSubspace:
+    """A rank-p error subspace (normalized coordinates).
+
+    Attributes
+    ----------
+    modes:
+        Orthonormal columns, shape ``(n, p)``.
+    sigmas:
+        Per-mode standard deviations, shape ``(p,)``, descending, >= 0.
+    n_samples:
+        Number of ensemble members that produced the estimate (0 for
+        prescribed subspaces).
+    """
+
+    modes: np.ndarray
+    sigmas: np.ndarray
+    n_samples: int = 0
+
+    def __post_init__(self):
+        modes = np.asarray(self.modes, dtype=np.float64)
+        sigmas = np.asarray(self.sigmas, dtype=np.float64)
+        if modes.ndim != 2:
+            raise ValueError(f"modes must be 2-D, got shape {modes.shape}")
+        if sigmas.ndim != 1 or sigmas.size != modes.shape[1]:
+            raise ValueError(
+                f"sigmas shape {sigmas.shape} does not match {modes.shape[1]} modes"
+            )
+        if np.any(sigmas < 0):
+            raise ValueError("sigmas must be non-negative")
+        if np.any(np.diff(sigmas) > 1e-12):
+            raise ValueError("sigmas must be sorted descending")
+        object.__setattr__(self, "modes", modes)
+        object.__setattr__(self, "sigmas", sigmas)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Subspace dimension p."""
+        return self.modes.shape[1]
+
+    @property
+    def state_dim(self) -> int:
+        """State dimension n."""
+        return self.modes.shape[0]
+
+    @property
+    def variances(self) -> np.ndarray:
+        """Per-mode variances sigma^2."""
+        return self.sigmas**2
+
+    @property
+    def total_variance(self) -> float:
+        """tr(P) within the subspace."""
+        return float(np.sum(self.sigmas**2))
+
+    # -- covariance actions ------------------------------------------------
+
+    def covariance_action(self, vector: np.ndarray) -> np.ndarray:
+        """Apply ``P = E diag(s^2) E^T`` to a vector without forming P."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.state_dim,):
+            raise ValueError(
+                f"vector shape {vector.shape} != ({self.state_dim},)"
+            )
+        return self.modes @ (self.variances * (self.modes.T @ vector))
+
+    def variance_field(self) -> np.ndarray:
+        """Pointwise variance diag(P), shape ``(n,)``.
+
+        This is what the paper's Figs 5-6 map (as standard deviations).
+        """
+        return np.einsum("ij,j,ij->i", self.modes, self.variances, self.modes)
+
+    def sample_coefficients(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``count`` coefficient vectors ~ N(0, diag(sigma^2)).
+
+        Shape ``(count, p)``; ``modes @ coeffs[j]`` is one state perturbation.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        return rng.standard_normal((count, self.rank)) * self.sigmas[None, :]
+
+    def truncate(self, rank: int | None = None, energy: float | None = None) -> "ErrorSubspace":
+        """A lower-rank copy keeping the dominant modes."""
+        if rank is None and energy is None:
+            raise ValueError("pass rank= or energy=")
+        keep = self.rank
+        if energy is not None:
+            if not 0.0 < energy <= 1.0:
+                raise ValueError("energy must be in (0, 1]")
+            power = np.cumsum(self.variances)
+            total = power[-1] if power.size else 0.0
+            keep = 1 if total == 0 else int(np.searchsorted(power, energy * total) + 1)
+        if rank is not None:
+            keep = min(keep, max(int(rank), 1))
+        keep = min(keep, self.rank)
+        return ErrorSubspace(
+            modes=self.modes[:, :keep],
+            sigmas=self.sigmas[:keep],
+            n_samples=self.n_samples,
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the subspace to an ``.npz`` file."""
+        np.savez_compressed(
+            path, modes=self.modes, sigmas=self.sigmas, n_samples=self.n_samples
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ErrorSubspace":
+        """Read a subspace written by :meth:`save`."""
+        with np.load(path) as data:
+            return cls(
+                modes=data["modes"],
+                sigmas=data["sigmas"],
+                n_samples=int(data["n_samples"]),
+            )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_anomalies(
+        cls,
+        anomalies: np.ndarray,
+        rank: int | None = None,
+        energy: float | None = None,
+        rtol: float = 1e-10,
+        method: str = "lapack",
+        rng: np.random.Generator | None = None,
+    ) -> "ErrorSubspace":
+        """Estimate a subspace from an ``(n, N)`` matrix of scaled anomalies.
+
+        The columns must already include the ``1/sqrt(N-1)`` factor (see
+        :class:`repro.core.covariance.AnomalyAccumulator`), so the singular
+        values are directly the error standard deviations.
+
+        Parameters
+        ----------
+        method:
+            ``"lapack"`` (exact thin SVD) or ``"randomized"`` (sketching;
+            the scalable answer to the paper's large-N SVD concern --
+            requires ``rank``).
+        rng:
+            Sketch generator for the randomized method.
+        """
+        anomalies = np.asarray(anomalies)
+        if anomalies.ndim != 2:
+            raise ValueError("anomalies must be (n, N)")
+        n_cols = anomalies.shape[1]
+        if n_cols < 2:
+            raise ValueError("need at least 2 anomaly columns")
+        if method == "lapack":
+            u, s, _ = truncated_svd(anomalies, rank=rank, energy=energy, rtol=rtol)
+        elif method == "randomized":
+            if rank is None:
+                raise ValueError("randomized SVD requires an explicit rank")
+            from repro.util.linalg import randomized_svd
+
+            u, s, _ = randomized_svd(anomalies, rank=rank, rng=rng)
+            if energy is not None:
+                power = np.cumsum(s**2)
+                keep = int(np.searchsorted(power, energy * power[-1]) + 1)
+                u, s = u[:, :keep], s[:keep]
+        else:
+            raise ValueError(f"unknown SVD method {method!r}")
+        return cls(modes=u, sigmas=s, n_samples=n_cols)

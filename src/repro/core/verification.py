@@ -1,0 +1,161 @@
+"""Forecast verification metrics.
+
+The forecaster's Fig 1 tasks include the *study* of candidate forecasts;
+this module provides the standard deterministic and probabilistic scores
+used to do that for ensemble systems like ESSE:
+
+- deterministic: RMSE, bias, anomaly correlation;
+- ensemble calibration: spread-skill ratio and the rank histogram (a
+  reliable ensemble ranks the truth uniformly among its members);
+- probabilistic: the continuous ranked probability score (CRPS), in the
+  standard ensemble (fair-weather) estimator
+  ``CRPS = mean|X - y| - 0.5 mean|X - X'|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rmse(forecast: np.ndarray, truth: np.ndarray) -> float:
+    """Root-mean-square error over all elements."""
+    forecast, truth = _aligned(forecast, truth)
+    return float(np.sqrt(np.mean((forecast - truth) ** 2)))
+
+
+def bias(forecast: np.ndarray, truth: np.ndarray) -> float:
+    """Mean error (forecast minus truth)."""
+    forecast, truth = _aligned(forecast, truth)
+    return float(np.mean(forecast - truth))
+
+
+def anomaly_correlation(
+    forecast: np.ndarray, truth: np.ndarray, climatology: np.ndarray
+) -> float:
+    """Centered anomaly correlation coefficient against a climatology."""
+    forecast, truth = _aligned(forecast, truth)
+    clim = np.asarray(climatology, dtype=float)
+    if clim.shape != forecast.shape:
+        raise ValueError("climatology shape mismatch")
+    fa = (forecast - clim).ravel()
+    ta = (truth - clim).ravel()
+    fa = fa - fa.mean()
+    ta = ta - ta.mean()
+    denom = np.linalg.norm(fa) * np.linalg.norm(ta)
+    if denom == 0:
+        raise ValueError("zero anomaly variance: correlation undefined")
+    return float(fa @ ta / denom)
+
+
+def spread_skill_ratio(members: np.ndarray, truth: np.ndarray) -> float:
+    """Ensemble spread / ensemble-mean RMSE (1 = well calibrated).
+
+    Parameters
+    ----------
+    members:
+        Ensemble stack ``(N, ...)`` with N >= 2.
+    truth:
+        Verifying field, shape ``members.shape[1:]``.
+    """
+    members, truth = _ensemble_aligned(members, truth)
+    mean = members.mean(axis=0)
+    skill = np.sqrt(np.mean((mean - truth) ** 2))
+    spread = np.sqrt(np.mean(members.var(axis=0, ddof=1)))
+    if skill == 0:
+        raise ValueError("zero ensemble-mean error: ratio undefined")
+    return float(spread / skill)
+
+
+def rank_histogram(members: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Counts of the truth's rank among sorted members (N+1 bins).
+
+    A flat histogram indicates a reliable ensemble; U-shape means
+    under-dispersion, dome-shape over-dispersion.
+    """
+    members, truth = _ensemble_aligned(members, truth)
+    n = members.shape[0]
+    flat_members = members.reshape(n, -1)
+    flat_truth = truth.ravel()
+    ranks = np.sum(flat_members < flat_truth[None, :], axis=0)
+    return np.bincount(ranks, minlength=n + 1)
+
+
+def crps(members: np.ndarray, truth: np.ndarray) -> float:
+    """Ensemble CRPS, averaged over all verification points.
+
+    ``CRPS = E|X - y| - 0.5 E|X - X'|`` with X, X' independent member
+    draws; smaller is better, and for a single member it reduces to the
+    mean absolute error.
+    """
+    members, truth = _ensemble_aligned(members, truth, allow_single=True)
+    n = members.shape[0]
+    flat = members.reshape(n, -1)
+    y = truth.ravel()[None, :]
+    term1 = np.mean(np.abs(flat - y))
+    if n == 1:
+        return float(term1)
+    # pairwise member spread, O(N^2 * m) but N is ensemble-sized
+    diffs = np.abs(flat[:, None, :] - flat[None, :, :])
+    term2 = 0.5 * diffs.mean()
+    return float(term1 - term2)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """All scores for one (ensemble, truth) pair."""
+
+    rmse: float
+    bias: float
+    spread_skill: float
+    crps: float
+    n_members: int
+
+    def render(self) -> str:
+        """One-line summary."""
+        return (
+            f"N={self.n_members}: RMSE {self.rmse:.4f}, bias {self.bias:+.4f}, "
+            f"spread/skill {self.spread_skill:.2f}, CRPS {self.crps:.4f}"
+        )
+
+
+def verify_ensemble(members: np.ndarray, truth: np.ndarray) -> VerificationReport:
+    """Convenience: the full report for one ensemble and truth."""
+    members, truth = _ensemble_aligned(members, truth)
+    mean = members.mean(axis=0)
+    return VerificationReport(
+        rmse=rmse(mean, truth),
+        bias=bias(mean, truth),
+        spread_skill=spread_skill_ratio(members, truth),
+        crps=crps(members, truth),
+        n_members=members.shape[0],
+    )
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _aligned(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("empty fields")
+    return a, b
+
+
+def _ensemble_aligned(
+    members: np.ndarray, truth: np.ndarray, allow_single: bool = False
+) -> tuple[np.ndarray, np.ndarray]:
+    members = np.asarray(members, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    minimum = 1 if allow_single else 2
+    if members.ndim < 1 or members.shape[0] < minimum:
+        raise ValueError(f"need an ensemble of >= {minimum} members")
+    if members.shape[1:] != truth.shape:
+        raise ValueError(
+            f"member shape {members.shape[1:]} != truth shape {truth.shape}"
+        )
+    return members, truth

@@ -1,0 +1,50 @@
+"""Synthetic observations standing in for the AOSN-II measurement suite.
+
+The paper assimilates "various ocean measurements (CTD, AUVs, gliders and
+SST data)" collected during AOSN-II.  We reproduce the *structure* of that
+data stream with synthetic instruments sampling a twin-experiment truth run:
+
+- :class:`~repro.obs.instruments.CTDStation` -- full (T, S) profiles at
+  fixed stations,
+- :class:`~repro.obs.instruments.AUVTrack` -- constant-depth temperature
+  sections along waypoint tracks,
+- :class:`~repro.obs.instruments.GliderTransect` -- sawtooth profiling
+  along a transect,
+- :class:`~repro.obs.instruments.SSTSwath` -- satellite SST over a
+  subsampled swath,
+
+all reduced to a sparse linear measurement operator ``H`` with Gaussian
+noise covariance ``R`` (paper Eq. B1b) by
+:class:`~repro.obs.operators.ObservationOperator`.
+"""
+
+from repro.obs.operators import Observation, ObservationOperator
+from repro.obs.instruments import (
+    AUVTrack,
+    CTDStation,
+    GliderTransect,
+    Instrument,
+    SSTSwath,
+)
+from repro.obs.network import ObservationBatch, ObservationNetwork, aosn2_network
+from repro.obs.adaptive import (
+    AdaptiveSampler,
+    SamplingSuggestion,
+    suggest_sampling_locations,
+)
+
+__all__ = [
+    "Observation",
+    "ObservationOperator",
+    "Instrument",
+    "CTDStation",
+    "AUVTrack",
+    "GliderTransect",
+    "SSTSwath",
+    "ObservationBatch",
+    "ObservationNetwork",
+    "aosn2_network",
+    "AdaptiveSampler",
+    "SamplingSuggestion",
+    "suggest_sampling_locations",
+]

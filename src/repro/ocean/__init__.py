@@ -1,0 +1,47 @@
+"""Ocean-model substrate standing in for HOPS.
+
+The paper runs its ESSE ensembles with the Harvard Ocean Prediction System,
+a Fortran primitive-equation (PE) model.  ESSE itself only requires a
+nonlinear, stochastically forced field model with a large state vector and
+mesoscale variability; this package provides one at laptop scale:
+
+- a 1.5-layer reduced-gravity shallow-water model (:mod:`~repro.ocean.dynamics`)
+  over a synthetic Monterey-Bay-like domain (:mod:`~repro.ocean.bathymetry`),
+- multi-level temperature/salinity tracers advected by the layer flow with
+  thermocline-heave coupling (:mod:`~repro.ocean.tracers`),
+- wind/heat forcing with synoptic variability (:mod:`~repro.ocean.forcing`),
+- Wiener model-error forcing, white in time and correlated in space
+  (:mod:`~repro.ocean.stochastic`),
+
+assembled into :class:`~repro.ocean.model.PEModel`.
+"""
+
+from repro.ocean.grid import OceanGrid, demo_grid
+from repro.ocean.bathymetry import (
+    SyntheticBathymetry,
+    monterey_bathymetry,
+    monterey_grid,
+)
+from repro.ocean.forcing import AtmosphericForcing, upwelling_wind_stress
+from repro.ocean.stochastic import StochasticForcing
+from repro.ocean.dynamics import ShallowWaterDynamics
+from repro.ocean.tracers import TracerDynamics, climatological_profile
+from repro.ocean.model import PEModel, ModelState, ModelConfig, state_layout
+
+__all__ = [
+    "OceanGrid",
+    "demo_grid",
+    "SyntheticBathymetry",
+    "monterey_bathymetry",
+    "monterey_grid",
+    "AtmosphericForcing",
+    "upwelling_wind_stress",
+    "StochasticForcing",
+    "ShallowWaterDynamics",
+    "TracerDynamics",
+    "climatological_profile",
+    "PEModel",
+    "ModelState",
+    "ModelConfig",
+    "state_layout",
+]

@@ -1,0 +1,258 @@
+"""Reduced-gravity shallow-water dynamics.
+
+A 1.5-layer reduced-gravity model is the smallest nonlinear ocean model
+that produces the mesoscale phenomenology ESSE feeds on: geostrophic
+adjustment, wind-driven upwelling at a coast, instabilities and eddies.
+The prognostic variables are the layer velocities ``u, v`` (m/s) and the
+interface displacement ``eta`` (m) on a collocated grid; the active upper
+layer has rest thickness ``h0`` and reduced gravity ``g'``.
+
+Spatial discretization is second-order centred differences with Laplacian
+eddy viscosity; time stepping is Heun (RK2).  All operators are fully
+vectorized NumPy; a single step on the default 42x36 AOSN-II grid costs a
+few tens of microseconds, which is what makes O(1000)-member ensembles
+tractable on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ocean.grid import OceanGrid
+from repro.ocean.masking import LandFiller
+
+RHO0 = 1025.0  # reference sea-water density, kg/m^3
+
+
+def ddx(fld: np.ndarray, dx: float) -> np.ndarray:
+    """Centred x-derivative with one-sided differences at the edges."""
+    out = np.empty_like(fld)
+    out[..., :, 1:-1] = (fld[..., :, 2:] - fld[..., :, :-2]) / (2.0 * dx)
+    out[..., :, 0] = (fld[..., :, 1] - fld[..., :, 0]) / dx
+    out[..., :, -1] = (fld[..., :, -1] - fld[..., :, -2]) / dx
+    return out
+
+
+def ddy(fld: np.ndarray, dy: float) -> np.ndarray:
+    """Centred y-derivative with one-sided differences at the edges."""
+    out = np.empty_like(fld)
+    out[..., 1:-1, :] = (fld[..., 2:, :] - fld[..., :-2, :]) / (2.0 * dy)
+    out[..., 0, :] = (fld[..., 1, :] - fld[..., 0, :]) / dy
+    out[..., -1, :] = (fld[..., -1, :] - fld[..., -2, :]) / dy
+    return out
+
+
+def laplacian(fld: np.ndarray, dx: float, dy: float) -> np.ndarray:
+    """Five-point Laplacian; zero-flux (Neumann) at the array edges."""
+    padded = np.pad(fld, [(0, 0)] * (fld.ndim - 2) + [(1, 1), (1, 1)], mode="edge")
+    core = padded[..., 1:-1, 1:-1]
+    d2x = (padded[..., 1:-1, 2:] - 2.0 * core + padded[..., 1:-1, :-2]) / dx**2
+    d2y = (padded[..., 2:, 1:-1] - 2.0 * core + padded[..., :-2, 1:-1]) / dy**2
+    return d2x + d2y
+
+
+@dataclass(frozen=True)
+class ShallowWaterDynamics:
+    """Tendency operator for the reduced-gravity layer.
+
+    Parameters
+    ----------
+    grid:
+        Ocean grid (mask defines the coastline; velocity is zero on land).
+    h0:
+        Rest thickness of the active layer (m).
+    g_reduced:
+        Reduced gravity g' = g * (delta rho / rho) (m/s^2).
+    viscosity:
+        Laplacian eddy viscosity (m^2/s).
+    bottom_drag:
+        Linear (Rayleigh) drag coefficient (1/s).
+    eta_diffusivity:
+        Interface-height diffusivity (m^2/s).  A collocated (A-) grid
+        supports a 2-grid-point checkerboard mode in ``eta`` that the
+        pressure gradient cannot see; this scale-selective smoothing damps
+        it (the standard A-grid remedy) without affecting the mesoscale.
+    """
+
+    grid: OceanGrid
+    h0: float = 150.0
+    g_reduced: float = 0.03
+    viscosity: float = 120.0
+    bottom_drag: float = 2.0e-6
+    eta_diffusivity: float = 150.0
+
+    def __post_init__(self):
+        if self.h0 <= 0:
+            raise ValueError("layer thickness h0 must be positive")
+        if self.g_reduced <= 0:
+            raise ValueError("reduced gravity must be positive")
+        if self.viscosity < 0 or self.bottom_drag < 0:
+            raise ValueError("viscosity and drag must be non-negative")
+        # Coastal land-fill: eta gets a zero-gradient (free-slip wall)
+        # condition before gradient/diffusion stencils (see masking.py).
+        object.__setattr__(self, "fill_land", LandFiller(self.grid.mask))
+        # Open (wet-wet) cell faces, used by the finite-volume continuity
+        # fluxes: a face is open only when both adjacent cells are ocean,
+        # which makes the coastline an exact no-flux wall and the scheme
+        # exactly volume-conserving.
+        mask = self.grid.mask
+        object.__setattr__(self, "_face_x", mask[:, :-1] & mask[:, 1:])
+        object.__setattr__(self, "_face_y", mask[:-1, :] & mask[1:, :])
+
+    def _continuity_tendency(
+        self, h: np.ndarray, u: np.ndarray, v: np.ndarray, eta_filled: np.ndarray
+    ) -> np.ndarray:
+        """deta/dt from finite-volume mass fluxes plus conservative diffusion.
+
+        Face transports use the mean of the two adjacent cells and vanish on
+        coast faces, so the sum of ``deta/dt`` over wet cells is exactly
+        zero: total layer volume is conserved to round-off (the paper's PE
+        model shares this property; it matters for multi-week ESSE runs).
+        """
+        dx, dy = self.grid.dx, self.grid.dy
+        flux_x = 0.5 * (h[:, :-1] * u[:, :-1] + h[:, 1:] * u[:, 1:])
+        flux_x = np.where(self._face_x, flux_x, 0.0)
+        flux_y = 0.5 * (h[:-1, :] * v[:-1, :] + h[1:, :] * v[1:, :])
+        flux_y = np.where(self._face_y, flux_y, 0.0)
+        # Conservative interface-height diffusion on the same faces.
+        if self.eta_diffusivity > 0.0:
+            flux_x = flux_x - np.where(
+                self._face_x,
+                self.eta_diffusivity * (eta_filled[:, 1:] - eta_filled[:, :-1]) / dx,
+                0.0,
+            )
+            flux_y = flux_y - np.where(
+                self._face_y,
+                self.eta_diffusivity * (eta_filled[1:, :] - eta_filled[:-1, :]) / dy,
+                0.0,
+            )
+        deta = np.zeros_like(h)
+        deta[:, :-1] -= flux_x / dx
+        deta[:, 1:] += flux_x / dx
+        deta[:-1, :] -= flux_y / dy
+        deta[1:, :] += flux_y / dy
+        return deta
+
+    @property
+    def gravity_wave_speed(self) -> float:
+        """Internal gravity-wave speed sqrt(g' h0), m/s."""
+        return float(np.sqrt(self.g_reduced * self.h0))
+
+    def max_stable_dt(self, safety: float = 0.5) -> float:
+        """CFL-limited time step (s) for the gravity-wave speed."""
+        dmin = min(self.grid.dx, self.grid.dy)
+        return safety * dmin / self.gravity_wave_speed
+
+    def step_dynamics(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        eta: np.ndarray,
+        tau_x: np.ndarray,
+        tau_y: np.ndarray,
+        dt: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Advance (u, v, eta) one step of ``dt`` seconds.
+
+        The scheme is the standard stable combination for shallow-water
+        dynamics on a collocated grid:
+
+        - *forward-backward* (Mesinger) gravity-wave coupling -- eta is
+          stepped first, the pressure gradient then uses the *new* eta,
+          which is neutral for Courant numbers below 1 (here ~0.3);
+        - *exact semi-implicit rotation* for the Coriolis terms, which is
+          unconditionally stable and energy-neutral;
+        - forward (explicit) advection, viscosity, drag and wind, whose
+          weak explicit instability is dominated by the Laplacian damping.
+
+        Returns
+        -------
+        u, v, eta, deta_dt:
+            Updated fields plus the interface tendency actually applied
+            (m/s), which drives thermocline heave in the tracers.
+        """
+        grid = self.grid
+        dx, dy = grid.dx, grid.dy
+        mask = grid.mask
+        eta_filled = self.fill_land(eta)
+        h = np.maximum(self.h0 + eta, 0.1 * self.h0)  # guard against outcrop
+
+        # 1. continuity, forward step: exact finite-volume fluxes
+        deta_dt = self._continuity_tendency(h, u, v, eta_filled)
+        deta_dt = np.where(mask, deta_dt, 0.0)
+        eta_new = eta + dt * deta_dt
+
+        # 2. momentum: explicit advection/viscosity/drag/wind, backward
+        #    pressure gradient from the (land-filled) new interface height
+        eta_new_filled = self.fill_land(eta_new)
+        du = (
+            -u * ddx(u, dx)
+            - v * ddy(u, dy)
+            - self.g_reduced * ddx(eta_new_filled, dx)
+            - self.bottom_drag * u
+            + self.viscosity * laplacian(u, dx, dy)
+            + tau_x / (RHO0 * h)
+        )
+        dv = (
+            -u * ddx(v, dx)
+            - v * ddy(v, dy)
+            - self.g_reduced * ddy(eta_new_filled, dy)
+            - self.bottom_drag * v
+            + self.viscosity * laplacian(v, dx, dy)
+            + tau_y / (RHO0 * h)
+        )
+        u_star = u + dt * np.where(mask, du, 0.0)
+        v_star = v + dt * np.where(mask, dv, 0.0)
+
+        # 3. Coriolis: exact inertial rotation of (u*, v*)
+        angle = grid.coriolis * dt
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        u_new = cos_a * u_star + sin_a * v_star
+        v_new = -sin_a * u_star + cos_a * v_star
+
+        return u_new, v_new, eta_new, deta_dt
+
+    def sponge_factors(self, dt: float, width: int = 5, tau_edge: float = 10800.0) -> np.ndarray:
+        """Per-step damping factors of a smooth open-boundary sponge.
+
+        A cosine-shaped relaxation toward rest over ``width`` cells at the
+        west/south/north rims (the east rim is coast).  The relaxation time
+        grows from ``tau_edge`` at the outermost cell to infinity at the
+        sponge's inner edge; abrupt damping would itself create reflections
+        and destabilize the pressure gradient, so the profile must be smooth.
+        """
+        ny, nx = self.grid.shape2d
+        strength = np.zeros((ny, nx))
+
+        ramp = 0.5 * (1.0 + np.cos(np.pi * np.arange(width) / width))
+        for k in range(min(width, nx)):
+            strength[:, k] = np.maximum(strength[:, k], ramp[k])
+        for k in range(min(width, ny)):
+            strength[k, :] = np.maximum(strength[k, :], ramp[k])
+            strength[ny - 1 - k, :] = np.maximum(strength[ny - 1 - k, :], ramp[k])
+        return np.exp(-dt * strength / tau_edge)
+
+    def enforce_boundaries(
+        self,
+        u: np.ndarray,
+        v: np.ndarray,
+        eta: np.ndarray,
+        sponge: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero fields on land and apply the open-boundary sponge.
+
+        ``sponge`` is the precomputed factor field from
+        :meth:`sponge_factors`; passing None skips the sponge (used by
+        process-level tests).
+        """
+        mask = self.grid.mask
+        u = np.where(mask, u, 0.0)
+        v = np.where(mask, v, 0.0)
+        eta = np.where(mask, eta, 0.0)
+        if sponge is not None:
+            u = u * sponge
+            v = v * sponge
+            eta = eta * sponge
+        return u, v, eta

@@ -1,0 +1,64 @@
+"""Coastline (land-mask) handling for collocated-grid stencils.
+
+Centred stencils reach across the coastline.  For quantities with a
+zero-gradient (free-slip / no-flux) wall condition -- interface height and
+tracers -- the land values next to the coast must mirror the adjacent ocean
+values; leaving them at 0 imposes a spurious Dirichlet condition that both
+distorts the physics (e.g. lateral diffusion "cooling" the coast toward a
+0 degC wall) and destabilizes the pressure gradient.  :class:`LandFiller`
+precomputes the coastal stencil once and fills land cells bordering ocean
+with the mean of their wet 4-neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LandFiller:
+    """Fill land cells adjacent to the ocean with neighbouring wet values.
+
+    Parameters
+    ----------
+    mask:
+        Boolean ``(ny, nx)``; True over ocean.
+    """
+
+    def __init__(self, mask: np.ndarray):
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+        self.mask = mask
+        wet = mask.astype(float)
+        count = np.zeros_like(wet)
+        count[1:, :] += wet[:-1, :]
+        count[:-1, :] += wet[1:, :]
+        count[:, 1:] += wet[:, :-1]
+        count[:, :-1] += wet[:, 1:]
+        self._count = count
+        self._fillable = (~mask) & (count > 0)
+
+    def __call__(self, fld: np.ndarray) -> np.ndarray:
+        """Return a copy of ``fld`` with coastal land cells filled.
+
+        Accepts any array whose trailing two dimensions match the mask
+        (2-D fields or 3-D tracer stacks).
+        """
+        fld = np.asarray(fld)
+        if fld.shape[-2:] != self.mask.shape:
+            raise ValueError(
+                f"field shape {fld.shape} incompatible with mask {self.mask.shape}"
+            )
+        masked = np.where(self.mask, fld, 0.0)
+        neigh_sum = np.zeros_like(masked)
+        neigh_sum[..., 1:, :] += masked[..., :-1, :]
+        neigh_sum[..., :-1, :] += masked[..., 1:, :]
+        neigh_sum[..., :, 1:] += masked[..., :, :-1]
+        neigh_sum[..., :, :-1] += masked[..., :, 1:]
+        out = np.array(fld, dtype=float, copy=True)
+        fillable = self._fillable
+        if fld.ndim == 2:
+            out[fillable] = neigh_sum[fillable] / self._count[fillable]
+        else:
+            out[..., fillable] = neigh_sum[..., fillable] / self._count[fillable]
+        return out

@@ -1,0 +1,291 @@
+"""The PE-model stand-in: shallow-water dynamics + tracer stack.
+
+:class:`PEModel` plays the role of HOPS/`pemodel` in the paper's workflow:
+given an initial :class:`ModelState` it integrates the deterministic-
+stochastic ocean equations forward.  One model run *is* one many-task
+singleton; the ESSE layer never looks inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.state import FieldLayout, FieldSpec
+from repro.ocean.bathymetry import monterey_grid
+from repro.ocean.dynamics import ShallowWaterDynamics
+from repro.ocean.forcing import AtmosphericForcing
+from repro.ocean.grid import OceanGrid
+from repro.ocean.stochastic import StochasticForcing
+from repro.ocean.tracers import TracerDynamics, climatological_profile
+
+
+@dataclass
+class ModelState:
+    """Prognostic model state at one instant.
+
+    Attributes
+    ----------
+    u, v:
+        Layer velocity (m/s), shape ``(ny, nx)``.
+    eta:
+        Interface displacement (m), shape ``(ny, nx)``.
+    temp, salt:
+        Tracer stacks (deg C, psu), shape ``(nz, ny, nx)``.
+    time:
+        Model time in seconds since the experiment origin.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    eta: np.ndarray
+    temp: np.ndarray
+    salt: np.ndarray
+    time: float = 0.0
+
+    def copy(self) -> "ModelState":
+        """Deep copy (fields are copied, time preserved)."""
+        return ModelState(
+            u=self.u.copy(),
+            v=self.v.copy(),
+            eta=self.eta.copy(),
+            temp=self.temp.copy(),
+            salt=self.salt.copy(),
+            time=self.time,
+        )
+
+    def validate(self, grid: OceanGrid) -> None:
+        """Raise ValueError when any field has the wrong shape or NaNs."""
+        expected = {
+            "u": grid.shape2d,
+            "v": grid.shape2d,
+            "eta": grid.shape2d,
+            "temp": grid.shape3d,
+            "salt": grid.shape3d,
+        }
+        for name, shape in expected.items():
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise ValueError(f"{name}: expected shape {shape}, got {arr.shape}")
+            if not np.all(np.isfinite(arr[..., grid.mask])):
+                raise ValueError(f"{name}: non-finite values over ocean points")
+
+
+def state_layout(grid: OceanGrid) -> FieldLayout:
+    """The ESSE packing of a :class:`ModelState`.
+
+    Normalization scales are typical mesoscale error magnitudes (0.1 m/s
+    velocity, 2 m interface, 0.5 deg C, 0.05 psu) so the multivariate
+    covariance is non-dimensional, as required before the ESSE SVD.
+    """
+    return FieldLayout(
+        [
+            FieldSpec("u", grid.shape2d, scale=0.1),
+            FieldSpec("v", grid.shape2d, scale=0.1),
+            FieldSpec("eta", grid.shape2d, scale=2.0),
+            FieldSpec("temp", grid.shape3d, scale=0.5),
+            FieldSpec("salt", grid.shape3d, scale=0.05),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Numerical configuration of a :class:`PEModel` run."""
+
+    dt: float = 400.0
+    viscosity: float = 120.0
+    diffusivity: float = 60.0
+    h0: float = 150.0
+    g_reduced: float = 0.03
+    check_interval: int = 50  # steps between finite-value checks
+
+    def __post_init__(self):
+        if self.dt <= 0:
+            raise ValueError("dt must be positive")
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+
+
+class PEModel:
+    """Deterministic-stochastic ocean model over one grid.
+
+    Parameters
+    ----------
+    grid:
+        Ocean grid; defaults to the synthetic Monterey domain.
+    config:
+        Numerical parameters.
+    forcing:
+        Atmospheric forcing; defaults to the AOSN-II-like wind/heat product.
+    noise:
+        Stochastic model-error forcing; defaults to quiet (deterministic).
+        Each ensemble member passes its own seeded forcing.
+    """
+
+    def __init__(
+        self,
+        grid: OceanGrid | None = None,
+        config: ModelConfig | None = None,
+        forcing: AtmosphericForcing | None = None,
+        noise: StochasticForcing | None = None,
+    ):
+        self.grid = grid if grid is not None else monterey_grid()
+        self.config = config if config is not None else ModelConfig()
+        self.forcing = (
+            forcing if forcing is not None else AtmosphericForcing(self.grid)
+        )
+        self.noise = noise if noise is not None else StochasticForcing.quiet(self.grid)
+        self.dynamics = ShallowWaterDynamics(
+            self.grid,
+            h0=self.config.h0,
+            g_reduced=self.config.g_reduced,
+            viscosity=self.config.viscosity,
+        )
+        self.tracers = TracerDynamics(self.grid, diffusivity=self.config.diffusivity)
+        self._sponge = self.dynamics.sponge_factors(self.config.dt)
+        max_dt = self.dynamics.max_stable_dt(safety=0.9)
+        if self.config.dt > max_dt:
+            raise ValueError(
+                f"dt={self.config.dt} s exceeds the CFL limit {max_dt:.1f} s"
+            )
+        self.layout = state_layout(self.grid)
+
+    # -- state construction ----------------------------------------------
+
+    def rest_state(self) -> ModelState:
+        """State at rest with climatological stratification."""
+        grid = self.grid
+        t_prof, s_prof = climatological_profile(np.asarray(grid.z_levels))
+        temp = grid.apply_mask(
+            np.broadcast_to(t_prof[:, None, None], grid.shape3d).copy()
+        )
+        salt = grid.apply_mask(
+            np.broadcast_to(s_prof[:, None, None], grid.shape3d).copy()
+        )
+        zeros = np.zeros(grid.shape2d)
+        return ModelState(
+            u=zeros.copy(), v=zeros.copy(), eta=zeros.copy(), temp=temp, salt=salt
+        )
+
+    def spun_up_state(self, days: float = 5.0) -> ModelState:
+        """Rest state integrated for ``days`` to develop upwelling structure."""
+        state = self.rest_state()
+        return self.run(state, duration=days * 86400.0)
+
+    # -- vector interface (used by ESSE) ----------------------------------
+
+    def to_vector(self, state: ModelState) -> np.ndarray:
+        """Pack a state into the augmented ESSE vector."""
+        return self.layout.pack(
+            {
+                "u": state.u,
+                "v": state.v,
+                "eta": state.eta,
+                "temp": state.temp,
+                "salt": state.salt,
+            }
+        )
+
+    def from_vector(self, vector: np.ndarray, time: float = 0.0) -> ModelState:
+        """Unpack an ESSE vector into a (masked) model state."""
+        fields = self.layout.unpack(vector)
+        state = ModelState(time=time, **fields)
+        state.u = self.grid.apply_mask(state.u)
+        state.v = self.grid.apply_mask(state.v)
+        state.eta = self.grid.apply_mask(state.eta)
+        state.temp = self.grid.apply_mask(state.temp)
+        state.salt = self.grid.apply_mask(state.salt)
+        return state
+
+    # -- time stepping -----------------------------------------------------
+
+    def step(self, state: ModelState) -> ModelState:
+        """One forward-backward step of length ``config.dt`` + Wiener forcing.
+
+        Dynamics use the stable forward-backward/semi-implicit scheme (see
+        :meth:`ShallowWaterDynamics.step_dynamics`); tracers use forward
+        Euler, whose explicit advection is stabilized by the lateral
+        diffusivity at the advective Courant numbers this model runs at.
+        """
+        dt = self.config.dt
+        tau_x, tau_y = self.forcing.wind_stress(state.time)
+        heat = self.forcing.heat_flux(state.time)
+
+        u, v, eta, deta_dt = self.dynamics.step_dynamics(
+            state.u, state.v, state.eta, tau_x, tau_y, dt
+        )
+        dT, dS = self.tracers.tendencies(
+            state.temp, state.salt, state.u, state.v, deta_dt, heat
+        )
+        temp = state.temp + dt * dT
+        salt = state.salt + dt * dS
+
+        if self.noise.is_active():
+            du_n, dv_n = self.noise.momentum_increment(dt)
+            u += du_n
+            v += dv_n
+            eta += self.noise.eta_increment(dt)
+            dT_n, dS_n = self.noise.tracer_increments(dt)
+            temp += dT_n
+            salt += dS_n
+
+        u, v, eta = self.dynamics.enforce_boundaries(u, v, eta, sponge=self._sponge)
+        return ModelState(u=u, v=v, eta=eta, temp=temp, salt=salt, time=state.time + dt)
+
+    def run(
+        self,
+        state: ModelState,
+        duration: float,
+        callback=None,
+    ) -> ModelState:
+        """Integrate for ``duration`` seconds (rounded up to whole steps).
+
+        Parameters
+        ----------
+        state:
+            Initial condition (not modified).
+        duration:
+            Integration length in seconds; must be >= 0.
+        callback:
+            Optional ``callback(step_index, state)`` invoked after each step
+            (used for trajectory capture and observation sampling).
+
+        Raises
+        ------
+        FloatingPointError
+            If the integration blows up (non-finite fields); ESSE treats
+            this as a failed ensemble member, which the workflow tolerates.
+        """
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        n_steps = int(np.ceil(duration / self.config.dt))
+        current = state.copy()
+        # Blow-ups are detected below and reported as FloatingPointError
+        # (a tolerated member failure in ESSE); the transient inf/nan
+        # arithmetic on the way there is expected, not a warning.
+        with np.errstate(over="ignore", invalid="ignore"):
+            return self._run_steps(current, n_steps, callback)
+
+    def _run_steps(self, current: ModelState, n_steps: int, callback) -> ModelState:
+        for k in range(n_steps):
+            current = self.step(current)
+            if (k + 1) % self.config.check_interval == 0 or k == n_steps - 1:
+                wet = self.grid.mask
+                if not (
+                    np.all(np.isfinite(current.u[wet]))
+                    and np.all(np.isfinite(current.temp[..., wet]))
+                ):
+                    raise FloatingPointError(
+                        f"model blow-up at t={current.time:.0f} s (step {k + 1})"
+                    )
+            if callback is not None:
+                callback(k, current)
+        return current
+
+    def with_noise(self, noise: StochasticForcing) -> "PEModel":
+        """A clone of this model using the given stochastic forcing."""
+        return PEModel(
+            grid=self.grid, config=self.config, forcing=self.forcing, noise=noise
+        )

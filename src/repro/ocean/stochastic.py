@@ -1,0 +1,104 @@
+"""Stochastic model-error (Wiener) forcing.
+
+Paper Sec 3.1: the ocean model is deterministic-stochastic, ``dx = M(x,t)
+dt + d(eta)`` with ``eta ~ N(0, Q(t))`` white in time after state
+augmentation.  Discretely, each step adds ``sqrt(dt) * q * w`` where ``w``
+is a spatially correlated unit-variance field: white in time, smooth in
+space, the standard Euler-Maruyama treatment of the Wiener increment.
+
+Each ensemble member owns an independent generator keyed by its
+perturbation index (see :mod:`repro.util.rng`), so members are reproducible
+regardless of scheduling order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ocean.grid import OceanGrid
+from repro.util.randomfields import GaussianRandomField2D
+
+
+@dataclass
+class StochasticForcing:
+    """Per-member stochastic forcing amplitudes.
+
+    Parameters
+    ----------
+    grid:
+        Ocean grid.
+    momentum_amplitude:
+        Std-dev of the momentum noise in (m/s^2) * sqrt(s); forces u and v.
+    eta_amplitude:
+        Std-dev of interface-height noise in m * sqrt(s)^-1... scaled by
+        sqrt(dt) at each step.
+    tracer_amplitude:
+        Std-dev of temperature noise (deg C / sqrt(s)); salinity noise is
+        scaled to 0.1x in psu.
+    length_scale_cells:
+        Spatial correlation length of the noise in grid cells.
+    rng:
+        Member-specific generator; defaults to a fresh unseeded one.
+    """
+
+    grid: OceanGrid
+    momentum_amplitude: float = 2.0e-7
+    eta_amplitude: float = 2.0e-5
+    tracer_amplitude: float = 2.0e-6
+    length_scale_cells: float = 4.0
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self):
+        for name in ("momentum_amplitude", "eta_amplitude", "tracer_amplitude"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        self._field = GaussianRandomField2D(
+            self.grid.shape2d, self.length_scale_cells, rng=self.rng
+        )
+
+    def is_active(self) -> bool:
+        """True when any noise amplitude is non-zero."""
+        return (
+            self.momentum_amplitude > 0
+            or self.eta_amplitude > 0
+            or self.tracer_amplitude > 0
+        )
+
+    def momentum_increment(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """Wiener increments for (u, v) over a step of ``dt`` seconds."""
+        scale = self.momentum_amplitude * np.sqrt(dt) * dt
+        du = scale * self._field.sample()
+        dv = scale * self._field.sample()
+        return self.grid.apply_mask(du), self.grid.apply_mask(dv)
+
+    def eta_increment(self, dt: float) -> np.ndarray:
+        """Wiener increment for the interface height over ``dt`` seconds."""
+        incr = self.eta_amplitude * np.sqrt(dt) * self._field.sample()
+        return self.grid.apply_mask(incr)
+
+    def tracer_increments(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """Wiener increments for (T, S), shape ``(nz, ny, nx)``.
+
+        Noise decays with depth (mixed-layer/thermocline errors dominate)
+        and salinity errors are taken as one tenth of temperature errors in
+        their respective units, a typical hydrographic error ratio.
+        """
+        nz = self.grid.nz
+        z = np.asarray(self.grid.z_levels)
+        depth_decay = np.exp(-z / max(z[-1] * 0.5, 1.0))[:, None, None]
+        scale = self.tracer_amplitude * np.sqrt(dt)
+        d_temp = scale * self._field.sample_many(nz) * depth_decay
+        d_salt = 0.1 * scale * self._field.sample_many(nz) * depth_decay
+        return self.grid.apply_mask(d_temp), self.grid.apply_mask(d_salt)
+
+    @classmethod
+    def quiet(cls, grid: OceanGrid) -> "StochasticForcing":
+        """A zero-amplitude forcing (deterministic central forecast)."""
+        return cls(
+            grid,
+            momentum_amplitude=0.0,
+            eta_amplitude=0.0,
+            tracer_amplitude=0.0,
+        )

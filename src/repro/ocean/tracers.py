@@ -1,0 +1,150 @@
+"""Temperature / salinity tracer dynamics.
+
+Tracers live on ``nz`` depth levels.  Each level is advected by the layer
+velocity scaled with a depth-structure function (surface-intensified flow),
+diffused laterally, relaxed weakly toward climatology, heated at the
+surface, and heaved vertically by interface displacements: a negative
+``eta`` (thermocline uplift, i.e. upwelling) lifts cold water, exactly the
+signal that dominates Monterey Bay SST and its ESSE uncertainty (paper
+Figs 5-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ocean.dynamics import ddx, ddy, laplacian
+from repro.ocean.grid import OceanGrid
+from repro.ocean.masking import LandFiller
+
+
+def climatological_profile(
+    z_levels: np.ndarray | tuple[float, ...],
+    surface_temp: float = 15.0,
+    deep_temp: float = 7.0,
+    thermocline_depth: float = 60.0,
+    thermocline_width: float = 45.0,
+    surface_salt: float = 33.4,
+    deep_salt: float = 34.2,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Background (T(z), S(z)) profiles for central California.
+
+    A tanh thermocline between ``surface_temp`` and ``deep_temp`` centred at
+    ``thermocline_depth``; salinity increases monotonically with depth.
+    """
+    z = np.asarray(z_levels, dtype=float)
+    shape_fn = 0.5 * (1.0 + np.tanh((z - thermocline_depth) / thermocline_width))
+    temp = surface_temp + (deep_temp - surface_temp) * shape_fn
+    salt = surface_salt + (deep_salt - surface_salt) * shape_fn
+    return temp, salt
+
+
+@dataclass
+class TracerDynamics:
+    """Tendency operator for the (T, S) tracer stack.
+
+    Parameters
+    ----------
+    grid:
+        Ocean grid.
+    diffusivity:
+        Lateral eddy diffusivity (m^2/s).
+    relaxation_time:
+        e-folding time (s) of the relaxation toward climatology; weak, it
+        keeps the twin-experiment fields bounded over weeks.
+    velocity_decay_depth:
+        e-folding depth (m) of the velocity structure function.
+    heave_gain:
+        deg C of temperature change per metre of interface displacement per
+        unit of the vertical structure function (thermocline-heave coupling).
+    heat_capacity_depth:
+        Effective mixed-layer depth (m) converting surface heat flux to a
+        surface-level temperature tendency.
+    """
+
+    grid: OceanGrid
+    diffusivity: float = 60.0
+    relaxation_time: float = 30.0 * 86400.0
+    velocity_decay_depth: float = 120.0
+    heave_gain: float = 0.02
+    heat_capacity_depth: float = 25.0
+
+    clim_temp: np.ndarray = field(init=False, repr=False)
+    clim_salt: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.diffusivity < 0:
+            raise ValueError("diffusivity must be non-negative")
+        if self.relaxation_time <= 0:
+            raise ValueError("relaxation_time must be positive")
+        z = np.asarray(self.grid.z_levels)
+        t_prof, s_prof = climatological_profile(z)
+        self.clim_temp = np.broadcast_to(
+            t_prof[:, None, None], self.grid.shape3d
+        ).copy()
+        self.clim_salt = np.broadcast_to(
+            s_prof[:, None, None], self.grid.shape3d
+        ).copy()
+        self._vel_structure = np.exp(-z / self.velocity_decay_depth)[:, None, None]
+        # Thermocline heave is strongest where dT/dz is largest.
+        dtdz = np.gradient(t_prof, z)
+        norm = np.max(np.abs(dtdz))
+        self._heave_structure = (
+            (np.abs(dtdz) / norm) if norm > 0 else np.zeros_like(z)
+        )[:, None, None]
+        self._fill_land = LandFiller(self.grid.mask)
+
+    def tendencies(
+        self,
+        temp: np.ndarray,
+        salt: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        deta_dt: np.ndarray,
+        heat_flux: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Right-hand sides (dT/dt, dS/dt) over ``(nz, ny, nx)``.
+
+        Parameters
+        ----------
+        temp, salt:
+            Current tracer stacks.
+        u, v:
+            Layer velocity (2-D); scaled by the depth structure per level.
+        deta_dt:
+            Interface-height tendency (m/s); drives thermocline heave.
+        heat_flux:
+            Net surface heat flux (W/m^2), applied to the top level.
+        """
+        grid = self.grid
+        dx, dy = grid.dx, grid.dy
+        u3 = u[None, :, :] * self._vel_structure
+        v3 = v[None, :, :] * self._vel_structure
+
+        def advect_diffuse(c: np.ndarray, clim: np.ndarray) -> np.ndarray:
+            # Land-filled tracer: zero-gradient at the coast, so diffusion
+            # and advection see a no-flux wall, not a 0-valued one.
+            c_filled = self._fill_land(c)
+            adv = -u3 * ddx(c_filled, dx) - v3 * ddy(c_filled, dy)
+            diff = self.diffusivity * laplacian(c_filled, dx, dy)
+            relax = (clim - c) / self.relaxation_time
+            return adv + diff + relax
+
+        d_temp = advect_diffuse(temp, self.clim_temp)
+        d_salt = advect_diffuse(salt, self.clim_salt)
+
+        # Thermocline heave: uplift (deta/dt < 0) cools, depression warms.
+        heave = self.heave_gain * deta_dt[None, :, :] * self._heave_structure
+        d_temp = d_temp + heave * 3.5  # deg C per m of displacement rate
+        d_salt = d_salt - heave * 0.3  # upwelled water is saltier
+
+        # Surface heating on the top level.
+        rho_cp = 1025.0 * 3990.0
+        d_temp[0] += heat_flux / (rho_cp * self.heat_capacity_depth)
+
+        mask = grid.mask
+        d_temp = np.where(mask, d_temp, 0.0)
+        d_salt = np.where(mask, d_salt, 0.0)
+        return d_temp, d_salt

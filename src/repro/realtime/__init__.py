@@ -1,0 +1,28 @@
+"""Real-time forecasting timelines and the cycle driver (paper Fig 1)."""
+
+from repro.realtime.times import (
+    ExperimentTimeline,
+    ForecasterTask,
+    ObservationPeriod,
+    SimulationWindow,
+)
+from repro.realtime.cycle import CycleRecord, RealTimeForecastCycle
+from repro.realtime.products import (
+    CandidateScore,
+    ForecastProduct,
+    generate_product,
+    score_candidates,
+)
+
+__all__ = [
+    "ObservationPeriod",
+    "ForecasterTask",
+    "SimulationWindow",
+    "ExperimentTimeline",
+    "CycleRecord",
+    "RealTimeForecastCycle",
+    "CandidateScore",
+    "ForecastProduct",
+    "generate_product",
+    "score_candidates",
+]

@@ -1,0 +1,73 @@
+"""The paper's local cluster (Sec 5.2) and reference task times.
+
+"Our local cluster is composed of 114 dual socket Opteron 250 (2.4GHz)
+nodes ..., 3 dual socket Opteron 285 (dual core 2.6GHz) nodes ..., and a
+dual socket Opteron 2380 (Shanghai ... quad core 2.5GHz) head node ...
+The fileserver serves over 18TB of shared disk over NFS, using a 10Gbit/s
+connection ... For the timings discussed below about 210 of the 240 cores
+were available."
+"""
+
+from __future__ import annotations
+
+from repro.sched.resources import ClusterModel, Node, NodeSpec
+
+
+#: Measured single-task reference times on the local Opteron 250 (Table 1).
+REFERENCE_PERT_SECONDS = 6.21
+REFERENCE_PEMODEL_SECONDS = 1531.33
+#: Acoustic singletons executed "for approximately 3 minutes" (Sec 5.2.1).
+REFERENCE_ACOUSTIC_SECONDS = 180.0
+
+
+def reference_task_times() -> dict[str, float]:
+    """Reference CPU seconds per task kind on the local cluster."""
+    return {
+        "pert": REFERENCE_PERT_SECONDS,
+        "pemodel": REFERENCE_PEMODEL_SECONDS,
+        "acoustic": REFERENCE_ACOUSTIC_SECONDS,
+    }
+
+
+def mseas_cluster(
+    available_cores: int = 210,
+    nfs_bandwidth_mbps: float = 1250.0,
+) -> ClusterModel:
+    """The MIT MSEAS-like local cluster, reduced to its available cores.
+
+    Parameters
+    ----------
+    available_cores:
+        Cores usable for the campaign (the rest "were in use by other
+        users").  The fast Opteron 285 replacement nodes are included
+        first, then Opteron 250 nodes until the budget is spent.
+    nfs_bandwidth_mbps:
+        File-server bandwidth (10 Gbit/s link ~ 1250 MB/s).
+    """
+    if available_cores < 1:
+        raise ValueError("available_cores must be >= 1")
+    nodes: list[Node] = []
+    remaining = available_cores
+    # 3 dual-socket dual-core Opteron 285 nodes: 4 cores each, ~8% faster.
+    for k in range(3):
+        if remaining <= 0:
+            break
+        cores = min(4, remaining)
+        nodes.append(
+            Node(NodeSpec(name=f"opt285-{k}", cores=cores, speed_factor=1.08,
+                          local_disk_mbps=250.0))
+        )
+        remaining -= cores
+    # 114 dual-socket single-core Opteron 250 nodes: 2 cores each (ref speed).
+    k = 0
+    while remaining > 0 and k < 114:
+        cores = min(2, remaining)
+        nodes.append(
+            Node(NodeSpec(name=f"opt250-{k}", cores=cores, speed_factor=1.0,
+                          local_disk_mbps=250.0))
+        )
+        remaining -= cores
+        k += 1
+    return ClusterModel(
+        nodes=nodes, nfs_bandwidth_mbps=nfs_bandwidth_mbps, name="mseas"
+    )

@@ -1,0 +1,188 @@
+"""Demand-driven (elastic) EC2 provisioning.
+
+Paper Sec 5.4.1, last option: "Dynamic addition of EC2 nodes to an
+existing cluster -- offered in product form by Univa (UniCloud) and Sun
+(Cloud Adapter in Hedeby/SDM).  This last option automates the
+booting/termination of EC2 nodes based on queuing system demand, further
+minimizing costs."
+
+:class:`ElasticEC2Pool` watches a scheduler's queue inside the DES: when
+the backlog per core exceeds a threshold it boots instances (after a boot
+latency), and it terminates instances that have been idle as their billed
+hour closes -- EC2 charges whole hours, so an instance with 20 paid
+minutes left is kept warm rather than released.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sched.ec2 import EC2_INSTANCE_TYPES, EC2InstanceType
+from repro.sched.engine import Simulator
+from repro.sched.resources import Node, NodeSpec
+from repro.sched.schedulers import ClusterScheduler
+
+
+@dataclass
+class _Instance:
+    node: Node
+    boot_time: float
+    terminated: bool = False
+    end_time: float | None = None
+
+    def billed_hours(self, now: float) -> int:
+        end = self.end_time if self.terminated else now
+        return max(int(math.ceil((end - self.boot_time) / 3600.0 - 1e-12)), 1)
+
+
+class ElasticEC2Pool:
+    """Boots/terminates EC2 instances to follow scheduler demand.
+
+    Parameters
+    ----------
+    sim, scheduler:
+        The simulation and the scheduler whose queue is watched.  Booted
+        nodes are appended to (and removed from) the scheduler's cluster.
+    instance_type:
+        EC2 instance type to provision.
+    max_instances:
+        Provisioning cap (the paper's default account limit was 20).
+    boot_latency_s:
+        Time from request to the node joining the pool.
+    backlog_per_core:
+        Boot another instance while queued jobs per available core exceed
+        this threshold.
+    poll_interval_s:
+        How often demand is evaluated.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: ClusterScheduler,
+        instance_type: EC2InstanceType | str = "c1.xlarge",
+        max_instances: int = 20,
+        boot_latency_s: float = 90.0,
+        backlog_per_core: float = 2.0,
+        poll_interval_s: float = 30.0,
+    ):
+        if isinstance(instance_type, str):
+            instance_type = EC2_INSTANCE_TYPES[instance_type]
+        if max_instances < 1:
+            raise ValueError("max_instances must be >= 1")
+        if boot_latency_s < 0 or poll_interval_s <= 0:
+            raise ValueError("latencies must be sensible")
+        if backlog_per_core <= 0:
+            raise ValueError("backlog_per_core must be positive")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.instance_type = instance_type
+        self.max_instances = max_instances
+        self.boot_latency_s = boot_latency_s
+        self.backlog_per_core = backlog_per_core
+        self.poll_interval_s = poll_interval_s
+        self.instances: list[_Instance] = []
+        self._booting = 0
+        self._active = True
+        self.boots = 0
+        self.terminations = 0
+        sim.schedule(0.0, self._poll)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def running_count(self) -> int:
+        """Instances currently in the pool."""
+        return sum(1 for inst in self.instances if not inst.terminated)
+
+    def total_cost(self, hourly_usd: float | None = None) -> float:
+        """Instance-hour cost so far (ceil-hour billing per instance)."""
+        rate = (
+            hourly_usd if hourly_usd is not None else self.instance_type.hourly_usd
+        )
+        return sum(inst.billed_hours(self.sim.now) * rate for inst in self.instances)
+
+    def shutdown(self) -> None:
+        """Stop polling and terminate every idle instance."""
+        self._active = False
+        for inst in self.instances:
+            if not inst.terminated and inst.node.busy_cores == 0:
+                self._terminate(inst)
+
+    # -- demand loop -----------------------------------------------------------
+
+    def _queued_jobs(self) -> int:
+        return len(self.scheduler._ready)
+
+    def _free_cores(self) -> int:
+        return sum(n.free_cores for n in self.scheduler.cluster.nodes)
+
+    def _drained(self) -> bool:
+        """All submitted jobs in final states (and nothing mid-boot)."""
+        from repro.sched.jobs import JobState
+
+        jobs = self.scheduler.jobs
+        if not jobs or self._booting:
+            return False
+        final = (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return all(j.state in final for j in jobs.values())
+
+    def _poll(self) -> None:
+        if not self._active:
+            return
+        if self._drained():
+            # campaign over: stop polling so the simulation can terminate,
+            # and release every idle instance
+            self.shutdown()
+            return
+        backlog = self._queued_jobs()
+        capacity = max(self._free_cores(), 1)
+        want_more = (
+            backlog / capacity > self.backlog_per_core
+            and self.running_count + self._booting < self.max_instances
+        )
+        if want_more:
+            self._booting += 1
+            self.sim.schedule(self.boot_latency_s, self._join)
+        self._retire_idle()
+        if self._active:
+            self.sim.schedule(self.poll_interval_s, self._poll)
+
+    def _join(self) -> None:
+        self._booting -= 1
+        index = len(self.instances)
+        node = Node(
+            NodeSpec(
+                name=f"elastic-{self.instance_type.name}-{index}",
+                cores=self.instance_type.schedulable_cores,
+                speed_factor=self.instance_type.speed_factor,
+                local_disk_mbps=40.0,
+            )
+        )
+        self.scheduler.cluster.nodes.append(node)
+        self.instances.append(_Instance(node=node, boot_time=self.sim.now))
+        self.boots += 1
+        self.scheduler._request_dispatch()
+
+    def _retire_idle(self) -> None:
+        """Terminate idle instances whose billed hour is about to close."""
+        if self._queued_jobs() > 0:
+            return
+        for inst in self.instances:
+            if inst.terminated or inst.node.busy_cores > 0:
+                continue
+            elapsed = self.sim.now - inst.boot_time
+            into_hour = elapsed % 3600.0
+            # release only near the hour boundary: the rest is prepaid
+            if elapsed > 60.0 and into_hour > 3600.0 - 1.5 * self.poll_interval_s:
+                self._terminate(inst)
+
+    def _terminate(self, inst: _Instance) -> None:
+        inst.terminated = True
+        inst.end_time = self.sim.now
+        self.terminations += 1
+        try:
+            self.scheduler.cluster.nodes.remove(inst.node)
+        except ValueError:  # pragma: no cover - already removed
+            pass

@@ -1,0 +1,20 @@
+"""Shared numerical utilities: thin SVDs, RNG streams, random fields."""
+
+from repro.util.linalg import (
+    thin_svd,
+    truncated_svd,
+    orthonormal_columns,
+    subspace_principal_angles,
+)
+from repro.util.rng import SeedSequenceStream, member_rng
+from repro.util.randomfields import GaussianRandomField2D
+
+__all__ = [
+    "thin_svd",
+    "truncated_svd",
+    "orthonormal_columns",
+    "subspace_principal_angles",
+    "SeedSequenceStream",
+    "member_rng",
+    "GaussianRandomField2D",
+]

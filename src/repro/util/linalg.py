@@ -1,0 +1,164 @@
+"""Thin linear-algebra helpers used throughout the ESSE core.
+
+The ESSE procedure is dominated by SVDs of tall-skinny difference matrices
+(state dimension ``n`` is O(1e4-1e7), ensemble size ``N`` is O(1e2-1e3)).
+Following the optimisation guidance for scientific Python, we always request
+economy-size factorizations (``full_matrices=False``): the full ``n x n``
+left factor would be both useless and unaffordable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+
+def thin_svd(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Economy-size SVD ``a = u @ diag(s) @ vt``.
+
+    Parameters
+    ----------
+    a:
+        Matrix of shape ``(n, m)``; typically ``n >> m`` (state-by-ensemble).
+
+    Returns
+    -------
+    u, s, vt:
+        ``u`` is ``(n, k)``, ``s`` is ``(k,)`` descending, ``vt`` is
+        ``(k, m)`` with ``k = min(n, m)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"thin_svd expects a 2-D array, got shape {a.shape}")
+    # gesdd is faster for the tall-skinny matrices ESSE produces; fall back
+    # to the slower but more robust gesvd driver on non-convergence.
+    try:
+        return scipy.linalg.svd(a, full_matrices=False, lapack_driver="gesdd")
+    except np.linalg.LinAlgError:
+        return scipy.linalg.svd(a, full_matrices=False, lapack_driver="gesvd")
+
+
+def truncated_svd(
+    a: np.ndarray,
+    rank: int | None = None,
+    energy: float | None = None,
+    rtol: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Thin SVD truncated to a dominant subspace.
+
+    The criteria compose: the retained rank is the tightest of the
+    ``energy`` cut, the ``rank`` cap and the ``rtol`` floor.
+
+    Parameters
+    ----------
+    a:
+        Matrix ``(n, m)``.
+    rank:
+        Keep at most this many modes.
+    energy:
+        Keep the smallest leading set of modes whose cumulative squared
+        singular values reach this fraction of the total (0 < energy <= 1).
+    rtol:
+        Relative singular-value floor; modes with ``s_i <= rtol * s_0`` are
+        always discarded.
+    """
+    u, s, vt = thin_svd(a)
+    if s.size == 0:
+        return u, s, vt
+    keep = s.size
+    if rtol > 0.0:
+        keep = int(np.count_nonzero(s > rtol * s[0]))
+        keep = max(keep, 1)
+    if energy is not None:
+        if not 0.0 < energy <= 1.0:
+            raise ValueError(f"energy must be in (0, 1], got {energy}")
+        power = np.cumsum(s**2)
+        total = power[-1]
+        if total == 0.0:
+            keep = 1
+        else:
+            keep = min(keep, int(np.searchsorted(power, energy * total) + 1))
+    if rank is not None:
+        if rank < 1:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        keep = min(keep, rank)
+    return u[:, :keep], s[:keep], vt[:keep, :]
+
+
+def randomized_svd(
+    a: np.ndarray,
+    rank: int,
+    oversample: int = 10,
+    n_iter: int = 2,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized range-finder SVD (Halko-Martinsson-Tropp).
+
+    The paper worries that the dense LAPACK SVD "require[s] a lot of
+    memory and time, especially for large N" and anticipates needing
+    ScaLAPACK (Sec 4.1).  For the dominant-subspace extraction ESSE
+    actually needs, sketching is the modern answer: project onto a random
+    ``rank + oversample``-dimensional range, QR it, and SVD the small
+    projected matrix -- O(n N k) instead of O(n N min(n, N)), with a few
+    power iterations sharpening the spectrum.
+
+    Parameters
+    ----------
+    a:
+        Matrix ``(n, m)``.
+    rank:
+        Number of singular triplets wanted (>= 1).
+    oversample:
+        Extra sketch dimensions (accuracy knob).
+    n_iter:
+        Power iterations (each sharpens decaying spectra).
+    rng:
+        Generator for the sketch; default unseeded.
+
+    Returns
+    -------
+    (u, s, vt) with ``u`` of shape ``(n, rank)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"randomized_svd expects a 2-D array, got {a.shape}")
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    if oversample < 0 or n_iter < 0:
+        raise ValueError("oversample and n_iter must be >= 0")
+    rng = rng if rng is not None else np.random.default_rng()
+    n, m = a.shape
+    sketch = min(rank + oversample, m)
+    omega = rng.standard_normal((m, sketch))
+    y = a @ omega
+    for _ in range(n_iter):
+        y, _ = np.linalg.qr(y)
+        y = a @ (a.T @ y)
+    q, _ = np.linalg.qr(y)
+    b = q.T @ a  # (sketch, m)
+    ub, s, vt = scipy.linalg.svd(b, full_matrices=False)
+    u = q @ ub
+    keep = min(rank, s.size)
+    return u[:, :keep], s[:keep], vt[:keep, :]
+
+
+def orthonormal_columns(a: np.ndarray, atol: float = 1e-8) -> bool:
+    """Return True when the columns of ``a`` are orthonormal within ``atol``."""
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {a.shape}")
+    gram = a.T @ a
+    return bool(np.allclose(gram, np.eye(a.shape[1]), atol=atol))
+
+
+def subspace_principal_angles(e1: np.ndarray, e2: np.ndarray) -> np.ndarray:
+    """Principal angles (radians, ascending) between two column subspaces.
+
+    Both inputs must have orthonormal columns; use the cosines
+    ``sigma(E1^T E2)`` clipped into [0, 1].
+    """
+    for name, e in (("e1", e1), ("e2", e2)):
+        if not orthonormal_columns(e, atol=1e-6):
+            raise ValueError(f"{name} does not have orthonormal columns")
+    cosines = scipy.linalg.svd(e1.T @ e2, compute_uv=False)
+    return np.arccos(np.clip(cosines, 0.0, 1.0))[::-1]

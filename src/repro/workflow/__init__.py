@@ -1,0 +1,40 @@
+"""The ESSE many-task workflow implementations.
+
+This package reproduces the paper's Sec 4 -- the transformation of the
+serial ESSE job shepherd (Fig 3) into a decoupled many-task pipeline
+(Fig 4):
+
+- :mod:`~repro.workflow.statefiles` -- per-perturbation-index status files
+  carrying singleton exit codes (Sec 4.2 dependency tracking),
+- :mod:`~repro.workflow.covfile` -- the three-file covariance protocol
+  (safe file + alternating live pair) that decouples the differ from the
+  SVD without a race,
+- :mod:`~repro.workflow.serial` -- the serial implementation with its four
+  bottlenecks, instrumented so the benches can show them,
+- :mod:`~repro.workflow.parallel` -- the MTC implementation: a task pool of
+  size M >= N, a continuously running differ, a decoupled SVD/convergence
+  worker, cancellation of superfluous members and staged pool enlargement,
+- :mod:`~repro.workflow.policies` -- cancellation and deadline policies.
+"""
+
+from repro.workflow.statefiles import StatusDirectory, TaskStatus
+from repro.workflow.covfile import CovarianceFileSet
+from repro.workflow.policies import CancellationPolicy, DeadlinePolicy
+from repro.workflow.serial import SerialESSEWorkflow, SerialTimings
+from repro.workflow.parallel import ParallelESSEWorkflow, WorkflowEvent, WorkflowResult
+from repro.workflow.monitor import ProgressMonitor, ProgressReport
+
+__all__ = [
+    "StatusDirectory",
+    "TaskStatus",
+    "CovarianceFileSet",
+    "CancellationPolicy",
+    "DeadlinePolicy",
+    "SerialESSEWorkflow",
+    "SerialTimings",
+    "ParallelESSEWorkflow",
+    "WorkflowEvent",
+    "WorkflowResult",
+    "ProgressMonitor",
+    "ProgressReport",
+]

@@ -1,0 +1,113 @@
+"""The three-file covariance protocol.
+
+Paper Sec 4.1: "To fully decouple the loops without introducing a race
+condition on the covariance matrix file between its reading for the SVD and
+its writing by diff, we employ three files, a safe one for SVD to use and a
+live alternating pair for diff to write to, with the safe one being updated
+by the appropriate member of the pair."
+
+The differ alternates between ``live_a`` and ``live_b`` so one complete
+file always exists even while the other is mid-write; ``publish`` points
+the safe file at the most recent complete live file (atomic rename of a
+copy).  The SVD worker only ever reads the safe file, so it sees a
+consistent snapshot regardless of differ activity.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CovarianceSnapshot:
+    """One consistent snapshot of the anomaly matrix.
+
+    Attributes
+    ----------
+    anomalies:
+        Scaled anomaly matrix ``(n, N)`` (already /sqrt(N-1)).
+    member_ids:
+        Perturbation index of each column (the paper's bookkeeping).
+    version:
+        Monotone snapshot counter.
+    """
+
+    anomalies: np.ndarray
+    member_ids: np.ndarray
+    version: int
+
+    @property
+    def count(self) -> int:
+        """Number of member columns in the snapshot."""
+        return int(self.member_ids.size)
+
+
+class CovarianceFileSet:
+    """Safe/live-pair covariance files in a working directory."""
+
+    def __init__(self, workdir: str | Path):
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.live_paths = (
+            self.workdir / "cov_live_a.npz",
+            self.workdir / "cov_live_b.npz",
+        )
+        self.safe_path = self.workdir / "cov_safe.npz"
+        self._next_live = 0
+        self._version = 0
+        self._last_complete: Path | None = None
+
+    # -- differ side ---------------------------------------------------------
+
+    def write_live(self, anomalies: np.ndarray, member_ids: list[int]) -> Path:
+        """Write the current matrix to the next live file (alternating)."""
+        anomalies = np.asarray(anomalies)
+        ids = np.asarray(member_ids, dtype=np.int64)
+        if anomalies.ndim != 2 or anomalies.shape[1] != ids.size:
+            raise ValueError(
+                f"anomalies {anomalies.shape} inconsistent with {ids.size} member ids"
+            )
+        target = self.live_paths[self._next_live]
+        self._next_live = 1 - self._next_live
+        self._version += 1
+        tmp = target.with_suffix(".tmp.npz")
+        np.savez(tmp, anomalies=anomalies, member_ids=ids, version=self._version)
+        os.replace(tmp, target)
+        self._last_complete = target
+        return target
+
+    def publish(self) -> bool:
+        """Update the safe file from the latest complete live file.
+
+        Returns False when there is nothing to publish yet.
+        """
+        if self._last_complete is None:
+            return False
+        tmp = self.safe_path.with_suffix(".tmp.npz")
+        shutil.copyfile(self._last_complete, tmp)
+        os.replace(tmp, self.safe_path)
+        return True
+
+    # -- SVD side ----------------------------------------------------------------
+
+    def read_safe(self) -> CovarianceSnapshot | None:
+        """Read the safe snapshot (None before the first publish)."""
+        try:
+            with np.load(self.safe_path) as data:
+                return CovarianceSnapshot(
+                    anomalies=data["anomalies"],
+                    member_ids=data["member_ids"],
+                    version=int(data["version"]),
+                )
+        except FileNotFoundError:
+            return None
+
+    def cleanup(self) -> None:
+        """Remove all protocol files (end-of-run cleanup, Sec 4.2)."""
+        for path in (*self.live_paths, self.safe_path):
+            path.unlink(missing_ok=True)

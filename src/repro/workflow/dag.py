@@ -1,0 +1,139 @@
+"""The ESSE task graph and its critical-path analysis.
+
+Figs 3 and 4 of the paper are dataflow graphs; this module builds them
+explicitly (as networkx DAGs) and computes the quantities the paper argues
+about qualitatively:
+
+- the *critical path* (the minimum possible makespan given unlimited
+  workers),
+- the *total work* (the serial makespan),
+- the *average parallelism* (work / span) -- how many workers the workflow
+  can actually use,
+
+for both the serial shepherd's structure (barriers between the
+perturb/forecast loop, the diff loop and the SVD) and the decoupled MTC
+pipeline (per-member chains meeting only at the final SVD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.sched.cluster import reference_task_times
+
+
+@dataclass(frozen=True)
+class DagAnalysis:
+    """Work/span analysis of one workflow graph."""
+
+    total_work: float  # sum of all task durations (1-worker makespan)
+    critical_path: float  # span: unlimited-worker makespan
+    node_count: int
+
+    @property
+    def average_parallelism(self) -> float:
+        """Work / span: the useful worker count."""
+        return self.total_work / self.critical_path if self.critical_path else 0.0
+
+    def makespan_lower_bound(self, workers: int) -> float:
+        """Brent's bound: max(span, work / workers)."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        return max(self.critical_path, self.total_work / workers)
+
+
+def _weighted(graph: nx.DiGraph, durations: dict[str, float]) -> nx.DiGraph:
+    for node, data in graph.nodes(data=True):
+        kind = data["kind"]
+        if kind not in durations:
+            raise KeyError(f"no duration for task kind {kind!r}")
+        data["duration"] = durations[kind]
+    return graph
+
+
+def build_serial_esse_dag(n_members: int) -> nx.DiGraph:
+    """Fig 3: barriers serialize the three loops.
+
+    pert_i -> pemodel_i for each member; every pemodel feeds a *serial
+    chain* of diff tasks (same-file bottleneck), which feeds the SVD, then
+    the convergence test.
+    """
+    if n_members < 1:
+        raise ValueError("n_members must be >= 1")
+    g = nx.DiGraph()
+    previous_diff = None
+    for i in range(n_members):
+        g.add_node(f"pert/{i}", kind="pert")
+        g.add_node(f"pemodel/{i}", kind="pemodel")
+        g.add_edge(f"pert/{i}", f"pemodel/{i}")
+        g.add_node(f"diff/{i}", kind="diff")
+        # bottleneck 2: diffs write one shared file, in order
+        if previous_diff is not None:
+            g.add_edge(previous_diff, f"diff/{i}")
+        previous_diff = f"diff/{i}"
+    # bottleneck 1: every pemodel precedes the first diff (loop barrier)
+    for j in range(n_members):
+        g.add_edge(f"pemodel/{j}", "diff/0")
+    g.add_node("svd", kind="svd")
+    g.add_edge(previous_diff, "svd")
+    g.add_node("conv", kind="conv")
+    g.add_edge("svd", "conv")
+    return g
+
+
+def build_parallel_esse_dag(n_members: int) -> nx.DiGraph:
+    """Fig 4: per-member chains pert_i -> pemodel_i -> diff_i, meeting only
+    at the (final) SVD; the differ runs continuously so diffs are
+    independent of each other."""
+    if n_members < 1:
+        raise ValueError("n_members must be >= 1")
+    g = nx.DiGraph()
+    g.add_node("svd", kind="svd")
+    g.add_node("conv", kind="conv")
+    g.add_edge("svd", "conv")
+    for i in range(n_members):
+        g.add_node(f"pert/{i}", kind="pert")
+        g.add_node(f"pemodel/{i}", kind="pemodel")
+        g.add_node(f"diff/{i}", kind="diff")
+        g.add_edge(f"pert/{i}", f"pemodel/{i}")
+        g.add_edge(f"pemodel/{i}", f"diff/{i}")
+        g.add_edge(f"diff/{i}", "svd")
+    return g
+
+
+def analyse(graph: nx.DiGraph, durations: dict[str, float] | None = None) -> DagAnalysis:
+    """Work/span analysis with per-kind task durations.
+
+    Default durations: the paper's measured pert/pemodel times plus
+    nominal diff (2 s), svd (120 s) and conv (1 s) costs.
+    """
+    if durations is None:
+        durations = dict(reference_task_times())
+        durations.setdefault("diff", 2.0)
+        durations.setdefault("svd", 120.0)
+        durations.setdefault("conv", 1.0)
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("workflow graph must be acyclic")
+    weighted = _weighted(graph, durations)
+    total = sum(data["duration"] for _, data in weighted.nodes(data=True))
+    # longest path by node duration: accumulate via topological order
+    longest: dict[str, float] = {}
+    for node in nx.topological_sort(weighted):
+        duration = weighted.nodes[node]["duration"]
+        incoming = [
+            longest[pred] for pred in weighted.predecessors(node)
+        ]
+        longest[node] = duration + (max(incoming) if incoming else 0.0)
+    span = max(longest.values())
+    return DagAnalysis(
+        total_work=total, critical_path=span, node_count=weighted.number_of_nodes()
+    )
+
+
+def esse_speedup_bound(n_members: int, workers: int) -> float:
+    """Theoretical Fig4/Fig3 speedup at a given worker count."""
+    serial = analyse(build_serial_esse_dag(n_members))
+    parallel = analyse(build_parallel_esse_dag(n_members))
+    return serial.total_work / parallel.makespan_lower_bound(workers)

@@ -1,0 +1,128 @@
+"""Progress monitoring from the shared status directory.
+
+Paper Sec 5.3.1: remote submission "gives no easy way for the user to
+monitor the progress of one's jobs (other than to try to monitor the
+contents of the submission/completion directories)".  Since those
+per-index status files are exactly what :class:`StatusDirectory` manages,
+this module makes that monitoring first-class: progress counts, throughput
+and an ETA computed from the directory alone -- no scheduler access needed,
+which is the point for jobs scattered across Grid sites.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.workflow.statefiles import StatusDirectory, TaskStatus
+
+
+@dataclass(frozen=True)
+class ProgressReport:
+    """Snapshot of one task kind's progress."""
+
+    kind: str
+    expected: int
+    succeeded: int
+    failed: int
+    cancelled: int
+    throughput_per_minute: float  # completions/minute since monitoring began
+    eta_seconds: float | None  # None until throughput is measurable
+
+    @property
+    def reported(self) -> int:
+        """Tasks that wrote any status."""
+        return self.succeeded + self.failed + self.cancelled
+
+    @property
+    def pending(self) -> int:
+        """Tasks still unreported."""
+        return max(self.expected - self.reported, 0)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every expected task has reported."""
+        return self.reported >= self.expected
+
+    def render(self) -> str:
+        """One human-readable progress line."""
+        pct = 100.0 * self.reported / self.expected if self.expected else 100.0
+        eta = (
+            f", ETA {self.eta_seconds / 60.0:.1f} min"
+            if self.eta_seconds is not None
+            else ""
+        )
+        return (
+            f"{self.kind}: {self.reported}/{self.expected} ({pct:.0f}%) "
+            f"[ok {self.succeeded}, failed {self.failed}, "
+            f"cancelled {self.cancelled}]{eta}"
+        )
+
+
+class ProgressMonitor:
+    """Tracks completion of an expected task set via status files.
+
+    Parameters
+    ----------
+    status:
+        The shared status directory.
+    expected:
+        Mapping of task kind -> expected count (e.g. ``{"pemodel": 600}``).
+    clock:
+        Time source (injectable for tests); defaults to
+        :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        status: StatusDirectory,
+        expected: dict[str, int],
+        clock=time.monotonic,
+    ):
+        if not expected:
+            raise ValueError("expected task counts must be non-empty")
+        for kind, count in expected.items():
+            if count < 1:
+                raise ValueError(f"expected count for {kind!r} must be >= 1")
+        self.status = status
+        self.expected = dict(expected)
+        self._clock = clock
+        self._t0 = clock()
+        self._baseline = {
+            kind: len(status.completed_indices(kind)) for kind in expected
+        }
+
+    def report(self, kind: str) -> ProgressReport:
+        """Progress snapshot for one task kind."""
+        if kind not in self.expected:
+            raise KeyError(f"unknown kind {kind!r}; expected {sorted(self.expected)}")
+        statuses = self.status.completed_indices(kind)
+        succeeded = sum(1 for s in statuses.values() if s == TaskStatus.SUCCESS)
+        failed = sum(1 for s in statuses.values() if s == TaskStatus.MODEL_FAILURE)
+        failed += sum(1 for s in statuses.values() if s == TaskStatus.IO_FAILURE)
+        cancelled = sum(1 for s in statuses.values() if s == TaskStatus.CANCELLED)
+
+        elapsed = max(self._clock() - self._t0, 1e-9)
+        new_since_start = len(statuses) - self._baseline[kind]
+        rate = 60.0 * new_since_start / elapsed
+        remaining = max(self.expected[kind] - len(statuses), 0)
+        eta = (60.0 * remaining / rate) if rate > 0 and remaining > 0 else (
+            0.0 if remaining == 0 else None
+        )
+        return ProgressReport(
+            kind=kind,
+            expected=self.expected[kind],
+            succeeded=succeeded,
+            failed=failed,
+            cancelled=cancelled,
+            throughput_per_minute=rate,
+            eta_seconds=eta,
+        )
+
+    def reports(self) -> list[ProgressReport]:
+        """Snapshots for every expected kind."""
+        return [self.report(kind) for kind in self.expected]
+
+    def all_complete(self) -> bool:
+        """Whether every expected task of every kind has reported."""
+        return all(r.complete for r in self.reports())

@@ -1,0 +1,464 @@
+"""The parallel (many-task) ESSE workflow -- paper Fig 4.
+
+The serial shepherd's loops are decoupled into concurrently running
+components:
+
+- a *pool* of member tasks of size M >= N executed by a worker pool
+  ("these calculations can be done concurrently on different machines, as
+  there is no actual serial dependence in the forecasting loop");
+- a continuously running *differ* that consumes finished members in
+  completion order (not index order) and appends them to the covariance
+  matrix, tracking which perturbation index each column came from;
+- a decoupled *SVD/convergence worker* that reads consistent snapshots via
+  the three-file protocol "using the latest result available from the diff
+  loop", checking whenever "a multiple of a set number of realizations has
+  finished";
+- *cancellation*: on convergence the remaining members are cancelled per
+  policy, and on failure near the pool size the pool is enlarged in stages
+  "to make sure that there is no point during this process where the
+  pipeline of results drains".
+
+Every component appends to a shared event log, from which the Fig 4 bench
+derives phase overlap and speedup versus the serial implementation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.covariance import AnomalyAccumulator
+from repro.core.driver import ESSEConfig
+from repro.core.ensemble import EnsembleRunner
+from repro.core.subspace import ErrorSubspace
+from repro.workflow.covfile import CovarianceFileSet
+from repro.workflow.policies import CancellationPolicy
+from repro.workflow.statefiles import StatusDirectory, TaskStatus
+
+
+@dataclass(frozen=True)
+class WorkflowEvent:
+    """One timestamped event in the run (seconds since workflow start)."""
+
+    time: float
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of the parallel ESSE workflow."""
+
+    subspace: ErrorSubspace
+    ensemble_size: int  # members actually in the final covariance
+    converged: bool
+    convergence_history: tuple[tuple[int, float], ...]
+    events: tuple[WorkflowEvent, ...]
+    n_completed: int
+    n_failed: int
+    n_cancelled: int
+    wall_seconds: float
+    member_ids: tuple[int, ...]
+
+    def events_of(self, kind: str) -> list[WorkflowEvent]:
+        """All events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def overlap_fraction(self) -> float:
+        """Fraction of diff activity overlapping the forecast phase.
+
+        In the serial implementation this is 0 by construction; the MTC
+        pipeline should push it toward 1.
+        """
+        members = self.events_of("member_done")
+        diffs = self.events_of("diff_added")
+        if not members or not diffs:
+            return 0.0
+        last_member = members[-1].time
+        overlapping = sum(1 for e in diffs if e.time <= last_member)
+        return overlapping / len(diffs)
+
+
+# -- process-pool plumbing ----------------------------------------------------
+#
+# Remote execution hosts in the paper write their outputs and status files
+# to a shared filesystem; the differ on the master consumes them.  With a
+# process pool we mirror that: workers receive the runner/state once via
+# the initializer, write member files + status records themselves, and
+# return only (index, ok).
+
+_WORKER_CTX: dict = {}
+
+
+def _process_worker_init(payload: bytes) -> None:
+    _WORKER_CTX.update(pickle.loads(payload))
+
+
+def _process_member_task(index: int) -> tuple[int, bool, str | None]:
+    runner: EnsembleRunner = _WORKER_CTX["runner"]
+    mean_state = _WORKER_CTX["mean_state"]
+    members_dir = Path(_WORKER_CTX["members_dir"])
+    status = StatusDirectory(_WORKER_CTX["status_dir"])
+    result = runner.run_member(mean_state, index)
+    if result.ok:
+        path = members_dir / f"forecast_{index:05d}.npz"
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(tmp, forecast=result.forecast)
+        tmp.replace(path)
+        status.write("pemodel", index, TaskStatus.SUCCESS)
+        return index, True, None
+    status.write("pemodel", index, TaskStatus.MODEL_FAILURE)
+    return index, False, result.error
+
+
+class ParallelESSEWorkflow:
+    """Fig 4: pool + continuous differ + decoupled SVD/convergence.
+
+    Parameters
+    ----------
+    runner:
+        Ensemble runner shared by all members.
+    config:
+        ESSE sizing/convergence configuration; stage sizes double as the
+        SVD checkpoints.
+    workdir:
+        Shared working directory (member files, status files, covariance
+        protocol files).
+    n_workers:
+        Worker pool width.
+    cancellation:
+        Policy applied to in-flight members on convergence.
+    use_processes:
+        Run members in a process pool (true parallelism) instead of
+        threads.  Threads are the default: cheap, and sufficient for the
+        correctness-level tests.
+    poll_interval:
+        Differ/SVD thread polling period (s).
+    pool_margin:
+        The task pool stays this factor ahead of the next SVD checkpoint
+        so the pipeline never drains.
+    """
+
+    def __init__(
+        self,
+        runner: EnsembleRunner,
+        config: ESSEConfig,
+        workdir: str | Path,
+        n_workers: int = 4,
+        cancellation: CancellationPolicy = CancellationPolicy.DRAIN_RUNNING,
+        use_processes: bool = False,
+        poll_interval: float = 0.005,
+        pool_margin: float = 1.5,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if pool_margin < 1.0:
+            raise ValueError("pool_margin must be >= 1")
+        self.runner = runner
+        self.config = config
+        self.workdir = Path(workdir)
+        self.members_dir = self.workdir / "members"
+        self.members_dir.mkdir(parents=True, exist_ok=True)
+        self.status = StatusDirectory(self.workdir / "status")
+        self.covset = CovarianceFileSet(self.workdir)
+        self.n_workers = n_workers
+        self.cancellation = cancellation
+        self.use_processes = use_processes
+        self.poll_interval = poll_interval
+        self.pool_margin = pool_margin
+
+        self._events: list[WorkflowEvent] = []
+        self._events_lock = threading.Lock()
+        self._t0 = 0.0
+
+    # -- event log ---------------------------------------------------------
+
+    def _log(self, kind: str, detail: str = "") -> None:
+        with self._events_lock:
+            self._events.append(
+                WorkflowEvent(time.perf_counter() - self._t0, kind=kind, detail=detail)
+            )
+
+    # -- component threads ----------------------------------------------------
+
+    def _differ_loop(
+        self,
+        accumulator: AnomalyAccumulator,
+        stop: threading.Event,
+        acc_lock: threading.Lock,
+    ) -> None:
+        """Continuously fold finished members into the covariance files."""
+        while True:
+            new_any = False
+            for index in self.status.successful_indices("pemodel"):
+                with acc_lock:
+                    if accumulator.has_member(index):
+                        continue
+                path = self.members_dir / f"forecast_{index:05d}.npz"
+                try:
+                    with np.load(path) as data:
+                        forecast = data["forecast"].copy()
+                except (FileNotFoundError, OSError):
+                    continue  # status visible before file: retry next sweep
+                with acc_lock:
+                    if accumulator.has_member(index):
+                        continue
+                    accumulator.add_member(index, forecast)
+                    count = accumulator.count
+                    matrix = accumulator.matrix() if count >= 2 else None
+                    ids = list(accumulator.member_ids)
+                self._log("diff_added", f"member={index} count={count}")
+                if matrix is not None:
+                    self.covset.write_live(matrix, ids)
+                    self.covset.publish()
+                    self._log("publish", f"count={count}")
+                new_any = True
+            if stop.is_set() and not new_any:
+                return
+            if not new_any:
+                time.sleep(self.poll_interval)
+
+    def _svd_loop(
+        self,
+        criterion: ConvergenceCriterion,
+        checkpoints: list[int],
+        converged: threading.Event,
+        stop: threading.Event,
+        out: dict,
+    ) -> None:
+        """Continuously SVD the safe snapshot at ensemble-size checkpoints."""
+        next_cp = 0
+        last_version = -1
+        while not stop.is_set() and not converged.is_set():
+            snap = self.covset.read_safe()
+            if snap is None or snap.version == last_version:
+                time.sleep(self.poll_interval)
+                continue
+            last_version = snap.version
+            if next_cp >= len(checkpoints) or snap.count < checkpoints[next_cp]:
+                continue
+            next_cp += 1
+            self._log("svd_start", f"count={snap.count}")
+            subspace = ErrorSubspace.from_anomalies(
+                snap.anomalies,
+                rank=self.config.max_subspace_rank,
+                energy=self.config.svd_energy,
+            )
+            rho = criterion.update(subspace)
+            out["subspace"] = subspace
+            out["count"] = snap.count
+            self._log(
+                "svd_done",
+                f"count={snap.count} rank={subspace.rank}"
+                + (f" rho={rho:.4f}" if rho is not None else ""),
+            )
+            if criterion.converged:
+                self._log("converged", f"count={snap.count}")
+                converged.set()
+                return
+
+    # -- main -------------------------------------------------------------------
+
+    def _make_executor(self, mean_state):
+        if self.use_processes:
+            payload = pickle.dumps(
+                {
+                    "runner": self.runner,
+                    "mean_state": mean_state,
+                    "members_dir": str(self.members_dir),
+                    "status_dir": str(self.workdir / "status"),
+                }
+            )
+            return ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_process_worker_init,
+                initargs=(payload,),
+            )
+        return ThreadPoolExecutor(max_workers=self.n_workers)
+
+    def _submit(self, executor, mean_state, index: int) -> Future:
+        if self.use_processes:
+            return executor.submit(_process_member_task, index)
+
+        def task(idx=index):
+            result = self.runner.run_member(mean_state, idx)
+            if result.ok:
+                path = self.members_dir / f"forecast_{idx:05d}.npz"
+                tmp = path.with_suffix(".tmp.npz")
+                np.savez(tmp, forecast=result.forecast)
+                tmp.replace(path)
+                self.status.write("pemodel", idx, TaskStatus.SUCCESS)
+                return idx, True, None
+            self.status.write("pemodel", idx, TaskStatus.MODEL_FAILURE)
+            return idx, False, result.error
+
+        return executor.submit(task)
+
+    def run(self, mean_state) -> WorkflowResult:
+        """Execute the many-task pipeline until convergence/Nmax/Tmax."""
+        cfg = self.config
+        self._events = []
+        self._t0 = time.perf_counter()
+        started = self._t0
+
+        central = self.runner.central_forecast(mean_state)
+        self._log("central_done")
+        accumulator = AnomalyAccumulator(
+            self.runner.model.layout, self.runner.model.to_vector(central)
+        )
+        criterion = ConvergenceCriterion(tolerance=cfg.convergence_tolerance)
+        checkpoints = cfg.stage_sizes()
+
+        stop = threading.Event()
+        converged = threading.Event()
+        acc_lock = threading.Lock()
+        svd_out: dict = {}
+
+        thread_errors: list[BaseException] = []
+
+        def guarded(target, *args):
+            def body():
+                try:
+                    target(*args)
+                except BaseException as exc:  # surface in the main thread
+                    thread_errors.append(exc)
+                    stop.set()
+                    converged.set()  # unblock the main loop
+
+            return body
+
+        differ = threading.Thread(
+            target=guarded(self._differ_loop, accumulator, stop, acc_lock),
+            name="esse-differ",
+        )
+        svd_worker = threading.Thread(
+            target=guarded(
+                self._svd_loop, criterion, checkpoints, converged, stop, svd_out
+            ),
+            name="esse-svd",
+        )
+        differ.start()
+        svd_worker.start()
+
+        futures: dict[int, Future] = {}
+        n_cancelled = 0
+        try:
+            with self._make_executor(mean_state) as executor:
+                pool_target = min(
+                    int(np.ceil(checkpoints[0] * self.pool_margin)),
+                    cfg.max_ensemble_size,
+                )
+                next_index = 0
+                seen_done: set[int] = set()
+
+                def extend_pool(target: int):
+                    nonlocal next_index
+                    while next_index < target:
+                        futures[next_index] = self._submit(
+                            executor, mean_state, next_index
+                        )
+                        next_index += 1
+
+                def observe_done() -> int:
+                    for idx, f in futures.items():
+                        if idx not in seen_done and f.done() and not f.cancelled():
+                            seen_done.add(idx)
+                            self._log("member_done", f"member={idx}")
+                    return len(seen_done)
+
+                extend_pool(pool_target)
+                self._log("pool", f"size={pool_target}")
+
+                while not converged.is_set():
+                    reached = observe_done()
+                    # keep the pool ahead of the next unreached checkpoint
+                    pending_cp = [c for c in checkpoints if c > reached]
+                    if pending_cp and next_index < cfg.max_ensemble_size:
+                        want = min(
+                            int(np.ceil(pending_cp[0] * self.pool_margin)),
+                            cfg.max_ensemble_size,
+                        )
+                        if want > next_index:
+                            extend_pool(want)
+                            self._log("enlarge", f"size={next_index}")
+                    if all(f.done() for f in futures.values()) and (
+                        next_index >= cfg.max_ensemble_size
+                    ):
+                        break  # Nmax exhausted without convergence
+                    if cfg.deadline_seconds is not None and (
+                        time.perf_counter() - started > cfg.deadline_seconds
+                    ):
+                        self._log("deadline")
+                        break
+                    time.sleep(self.poll_interval)
+
+                # Cancellation of superfluous members (queued and/or running)
+                for idx, f in futures.items():
+                    if f.cancel():
+                        n_cancelled += 1
+                        self.status.write("pemodel", idx, TaskStatus.CANCELLED)
+                        self._log("cancel", f"member={idx}")
+                if self.cancellation is not CancellationPolicy.IMMEDIATE:
+                    # drain: let running members finish and be diffed
+                    for f in futures.values():
+                        if not f.cancelled():
+                            try:
+                                f.result()
+                            except Exception:
+                                pass  # counted from the status directory
+                    observe_done()
+        finally:
+            # let the differ fold in any drained results, then stop workers
+            stop.set()
+            differ.join()
+            svd_worker.join()
+        if thread_errors:
+            raise RuntimeError(
+                f"workflow component thread failed: {thread_errors[0]!r}"
+            ) from thread_errors[0]
+
+        # Final SVD over everything available ("another SVD calculation is
+        # performed and all available results are used") unless IMMEDIATE.
+        with acc_lock:
+            final_count = accumulator.count
+        if final_count >= 2 and (
+            self.cancellation is not CancellationPolicy.IMMEDIATE
+            and final_count > svd_out.get("count", 0)
+        ):
+            with acc_lock:
+                matrix = accumulator.matrix()
+            subspace = ErrorSubspace.from_anomalies(
+                matrix, rank=cfg.max_subspace_rank, energy=cfg.svd_energy
+            )
+            criterion.update(subspace)
+            svd_out["subspace"] = subspace
+            svd_out["count"] = final_count
+            self._log("final_svd", f"count={final_count}")
+
+        if "subspace" not in svd_out:
+            raise RuntimeError("parallel workflow finished without a subspace")
+
+        statuses = self.status.completed_indices("pemodel")
+        n_completed = sum(1 for s in statuses.values() if s == TaskStatus.SUCCESS)
+        n_failed = sum(1 for s in statuses.values() if s == TaskStatus.MODEL_FAILURE)
+        with acc_lock:
+            member_ids = accumulator.member_ids
+        return WorkflowResult(
+            subspace=svd_out["subspace"],
+            ensemble_size=svd_out["count"],
+            converged=converged.is_set() or criterion.converged,
+            convergence_history=tuple(criterion.history),
+            events=tuple(self._events),
+            n_completed=n_completed,
+            n_failed=n_failed,
+            n_cancelled=n_cancelled,
+            wall_seconds=time.perf_counter() - started,
+            member_ids=member_ids,
+        )

@@ -1,0 +1,130 @@
+"""Per-perturbation-index status files.
+
+Paper Sec 4.2: "Dependencies are tracked using separate (per perturbation
+index) files containing the error codes of the singleton scripts (which are
+set on purpose to signify success or failure).  These files reside in
+directories accessible directly or indirectly from all execution hosts so
+that state information can be readily shared."
+
+The same mechanism enables restart: a stopped ESSE run is resumed by
+scanning which indices already completed and submitting only the rest.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from enum import IntEnum
+from pathlib import Path
+
+
+class TaskStatus(IntEnum):
+    """Singleton exit codes (0 success, >0 failure classes)."""
+
+    SUCCESS = 0
+    MODEL_FAILURE = 1  # blow-up / numerical failure (tolerated)
+    CANCELLED = 2  # superfluous member cancelled on convergence
+    IO_FAILURE = 3  # could not read inputs / write outputs
+
+
+@dataclass(frozen=True)
+class StatusRecord:
+    """One task's recorded outcome."""
+
+    kind: str
+    index: int
+    status: TaskStatus
+
+
+class StatusDirectory:
+    """A shared directory of ``<kind>.<index>.status`` files.
+
+    Parameters
+    ----------
+    root:
+        Directory path; created on first use.
+
+    Notes
+    -----
+    Writes are atomic (tmp + rename) so concurrent readers on "all
+    execution hosts" never observe a torn file.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, kind: str, index: int) -> Path:
+        if not kind or "." in kind or "/" in kind:
+            raise ValueError(f"invalid task kind {kind!r}")
+        if index < 0:
+            raise ValueError(f"invalid task index {index}")
+        return self.root / f"{kind}.{index}.status"
+
+    def write(self, kind: str, index: int, status: TaskStatus | int) -> None:
+        """Record a singleton's exit code (atomic)."""
+        status = TaskStatus(status)
+        path = self._path(kind, index)
+        tmp = path.with_suffix(".status.tmp")
+        tmp.write_text(f"{int(status)}\n")
+        os.replace(tmp, path)
+
+    def read(self, kind: str, index: int) -> TaskStatus | None:
+        """The recorded status, or None if the task has not reported."""
+        path = self._path(kind, index)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        return TaskStatus(int(text.strip()))
+
+    def is_done(self, kind: str, index: int) -> bool:
+        """Whether the task reported (any exit code)."""
+        return self.read(kind, index) is not None
+
+    def succeeded(self, kind: str, index: int) -> bool:
+        """Whether the task reported success."""
+        return self.read(kind, index) == TaskStatus.SUCCESS
+
+    def completed_indices(self, kind: str) -> dict[int, TaskStatus]:
+        """All reported indices of a kind -> status (one directory scan)."""
+        out: dict[int, TaskStatus] = {}
+        prefix = f"{kind}."
+        for path in self.root.glob(f"{kind}.*.status"):
+            stem = path.name[len(prefix) : -len(".status")]
+            try:
+                index = int(stem)
+            except ValueError:
+                continue  # foreign file in a shared directory
+            try:
+                out[index] = TaskStatus(int(path.read_text().strip()))
+            except (ValueError, OSError):
+                continue  # torn/foreign content: treat as not reported
+        return out
+
+    def successful_indices(self, kind: str) -> list[int]:
+        """Sorted indices that reported success (restart bookkeeping)."""
+        return sorted(
+            idx
+            for idx, status in self.completed_indices(kind).items()
+            if status == TaskStatus.SUCCESS
+        )
+
+    def pending_indices(self, kind: str, universe: range) -> list[int]:
+        """Indices in ``universe`` that have not reported yet.
+
+        This is the restart path of Sec 4.2: "if the ESSE execution gets
+        stopped, it can only be restarted without rerunning all jobs" by
+        consulting these files.
+        """
+        done = self.completed_indices(kind)
+        return [i for i in universe if i not in done]
+
+    def clear(self, kind: str | None = None) -> int:
+        """Remove status files (all kinds by default); returns count."""
+        pattern = f"{kind}.*.status" if kind else "*.status"
+        removed = 0
+        for path in self.root.glob(pattern):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,82 @@
+"""Tests for coupled physical-acoustical assimilation (paper Sec 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.coupled import coupled_uncertainty_modes
+
+
+def coupled_twin(n=40, seed=0):
+    """Ensemble with a known shared factor: warm anomalies lower TL."""
+    rng = np.random.default_rng(seed)
+    shared = rng.standard_normal((n, 1, 1))
+    temps = 12.0 + shared * np.ones((1, 6, 5)) + 0.05 * rng.standard_normal((n, 6, 5))
+    tls = 80.0 - 4.0 * shared * np.ones((1, 4, 7)) + 0.2 * rng.standard_normal(
+        (n, 4, 7)
+    )
+    cov = coupled_uncertainty_modes(temps, tls)
+    # truth: one more draw from the same statistics
+    z = 1.3
+    truth_temp = 12.0 + z * np.ones((6, 5))
+    truth_tl = 80.0 - 4.0 * z * np.ones((4, 7))
+    prior_temp = np.full((6, 5), 12.0)  # ensemble mean as prior
+    prior_tl = np.full((4, 7), 80.0)
+    return cov, prior_temp, prior_tl, truth_temp, truth_tl
+
+
+class TestCoupledAssimilation:
+    def test_tl_data_corrects_temperature(self):
+        """Measuring TL at a few receivers must pull T toward the truth --
+        the cross-disciplinary transfer the paper describes."""
+        cov, pT, pA, tT, tA = coupled_twin()
+        idx = np.array([0, 9, 17])
+        obs = tA.ravel()[idx]  # perfect TL measurements
+        aT, aA = cov.assimilate(pT, pA, idx, obs, noise_std=0.1, block="tl")
+        err_prior = np.abs(pT - tT).mean()
+        err_post = np.abs(aT - tT).mean()
+        assert err_post < 0.5 * err_prior
+
+    def test_temperature_data_corrects_tl(self):
+        cov, pT, pA, tT, tA = coupled_twin()
+        idx = np.array([2, 11, 23])
+        obs = tT.ravel()[idx]
+        aT, aA = cov.assimilate(pT, pA, idx, obs, noise_std=0.05, block="temp")
+        assert np.abs(aA - tA).mean() < np.abs(pA - tA).mean()
+
+    def test_noisy_obs_update_weaker(self):
+        cov, pT, pA, tT, tA = coupled_twin()
+        idx = np.array([0, 9])
+        obs = tA.ravel()[idx]
+        sharp_T, _ = cov.assimilate(pT, pA, idx, obs, noise_std=0.05, block="tl")
+        dull_T, _ = cov.assimilate(pT, pA, idx, obs, noise_std=50.0, block="tl")
+        # huge noise -> nearly no increment
+        assert np.abs(dull_T - pT).max() < 0.1 * np.abs(sharp_T - pT).max()
+
+    def test_shapes_preserved(self):
+        cov, pT, pA, tT, tA = coupled_twin()
+        aT, aA = cov.assimilate(
+            pT, pA, np.array([0]), np.array([78.0]), noise_std=0.5
+        )
+        assert aT.shape == pT.shape
+        assert aA.shape == pA.shape
+
+    def test_validation(self):
+        cov, pT, pA, tT, tA = coupled_twin()
+        with pytest.raises(ValueError, match="noise_std"):
+            cov.assimilate(pT, pA, np.array([0]), np.array([1.0]), noise_std=0.0)
+        with pytest.raises(ValueError, match="block"):
+            cov.assimilate(
+                pT, pA, np.array([0]), np.array([1.0]), noise_std=1.0, block="x"
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            cov.assimilate(
+                pT, pA, np.array([10**6]), np.array([1.0]), noise_std=1.0
+            )
+        with pytest.raises(ValueError, match="matching"):
+            cov.assimilate(
+                pT, pA, np.array([0, 1]), np.array([1.0]), noise_std=1.0
+            )
+        with pytest.raises(ValueError, match="blocks"):
+            cov.assimilate(
+                np.zeros((2, 2)), pA, np.array([0]), np.array([1.0]), noise_std=1.0
+            )

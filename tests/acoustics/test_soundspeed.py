@@ -1,0 +1,78 @@
+"""Unit tests for the Mackenzie sound-speed equation."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.soundspeed import mackenzie_sound_speed, sound_speed_profile
+
+
+class TestMackenzie:
+    def test_reference_value(self):
+        """Mackenzie (1981) at T=10 degC, S=35 psu, D=1000 m.
+
+        Term-by-term hand evaluation of the published nine-term equation
+        gives 1506.26 m/s.
+        """
+        assert mackenzie_sound_speed(10.0, 35.0, 1000.0) == pytest.approx(
+            1506.26, abs=0.05
+        )
+
+    def test_surface_value(self):
+        assert mackenzie_sound_speed(10.0, 35.0, 0.0) == pytest.approx(1489.8, abs=0.2)
+
+    def test_increases_with_temperature(self):
+        c_cold = mackenzie_sound_speed(5.0, 34.0, 50.0)
+        c_warm = mackenzie_sound_speed(15.0, 34.0, 50.0)
+        assert c_warm > c_cold
+
+    def test_increases_with_depth(self):
+        c_shallow = mackenzie_sound_speed(8.0, 34.0, 10.0)
+        c_deep = mackenzie_sound_speed(8.0, 34.0, 2000.0)
+        assert c_deep > c_shallow
+
+    def test_increases_with_salinity(self):
+        assert mackenzie_sound_speed(8.0, 35.0, 10.0) > mackenzie_sound_speed(
+            8.0, 33.0, 10.0
+        )
+
+    def test_broadcasting(self):
+        t = np.array([5.0, 10.0, 15.0])
+        c = mackenzie_sound_speed(t, 34.0, 0.0)
+        assert c.shape == (3,)
+        assert np.all(np.diff(c) > 0)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError, match="depth"):
+            mackenzie_sound_speed(10.0, 35.0, -5.0)
+
+
+class TestProfile:
+    def test_column_shape(self):
+        z = np.array([5.0, 50.0, 200.0])
+        c = sound_speed_profile(
+            np.array([14.0, 10.0, 8.0]), np.array([33.5, 33.8, 34.1]), z
+        )
+        assert c.shape == (3,)
+
+    def test_section_broadcast(self):
+        z = np.array([5.0, 50.0, 200.0])
+        temp = np.tile(np.array([14.0, 10.0, 8.0])[:, None], (1, 7))
+        salt = np.full_like(temp, 34.0)
+        c = sound_speed_profile(temp, salt, z)
+        assert c.shape == (3, 7)
+        assert np.allclose(c[:, 0], c[:, 6])
+
+    def test_shape_mismatch(self):
+        z = np.array([5.0, 50.0])
+        with pytest.raises(ValueError, match="levels"):
+            sound_speed_profile(np.zeros(3), np.zeros(3), z)
+        with pytest.raises(ValueError, match="shapes differ"):
+            sound_speed_profile(np.zeros(2), np.zeros(3), z)
+
+    def test_typical_monterey_profile_has_thermocline_minimum_gradient(self):
+        """Warm surface over cold deep: sound speed decreases initially."""
+        z = np.linspace(0.0, 300.0, 31)
+        temp = 15.0 - 8.0 * (1.0 - np.exp(-z / 60.0))
+        salt = np.full_like(z, 33.8)
+        c = sound_speed_profile(temp, salt, z)
+        assert c[0] > c[10]  # downward-refracting upper ocean

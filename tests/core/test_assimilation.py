@@ -1,0 +1,202 @@
+"""Unit tests for the ESSE analysis update."""
+
+import numpy as np
+import pytest
+
+from repro.core.assimilation import ESSEAnalysis
+from repro.core.state import FieldLayout, FieldSpec
+from repro.core.subspace import ErrorSubspace
+from repro.obs.operators import Observation, ObservationOperator
+
+
+@pytest.fixture()
+def layout():
+    # one 1-scale field so normalized == physical, plus a scaled field
+    return FieldLayout(
+        [FieldSpec("a", (10,), scale=1.0), FieldSpec("b", (5,), scale=2.0)]
+    )
+
+
+def make_subspace(layout, p=4, seed=0, sigma0=1.0):
+    rng = np.random.default_rng(seed)
+    q, _ = np.linalg.qr(rng.standard_normal((layout.size, p)))
+    sigmas = sigma0 * np.linspace(1.0, 0.4, p)
+    return ErrorSubspace(modes=q, sigmas=sigmas, n_samples=50)
+
+
+def obs_at(layout, entries, noise_std=0.1):
+    """entries: list of (field, flat_index_in_field, value)."""
+    observations = []
+    for fieldname, flat, value in entries:
+        observations.append(
+            Observation(
+                field=fieldname, level=0, j=0, i=flat, value=value, noise_std=noise_std
+            )
+        )
+    return ObservationOperator(layout, observations)
+
+
+class TestMeanUpdate:
+    def test_moves_toward_observation(self, layout):
+        sub = make_subspace(layout)
+        analysis = ESSEAnalysis(layout)
+        x = np.zeros(layout.size)
+        op = obs_at(layout, [("a", 3, 2.0)])
+        result = analysis.update(x, sub, op)
+        assert 0.0 < result.mean[3] <= 2.0
+        assert result.analysis_rms <= result.innovation_rms
+
+    def test_zero_innovation_keeps_mean(self, layout):
+        sub = make_subspace(layout)
+        analysis = ESSEAnalysis(layout)
+        x = np.arange(layout.size, dtype=float)
+        op = obs_at(layout, [("a", 3, 3.0)])  # x[3] = 3 already
+        result = analysis.update(x, sub, op)
+        assert np.allclose(result.mean, x)
+
+    def test_small_noise_fits_observation(self, layout):
+        """With tiny R and large prior variance, the analysis ~ the data."""
+        sub = make_subspace(layout, sigma0=50.0)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 2, 1.5)], noise_std=1e-4)
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        assert result.mean[2] == pytest.approx(1.5, abs=0.05)
+
+    def test_large_noise_keeps_forecast(self, layout):
+        sub = make_subspace(layout, sigma0=0.01)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 2, 10.0)], noise_std=100.0)
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        assert abs(result.mean[2]) < 0.01
+
+    def test_update_confined_to_subspace(self, layout):
+        """The increment must lie in span(D E)."""
+        sub = make_subspace(layout, p=2)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 0, 5.0), ("b", 1, 1.0)])
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        incr_norm = layout.normalize(result.mean)  # increment, normalized
+        # project out the subspace; the residual must vanish
+        residual = incr_norm - sub.modes @ (sub.modes.T @ incr_norm)
+        assert np.linalg.norm(residual) < 1e-10 * max(np.linalg.norm(incr_norm), 1)
+
+    def test_matches_dense_kalman_formula(self, layout):
+        """Woodbury path equals the textbook dense gain."""
+        sub = make_subspace(layout, p=3, seed=7)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 1, 1.0), ("a", 4, -2.0), ("b", 0, 0.5)])
+        x = np.zeros(layout.size)
+        result = analysis.update(x, sub, op)
+
+        d = np.asarray(layout.scales)
+        de = sub.modes * d[:, None]
+        p_dense = de @ np.diag(sub.variances) @ de.T
+        h_rows = np.zeros((op.size, layout.size))
+        for k, idx in enumerate(op.state_indices):
+            h_rows[k, idx] = 1.0
+        s = h_rows @ p_dense @ h_rows.T + np.diag(op.noise_var)
+        gain = p_dense @ h_rows.T @ np.linalg.inv(s)
+        expected = x + gain @ (op.values - h_rows @ x)
+        assert np.allclose(result.mean, expected, atol=1e-8)
+
+    def test_validation(self, layout):
+        analysis = ESSEAnalysis(layout)
+        sub = make_subspace(layout)
+        op = obs_at(layout, [("a", 0, 1.0)])
+        with pytest.raises(ValueError, match="forecast mean"):
+            analysis.update(np.zeros(3), sub, op)
+        with pytest.raises(ValueError, match="inflation"):
+            ESSEAnalysis(layout, inflation=0.5)
+
+
+class TestPosteriorSubspace:
+    def test_variance_never_increases(self, layout):
+        sub = make_subspace(layout)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 0, 1.0), ("a", 5, 0.0)])
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        assert result.subspace.total_variance <= sub.total_variance + 1e-12
+
+    def test_posterior_variance_reduced_in_observed_direction(self, layout):
+        sub = make_subspace(layout)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 0, 1.0)], noise_std=0.01)
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        e0 = np.zeros(layout.size)
+        e0[0] = 1.0
+        prior_var = e0 @ sub.covariance_action(e0)
+        post_var = e0 @ result.subspace.covariance_action(e0)
+        assert post_var < prior_var
+
+    def test_posterior_modes_orthonormal(self, layout):
+        sub = make_subspace(layout)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 0, 1.0), ("b", 2, 0.2)])
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        gram = result.subspace.modes.T @ result.subspace.modes
+        assert np.allclose(gram, np.eye(result.subspace.rank), atol=1e-10)
+
+    def test_unobserved_directions_untouched(self, layout):
+        """Modes orthogonal to all observed rows keep their variance."""
+        # Build a subspace with a mode that is zero at every observed index.
+        rng = np.random.default_rng(11)
+        m1 = np.zeros(layout.size)
+        m1[7] = 1.0  # unobserved direction
+        m2 = np.zeros(layout.size)
+        m2[0] = 1.0  # will be observed
+        sub = ErrorSubspace(
+            modes=np.stack([m2, m1], axis=1), sigmas=np.array([1.0, 0.5])
+        )
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 0, 1.0)], noise_std=0.01)
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        e7 = np.zeros(layout.size)
+        e7[7] = 1.0
+        post_var = e7 @ result.subspace.covariance_action(e7)
+        assert post_var == pytest.approx(0.25, rel=1e-6)
+
+    def test_zero_variance_modes_dropped(self, layout):
+        q, _ = np.linalg.qr(np.random.default_rng(0).standard_normal((layout.size, 3)))
+        sub = ErrorSubspace(modes=q, sigmas=np.array([1.0, 0.5, 0.0]))
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 0, 1.0)])
+        result = analysis.update(np.zeros(layout.size), sub, op)
+        assert result.subspace.rank <= 2
+
+    def test_empty_subspace_rejected(self, layout):
+        analysis = ESSEAnalysis(layout)
+        sub = ErrorSubspace(modes=np.zeros((layout.size, 0)), sigmas=np.zeros(0))
+        op = obs_at(layout, [("a", 0, 1.0)])
+        with pytest.raises(ValueError, match="empty subspace"):
+            analysis.update(np.zeros(layout.size), sub, op)
+
+
+class TestEnsembleUpdate:
+    def test_members_pulled_toward_observation(self, layout):
+        sub = make_subspace(layout, sigma0=10.0)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 3, 5.0)], noise_std=0.05)
+        rng = np.random.default_rng(0)
+        members = rng.standard_normal((20, layout.size))
+        updated = analysis.update_ensemble(members, sub, op, rng)
+        before = np.abs(members[:, 3] - 5.0).mean()
+        after = np.abs(updated[:, 3] - 5.0).mean()
+        assert after < before
+
+    def test_spread_reduced_at_observed_point(self, layout):
+        sub = make_subspace(layout, sigma0=10.0)
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 3, 0.0)], noise_std=0.1)
+        rng = np.random.default_rng(1)
+        members = 3.0 * rng.standard_normal((40, layout.size))
+        updated = analysis.update_ensemble(members, sub, op, rng)
+        assert updated[:, 3].std() < members[:, 3].std()
+
+    def test_shape_validation(self, layout):
+        analysis = ESSEAnalysis(layout)
+        sub = make_subspace(layout)
+        op = obs_at(layout, [("a", 0, 1.0)])
+        with pytest.raises(ValueError, match="members"):
+            analysis.update_ensemble(
+                np.zeros(layout.size), sub, op, np.random.default_rng(0)
+            )

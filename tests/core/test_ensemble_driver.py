@@ -1,0 +1,166 @@
+"""Tests for the ensemble runner and the ESSE driver (fast, tiny grids)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ESSEConfig,
+    ESSEDriver,
+    EnsembleRunner,
+    PerturbationGenerator,
+    synthetic_initial_subspace,
+)
+from repro.ocean import PEModel
+from repro.ocean.bathymetry import monterey_grid
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    grid = monterey_grid(nx=16, ny=14, nz=3)
+    model = PEModel(grid=grid)
+    background = model.run(model.rest_state(), 86400.0)
+    subspace = synthetic_initial_subspace(
+        model.layout, grid.shape2d, grid.nz, rank=8, seed=0
+    )
+    return model, background, subspace
+
+
+class TestEnsembleRunner:
+    def _runner(self, model, subspace, duration=4 * 400.0):
+        perturber = PerturbationGenerator(model.layout, subspace, root_seed=5)
+        return EnsembleRunner(model, perturber, duration, root_seed=5)
+
+    def test_central_forecast_advances_time(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        runner = self._runner(model, subspace)
+        central = runner.central_forecast(background)
+        assert central.time > background.time
+
+    def test_member_forecast_ok(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        runner = self._runner(model, subspace)
+        res = runner.run_member(background, 0)
+        assert res.ok
+        assert res.forecast.shape == (model.layout.size,)
+
+    def test_members_distinct_from_central(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        runner = self._runner(model, subspace)
+        central = model.to_vector(runner.central_forecast(background))
+        res = runner.run_member(background, 0)
+        assert not np.allclose(res.forecast, central)
+
+    def test_member_reproducible(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        a = self._runner(model, subspace).run_member(background, 3)
+        b = self._runner(model, subspace).run_member(background, 3)
+        assert np.array_equal(a.forecast, b.forecast)
+
+    def test_failure_captured_not_raised(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        runner = self._runner(model, subspace)
+        bad = background.copy()
+        bad.u = model.grid.apply_mask(np.full(model.grid.shape2d, np.nan))
+        res = runner.run_member(bad, 0)
+        assert not res.ok
+        assert "FloatingPointError" in res.error
+
+    def test_run_members_batch(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        runner = self._runner(model, subspace)
+        results = runner.run_members(background, [0, 1, 2])
+        assert [r.member_index for r in results] == [0, 1, 2]
+        assert all(r.ok for r in results)
+
+    def test_duration_validation(self, tiny_setup):
+        model, _, subspace = tiny_setup
+        perturber = PerturbationGenerator(model.layout, subspace, root_seed=5)
+        with pytest.raises(ValueError, match="duration"):
+            EnsembleRunner(model, perturber, 0.0, root_seed=5)
+
+
+class TestESSEConfig:
+    def test_stage_sizes_geometric(self):
+        cfg = ESSEConfig(initial_ensemble_size=10, growth_factor=2.0, max_ensemble_size=50)
+        assert cfg.stage_sizes() == [10, 20, 40, 50]
+
+    def test_single_stage_when_initial_is_max(self):
+        cfg = ESSEConfig(initial_ensemble_size=16, max_ensemble_size=16)
+        assert cfg.stage_sizes() == [16]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ESSEConfig(initial_ensemble_size=1)
+        with pytest.raises(ValueError):
+            ESSEConfig(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            ESSEConfig(initial_ensemble_size=20, max_ensemble_size=10)
+        with pytest.raises(ValueError):
+            ESSEConfig(max_subspace_rank=0)
+
+
+class TestDriver:
+    def test_forecast_produces_subspace(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        driver = ESSEDriver(
+            model,
+            ESSEConfig(
+                initial_ensemble_size=4,
+                max_ensemble_size=8,
+                convergence_tolerance=0.5,
+                max_subspace_rank=6,
+            ),
+            root_seed=1,
+        )
+        fc = driver.forecast(background, subspace, duration=4 * 400.0)
+        assert fc.ensemble_size >= 4
+        assert fc.subspace.rank <= 6
+        assert fc.member_forecasts.shape[0] == fc.ensemble_size
+        assert fc.wall_seconds > 0
+
+    def test_convergence_stops_growth(self, tiny_setup):
+        """A loose tolerance converges at the first comparison (N=8)."""
+        model, background, subspace = tiny_setup
+        driver = ESSEDriver(
+            model,
+            ESSEConfig(
+                initial_ensemble_size=4,
+                max_ensemble_size=64,
+                convergence_tolerance=0.05,
+            ),
+            root_seed=1,
+        )
+        fc = driver.forecast(background, subspace, duration=2 * 400.0)
+        assert fc.converged
+        assert fc.ensemble_size == 8  # stopped after the second stage
+
+    def test_deadline_stops_growth(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        driver = ESSEDriver(
+            model,
+            ESSEConfig(
+                initial_ensemble_size=4,
+                max_ensemble_size=512,
+                convergence_tolerance=1.0,
+                deadline_seconds=0.0,  # expire immediately after stage 1
+            ),
+            root_seed=1,
+        )
+        fc = driver.forecast(background, subspace, duration=2 * 400.0)
+        assert not fc.converged
+        assert fc.ensemble_size <= 8
+
+    def test_history_grows_with_stages(self, tiny_setup):
+        model, background, subspace = tiny_setup
+        driver = ESSEDriver(
+            model,
+            ESSEConfig(
+                initial_ensemble_size=4,
+                max_ensemble_size=16,
+                convergence_tolerance=1.0,  # never converge
+            ),
+            root_seed=1,
+        )
+        fc = driver.forecast(background, subspace, duration=2 * 400.0)
+        assert len(fc.convergence_history) == 2  # (8 vs 4), (16 vs 8)
+        assert fc.ensemble_size == 16

@@ -1,0 +1,130 @@
+"""Unit tests for FieldLayout packing and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import FieldLayout, FieldSpec
+
+
+@pytest.fixture()
+def layout():
+    return FieldLayout(
+        [
+            FieldSpec("eta", (3, 4), scale=2.0),
+            FieldSpec("temp", (2, 3, 4), scale=0.5),
+        ]
+    )
+
+
+class TestFieldSpec:
+    def test_size(self):
+        assert FieldSpec("a", (3, 4)).size == 12
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            FieldSpec("", (3,))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            FieldSpec("a", (0, 3))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            FieldSpec("a", (3,), scale=0.0)
+
+
+class TestLayout:
+    def test_size_and_names(self, layout):
+        assert layout.size == 12 + 24
+        assert layout.names == ("eta", "temp")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FieldLayout([FieldSpec("a", (2,)), FieldSpec("a", (3,))])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FieldLayout([])
+
+    def test_slice_of(self, layout):
+        assert layout.slice_of("eta") == slice(0, 12)
+        assert layout.slice_of("temp") == slice(12, 36)
+
+    def test_slice_of_unknown(self, layout):
+        with pytest.raises(KeyError, match="unknown"):
+            layout.slice_of("nope")
+
+    def test_spec_lookup(self, layout):
+        assert layout.spec("temp").scale == 0.5
+        with pytest.raises(KeyError):
+            layout.spec("nope")
+
+
+class TestPackUnpack:
+    def test_round_trip(self, layout):
+        rng = np.random.default_rng(0)
+        fields = {"eta": rng.random((3, 4)), "temp": rng.random((2, 3, 4))}
+        back = layout.unpack(layout.pack(fields))
+        assert np.allclose(back["eta"], fields["eta"])
+        assert np.allclose(back["temp"], fields["temp"])
+
+    def test_missing_field(self, layout):
+        with pytest.raises(KeyError, match="missing"):
+            layout.pack({"eta": np.zeros((3, 4))})
+
+    def test_extra_field(self, layout):
+        with pytest.raises(KeyError, match="unexpected"):
+            layout.pack(
+                {
+                    "eta": np.zeros((3, 4)),
+                    "temp": np.zeros((2, 3, 4)),
+                    "x": np.zeros(2),
+                }
+            )
+
+    def test_shape_mismatch(self, layout):
+        with pytest.raises(ValueError, match="expected shape"):
+            layout.pack({"eta": np.zeros((4, 3)), "temp": np.zeros((2, 3, 4))})
+
+    def test_unpack_wrong_size(self, layout):
+        with pytest.raises(ValueError, match="shape"):
+            layout.unpack(np.zeros(7))
+
+    def test_view_is_view(self, layout):
+        vec = np.zeros(layout.size)
+        view = layout.view(vec, "temp")
+        view[1, 2, 3] = 9.0
+        assert vec[layout.slice_of("temp")].reshape(2, 3, 4)[1, 2, 3] == 9.0
+
+    def test_unpack_copies(self, layout):
+        vec = np.zeros(layout.size)
+        out = layout.unpack(vec)
+        out["eta"][0, 0] = 5.0
+        assert vec[0] == 0.0
+
+
+class TestNormalization:
+    def test_vector_round_trip(self, layout):
+        rng = np.random.default_rng(1)
+        x = rng.random(layout.size)
+        assert np.allclose(layout.denormalize(layout.normalize(x)), x)
+
+    def test_scales_applied_per_field(self, layout):
+        x = np.ones(layout.size)
+        z = layout.normalize(x)
+        assert np.allclose(z[layout.slice_of("eta")], 0.5)
+        assert np.allclose(z[layout.slice_of("temp")], 2.0)
+
+    def test_matrix_normalization(self, layout):
+        m = np.ones((layout.size, 3))
+        z = layout.normalize(m)
+        assert z.shape == m.shape
+        assert np.allclose(z[layout.slice_of("eta"), :], 0.5)
+
+    def test_wrong_leading_dim(self, layout):
+        with pytest.raises(ValueError, match="leading dimension"):
+            layout.normalize(np.zeros(5))
+
+    def test_scales_read_only(self, layout):
+        with pytest.raises(ValueError):
+            layout.scales[0] = 3.0

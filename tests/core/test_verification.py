@@ -1,0 +1,131 @@
+"""Tests (incl. property-based) for the verification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.verification import (
+    anomaly_correlation,
+    bias,
+    crps,
+    rank_histogram,
+    rmse,
+    spread_skill_ratio,
+    verify_ensemble,
+)
+
+
+class TestDeterministic:
+    def test_rmse_and_bias_known_values(self):
+        f = np.array([1.0, 2.0, 3.0])
+        t = np.array([0.0, 2.0, 5.0])
+        assert rmse(f, t) == pytest.approx(np.sqrt(5 / 3))
+        assert bias(f, t) == pytest.approx(-1.0 / 3.0)
+
+    def test_perfect_forecast(self):
+        f = np.random.default_rng(0).random((4, 5))
+        assert rmse(f, f) == 0.0
+        assert bias(f, f) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_anomaly_correlation_bounds(self):
+        rng = np.random.default_rng(1)
+        clim = np.zeros(50)
+        t = rng.standard_normal(50)
+        assert anomaly_correlation(t, t, clim) == pytest.approx(1.0)
+        assert anomaly_correlation(-t, t, clim) == pytest.approx(-1.0)
+
+    def test_anomaly_correlation_degenerate(self):
+        with pytest.raises(ValueError, match="undefined"):
+            anomaly_correlation(np.ones(5), np.ones(5), np.ones(5))
+
+
+class TestEnsembleCalibration:
+    def test_spread_skill_near_one_for_consistent_ensemble(self):
+        """Truth exchangeable with the members -> ratio ~ 1."""
+        rng = np.random.default_rng(2)
+        center = rng.standard_normal((40, 40))
+        truth = center + rng.standard_normal((40, 40))
+        members = center[None] + rng.standard_normal((50, 40, 40))
+        assert spread_skill_ratio(members, truth) == pytest.approx(1.0, rel=0.25)
+
+    def test_underdispersed_ensemble_flagged(self):
+        rng = np.random.default_rng(3)
+        truth = rng.standard_normal((30, 30))
+        members = truth[None] + 0.1 * rng.standard_normal((50, 30, 30)) + 1.0
+        assert spread_skill_ratio(members, truth) < 0.5
+
+    def test_rank_histogram_flat_for_exchangeable_truth(self):
+        rng = np.random.default_rng(4)
+        n, m = 9, 20000
+        members = rng.standard_normal((n, m))
+        truth = rng.standard_normal(m)
+        hist = rank_histogram(members, truth)
+        assert hist.shape == (n + 1,)
+        assert hist.sum() == m
+        expected = m / (n + 1)
+        assert np.all(np.abs(hist - expected) < 5 * np.sqrt(expected))
+
+    def test_rank_histogram_u_shaped_when_underdispersed(self):
+        rng = np.random.default_rng(5)
+        members = 0.1 * rng.standard_normal((9, 5000))
+        truth = rng.standard_normal(5000)
+        hist = rank_histogram(members, truth)
+        assert hist[0] + hist[-1] > 0.5 * hist.sum()
+
+
+class TestCRPS:
+    def test_single_member_is_mae(self):
+        rng = np.random.default_rng(6)
+        member = rng.standard_normal((1, 100))
+        truth = rng.standard_normal(100)
+        assert crps(member, truth) == pytest.approx(
+            np.mean(np.abs(member[0] - truth))
+        )
+
+    def test_sharper_correct_ensemble_scores_better(self):
+        rng = np.random.default_rng(7)
+        truth = np.zeros(2000)
+        sharp = 0.3 * rng.standard_normal((20, 2000))
+        blunt = 2.0 * rng.standard_normal((20, 2000))
+        assert crps(sharp, truth) < crps(blunt, truth)
+
+    @given(st.integers(2, 12), st.integers(5, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        members = rng.standard_normal((n, m))
+        truth = rng.standard_normal(m)
+        assert crps(members, truth) >= 0.0
+
+    @given(st.integers(2, 10), st.integers(5, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariant(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        members = rng.standard_normal((n, m))
+        truth = rng.standard_normal(m)
+        shifted = crps(members + 3.7, truth + 3.7)
+        assert shifted == pytest.approx(crps(members, truth), abs=1e-9)
+
+
+class TestReport:
+    def test_verify_ensemble(self):
+        rng = np.random.default_rng(8)
+        center = rng.standard_normal((20, 20))
+        truth = center + rng.standard_normal((20, 20))
+        members = center[None] + rng.standard_normal((30, 20, 20))
+        report = verify_ensemble(members, truth)
+        assert report.n_members == 30
+        assert report.rmse > 0
+        assert 0.5 < report.spread_skill < 2.0
+        line = report.render()
+        assert "RMSE" in line and "CRPS" in line
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            verify_ensemble(np.zeros((1, 4)), np.zeros(4))
+        with pytest.raises(ValueError, match="truth shape"):
+            verify_ensemble(np.zeros((3, 4)), np.zeros(5))

@@ -1,0 +1,77 @@
+"""Cross-cutting integration checks: randomized-SVD driver, doc coverage."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import ESSEConfig, ESSEDriver, similarity_coefficient, synthetic_initial_subspace
+from repro.ocean import PEModel
+from repro.ocean.bathymetry import monterey_grid
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestRandomizedSVDDriver:
+    def test_driver_with_randomized_svd_matches_lapack(self):
+        grid = monterey_grid(nx=16, ny=14, nz=3)
+        model = PEModel(grid=grid)
+        background = model.run(model.rest_state(), 86400.0)
+        subspace = synthetic_initial_subspace(
+            model.layout, grid.shape2d, grid.nz, rank=8, seed=0
+        )
+
+        def forecast(method):
+            driver = ESSEDriver(
+                model,
+                ESSEConfig(
+                    initial_ensemble_size=8,
+                    max_ensemble_size=16,
+                    convergence_tolerance=1.0,
+                    max_subspace_rank=8,
+                    svd_method=method,
+                ),
+                root_seed=3,
+            )
+            return driver.forecast(background, subspace, duration=6 * 400.0)
+
+        exact = forecast("lapack")
+        sketched = forecast("randomized")
+        rho = similarity_coefficient(exact.subspace, sketched.subspace)
+        assert rho > 0.99  # same members, same dominant subspace
+        assert np.allclose(
+            exact.subspace.sigmas, sketched.subspace.sigmas, rtol=0.05
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="svd_method"):
+            ESSEConfig(svd_method="scalapack")
+
+
+class TestDocumentationConsistency:
+    def test_every_bench_file_documented(self):
+        """EXPERIMENTS.md must mention every bench module (no silent
+        experiments -- DESIGN.md's 'no silent caps' spirit applies to the
+        docs too)."""
+        experiments = (REPO / "EXPERIMENTS.md").read_text()
+        for bench in sorted((REPO / "benchmarks").glob("bench_*.py")):
+            assert bench.stem in experiments, (
+                f"{bench.name} is not referenced in EXPERIMENTS.md"
+            )
+
+    def test_every_example_documented_in_readme(self):
+        readme = (REPO / "README.md").read_text()
+        for example in sorted((REPO / "examples").glob("*.py")):
+            assert example.name in readme, (
+                f"{example.name} is not referenced in README.md"
+            )
+
+    def test_design_lists_all_subpackages(self):
+        design = (REPO / "DESIGN.md").read_text()
+        src = REPO / "src" / "repro"
+        for pkg in sorted(p.name for p in src.iterdir() if p.is_dir()):
+            if pkg.startswith("__"):
+                continue
+            assert f"repro.{pkg}" in design, (
+                f"subpackage repro.{pkg} missing from DESIGN.md"
+            )

@@ -1,0 +1,117 @@
+"""Unit tests for the observation operator H and noise model R."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import FieldLayout, FieldSpec
+from repro.obs.operators import Observation, ObservationOperator
+
+
+@pytest.fixture()
+def layout():
+    return FieldLayout(
+        [
+            FieldSpec("eta", (4, 5), scale=2.0),
+            FieldSpec("temp", (3, 4, 5), scale=0.5),
+        ]
+    )
+
+
+def obs(**kw):
+    defaults = dict(
+        field="temp", level=1, j=2, i=3, value=10.0, noise_std=0.1
+    )
+    defaults.update(kw)
+    return Observation(**defaults)
+
+
+class TestObservation:
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ValueError, match="noise_std"):
+            obs(noise_std=0.0)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            obs(j=-1)
+
+
+class TestOperatorConstruction:
+    def test_requires_observations(self, layout):
+        with pytest.raises(ValueError, match="at least one"):
+            ObservationOperator(layout, [])
+
+    def test_rejects_level_on_2d_field(self, layout):
+        with pytest.raises(ValueError, match="level"):
+            ObservationOperator(layout, [obs(field="eta", level=1)])
+
+    def test_rejects_off_grid(self, layout):
+        with pytest.raises(ValueError, match="off-grid"):
+            ObservationOperator(layout, [obs(j=100)])
+        with pytest.raises(ValueError, match="off-grid"):
+            ObservationOperator(layout, [obs(level=10)])
+
+    def test_unknown_field(self, layout):
+        with pytest.raises(KeyError):
+            ObservationOperator(layout, [obs(field="vorticity")])
+
+
+class TestApplication:
+    def test_observe_picks_correct_entry(self, layout):
+        op = ObservationOperator(layout, [obs(field="temp", level=1, j=2, i=3)])
+        fields = {
+            "eta": np.zeros((4, 5)),
+            "temp": np.arange(60, dtype=float).reshape(3, 4, 5),
+        }
+        x = layout.pack(fields)
+        expected = fields["temp"][1, 2, 3]
+        assert op.observe(x)[0] == expected
+
+    def test_observe_2d_field(self, layout):
+        op = ObservationOperator(layout, [obs(field="eta", level=0, j=1, i=4)])
+        eta = np.arange(20, dtype=float).reshape(4, 5)
+        x = layout.pack({"eta": eta, "temp": np.zeros((3, 4, 5))})
+        assert op.observe(x)[0] == eta[1, 4]
+
+    def test_observe_rejects_wrong_size(self, layout):
+        op = ObservationOperator(layout, [obs()])
+        with pytest.raises(ValueError, match="state vector"):
+            op.observe(np.zeros(3))
+
+    def test_observe_modes_matches_columnwise(self, layout):
+        rng = np.random.default_rng(0)
+        op = ObservationOperator(
+            layout, [obs(j=0, i=0), obs(j=1, i=1), obs(field="eta", level=0)]
+        )
+        modes = rng.random((layout.size, 4))
+        hm = op.observe_modes(modes)
+        assert hm.shape == (3, 4)
+        for p in range(4):
+            assert np.allclose(hm[:, p], op.observe(modes[:, p]))
+
+    def test_observe_modes_rejects_vector(self, layout):
+        op = ObservationOperator(layout, [obs()])
+        with pytest.raises(ValueError, match="modes"):
+            op.observe_modes(np.zeros(layout.size))
+
+    def test_innovation(self, layout):
+        op = ObservationOperator(layout, [obs(value=3.0)])
+        x = np.zeros(layout.size)
+        assert op.innovation(x)[0] == pytest.approx(3.0)
+
+    def test_noise_var(self, layout):
+        op = ObservationOperator(layout, [obs(noise_std=0.2), obs(noise_std=0.5, j=1)])
+        assert np.allclose(op.noise_var, [0.04, 0.25])
+
+    def test_perturbed_values_statistics(self, layout):
+        op = ObservationOperator(layout, [obs(value=1.0, noise_std=0.3)])
+        rng = np.random.default_rng(1)
+        draws = np.array([op.perturbed_values(rng)[0] for _ in range(4000)])
+        assert draws.mean() == pytest.approx(1.0, abs=0.02)
+        assert draws.std() == pytest.approx(0.3, rel=0.1)
+
+    def test_by_instrument_counts(self, layout):
+        op = ObservationOperator(
+            layout,
+            [obs(instrument="ctd"), obs(instrument="ctd", j=1), obs(instrument="sst", i=1)],
+        )
+        assert op.by_instrument() == {"ctd": 2, "sst": 1}

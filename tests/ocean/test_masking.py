@@ -1,0 +1,75 @@
+"""Unit tests for the coastal land-fill stencil."""
+
+import numpy as np
+import pytest
+
+from repro.ocean.masking import LandFiller
+
+
+def cross_mask():
+    """5x5 mask with a single land cell in the middle."""
+    mask = np.ones((5, 5), dtype=bool)
+    mask[2, 2] = False
+    return mask
+
+
+class TestLandFiller:
+    def test_fills_with_neighbour_mean(self):
+        mask = cross_mask()
+        fld = np.arange(25, dtype=float).reshape(5, 5)
+        out = LandFiller(mask)(fld)
+        expected = (fld[1, 2] + fld[3, 2] + fld[2, 1] + fld[2, 3]) / 4.0
+        assert out[2, 2] == pytest.approx(expected)
+
+    def test_ocean_values_unchanged(self):
+        mask = cross_mask()
+        fld = np.random.default_rng(0).random((5, 5))
+        out = LandFiller(mask)(fld)
+        assert np.array_equal(out[mask], fld[mask])
+
+    def test_interior_land_untouched(self):
+        """Land cells with no wet neighbour keep their value."""
+        mask = np.ones((6, 6), dtype=bool)
+        mask[2:5, 2:5] = False
+        fld = np.zeros((6, 6))
+        fld[3, 3] = 42.0  # fully interior land cell
+        out = LandFiller(mask)(fld)
+        assert out[3, 3] == 42.0
+
+    def test_constant_field_invariant(self):
+        """A uniform field stays uniform: the fill is zero-gradient."""
+        mask = cross_mask()
+        out = LandFiller(mask)(np.full((5, 5), 3.7))
+        assert np.allclose(out, 3.7)
+
+    def test_3d_stack(self):
+        mask = cross_mask()
+        fld = np.stack([np.full((5, 5), 1.0), np.full((5, 5), 2.0)])
+        out = LandFiller(mask)(fld)
+        assert out[0, 2, 2] == pytest.approx(1.0)
+        assert out[1, 2, 2] == pytest.approx(2.0)
+
+    def test_input_not_modified(self):
+        mask = cross_mask()
+        fld = np.ones((5, 5))
+        fld[2, 2] = -5.0
+        LandFiller(mask)(fld)
+        assert fld[2, 2] == -5.0
+
+    def test_rejects_bad_mask(self):
+        with pytest.raises(ValueError, match="2-D"):
+            LandFiller(np.ones(5, dtype=bool))
+
+    def test_rejects_bad_field_shape(self):
+        filler = LandFiller(cross_mask())
+        with pytest.raises(ValueError, match="incompatible"):
+            filler(np.ones((4, 4)))
+
+    def test_edge_land_cell(self):
+        """Coastline on the array edge is filled from the available side."""
+        mask = np.ones((4, 4), dtype=bool)
+        mask[0, :] = False
+        fld = np.zeros((4, 4))
+        fld[1, :] = 5.0
+        out = LandFiller(mask)(fld)
+        assert np.allclose(out[0, :], 5.0)

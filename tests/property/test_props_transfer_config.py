@@ -1,0 +1,77 @@
+"""Property-based tests: transfer conservation and config round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ConfigError, ExperimentConfig
+from repro.sched.transfer import OutputReturnPlan, simulate_output_return
+
+
+class TestTransferConservation:
+    @given(
+        st.lists(st.floats(0.0, 5000.0), min_size=1, max_size=40),
+        st.sampled_from(list(OutputReturnPlan)),
+        st.floats(1.0, 100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_file_arrives_exactly_once(self, times, plan, file_mb):
+        report = simulate_output_return(times, file_mb, plan)
+        # arrival accounting is exact: delays positive, drain after last file
+        assert report.transfers_started >= 1
+        assert report.mean_file_delay > 0
+        assert report.all_home_time >= max(times)
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=2, max_size=30),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pull_concurrency_always_respected(self, times, concurrency):
+        report = simulate_output_return(
+            times, 11.0, OutputReturnPlan.PULL, pull_concurrency=concurrency
+        )
+        assert report.peak_concurrent_streams <= concurrency
+
+
+@st.composite
+def config_documents(draw):
+    doc = {}
+    if draw(st.booleans()):
+        doc["domain"] = {
+            "nx": draw(st.integers(4, 60)),
+            "ny": draw(st.integers(4, 60)),
+            "nz": draw(st.integers(1, 12)),
+        }
+    if draw(st.booleans()):
+        initial = draw(st.integers(2, 32))
+        doc["esse"] = {
+            "initial_ensemble_size": initial,
+            "max_ensemble_size": draw(st.integers(initial, 256)),
+            "root_seed": draw(st.integers(0, 2**31 - 1)),
+        }
+    if draw(st.booleans()):
+        doc["timeline"] = {
+            "period_hours": draw(st.floats(1.0, 96.0)),
+            "n_periods": draw(st.integers(1, 10)),
+        }
+    return doc
+
+
+class TestConfigProperties:
+    @given(config_documents())
+    @settings(max_examples=60, deadline=None)
+    def test_valid_documents_round_trip(self, doc):
+        cfg = ExperimentConfig.from_dict(doc)
+        again = ExperimentConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+    @given(config_documents(), st.text(min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_sections_always_rejected(self, doc, junk_name):
+        if junk_name in ("domain", "model", "esse", "observations", "timeline"):
+            return
+        doc = dict(doc)
+        doc[junk_name] = {}
+        with pytest.raises(ConfigError):
+            ExperimentConfig.from_dict(doc)

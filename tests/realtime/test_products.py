@@ -1,0 +1,106 @@
+"""Tests for forecast scoring, selection and the bulletin product."""
+
+import numpy as np
+import pytest
+
+from repro.core import ESSEConfig, ESSEDriver, synthetic_initial_subspace
+from repro.obs.network import aosn2_network
+from repro.realtime.products import (
+    CandidateScore,
+    ForecastProduct,
+    generate_product,
+    score_candidates,
+)
+
+
+@pytest.fixture(scope="module")
+def product_setup(small_model, spun_up_state):
+    model = small_model
+    layout = model.layout
+    subspace = synthetic_initial_subspace(
+        layout, model.grid.shape2d, model.grid.nz, rank=8, seed=2
+    )
+    driver = ESSEDriver(
+        model,
+        ESSEConfig(
+            initial_ensemble_size=6,
+            max_ensemble_size=12,
+            convergence_tolerance=0.9,
+            max_subspace_rank=8,
+        ),
+        root_seed=11,
+    )
+    duration = 6 * model.config.dt
+    forecast = driver.forecast(spun_up_state, subspace, duration=duration)
+    # verification batch sampled from the (clean) evolved background itself
+    verification = model.run(spun_up_state, duration)
+    network = aosn2_network(model.grid, layout, rng=np.random.default_rng(3))
+    batch = network.observe(verification)
+    return model, forecast, batch
+
+
+class TestScoring:
+    def test_perfect_candidate_wins(self, product_setup):
+        model, forecast, batch = product_setup
+        truth_vec = None
+        # reconstruct the verification state vector via a fresh clean run
+        central = model.to_vector(forecast.central)
+        candidates = {
+            "central": central,
+            "corrupted": central + 5.0,
+        }
+        scores = score_candidates(candidates, batch.operator)
+        assert scores[0].label == "central"
+        assert scores[0].weighted_rmse < scores[1].weighted_rmse
+
+    def test_requires_candidates(self, product_setup):
+        _, _, batch = product_setup
+        with pytest.raises(ValueError, match="at least one"):
+            score_candidates({}, batch.operator)
+
+    def test_score_validation(self):
+        with pytest.raises(ValueError):
+            CandidateScore(label="x", weighted_rmse=-1.0)
+
+
+class TestProduct:
+    def test_standard_candidates_present(self, product_setup):
+        model, forecast, batch = product_setup
+        product = generate_product(model, forecast, batch.operator, cycle_index=2)
+        labels = {s.label for s in product.scores}
+        assert {"central", "ensemble-mean"} <= labels
+        assert product.selected in labels
+        assert product.cycle_index == 2
+
+    def test_field_summary_sane(self, product_setup):
+        model, forecast, batch = product_setup
+        product = generate_product(model, forecast, batch.operator)
+        assert product.sst_min <= product.sst_mean <= product.sst_max
+        assert 0.0 < product.sst_sigma_median < 5.0
+        assert product.ensemble_size == forecast.ensemble_size
+
+    def test_extra_candidates_participate(self, product_setup):
+        model, forecast, batch = product_setup
+        bad = model.to_vector(forecast.central) + 10.0
+        product = generate_product(
+            model, forecast, batch.operator,
+            extra_candidates={"persistence": bad},
+        )
+        ranking = [s.label for s in product.scores]
+        assert "persistence" in ranking
+        assert ranking[-1] == "persistence"  # the corrupted one ranks last
+
+    def test_label_collision_rejected(self, product_setup):
+        model, forecast, batch = product_setup
+        with pytest.raises(ValueError, match="collide"):
+            generate_product(
+                model, forecast, batch.operator,
+                extra_candidates={"central": model.to_vector(forecast.central)},
+            )
+
+    def test_render_bulletin(self, product_setup):
+        model, forecast, batch = product_setup
+        text = generate_product(model, forecast, batch.operator).render()
+        assert "ESSE forecast bulletin" in text
+        assert "candidate ranking" in text
+        assert "SST" in text

@@ -1,0 +1,133 @@
+"""Tests for big-job-priority scheduling and singleton batching (Sec 5.3.4)."""
+
+import pytest
+
+from repro.sched import (
+    BigJobPriorityPolicy,
+    ClusterModel,
+    ClusterScheduler,
+    EnsembleCampaign,
+    JobSpec,
+    JobState,
+    Node,
+    NodeSpec,
+    SGEPolicy,
+    Simulator,
+)
+from repro.sched.iomodel import IOConfiguration, IOMode
+
+
+def quick_io():
+    return IOConfiguration(
+        mode=IOMode.PRESTAGED, prestage_cost_s=0.0,
+        pert_input_mb=0.0, pemodel_input_mb=0.0, output_mb=0.0,
+    )
+
+
+def wide_cluster(nodes=4, cores=8):
+    return ClusterModel(
+        nodes=[Node(NodeSpec(name=f"n{k}", cores=cores)) for k in range(nodes)]
+    )
+
+
+def run_mixed_workload(policy, n_singletons=16, n_wide=6):
+    """A queued singleton stream with wide parallel jobs arriving behind.
+
+    FIFO serves the singletons in arrival order; a big-job-priority
+    scheduler reorders the wide jobs to the front and reserves capacity
+    for them, starving the singletons.
+    """
+    sim = Simulator()
+    sched = ClusterScheduler(sim, wide_cluster(), policy, quick_io())
+    specs = []
+    for i in range(n_singletons):
+        specs.append(JobSpec(kind="acoustic", index=i, cpu_seconds=600.0))
+    for i in range(n_wide):
+        specs.append(JobSpec(kind="mpi", index=i, cpu_seconds=600.0, cores=8))
+    jobs = sched.submit(specs)
+    sim.run()
+    singles = [j for j in jobs if j.spec.kind == "acoustic"]
+    wides = [j for j in jobs if j.spec.kind == "mpi"]
+    return sim, singles, wides
+
+
+class TestBigJobPriority:
+    def test_wide_jobs_jump_the_queue(self):
+        _, singles, wides = run_mixed_workload(BigJobPriorityPolicy())
+        mean_single_wait = sum(j.wait_seconds for j in singles) / len(singles)
+        mean_wide_wait = sum(j.wait_seconds for j in wides) / len(wides)
+        assert mean_wide_wait < mean_single_wait
+
+    def test_singletons_penalized_vs_fifo(self):
+        """Under big-job priority the singleton stream waits longer than
+        under plain FIFO+backfill (SGE)."""
+        _, singles_big, _ = run_mixed_workload(BigJobPriorityPolicy())
+        _, singles_sge, _ = run_mixed_workload(SGEPolicy())
+        wait_big = sum(j.wait_seconds for j in singles_big) / len(singles_big)
+        wait_sge = sum(j.wait_seconds for j in singles_sge) / len(singles_sge)
+        assert wait_big > wait_sge
+
+    def test_everything_completes_eventually(self):
+        _, singles, wides = run_mixed_workload(BigJobPriorityPolicy())
+        assert all(j.state is JobState.DONE for j in singles + wides)
+
+    def test_unplaceable_wide_job_does_not_deadlock(self):
+        sim = Simulator()
+        sched = ClusterScheduler(
+            sim, wide_cluster(nodes=1, cores=2), BigJobPriorityPolicy(), quick_io()
+        )
+        jobs = sched.submit(
+            [
+                JobSpec(kind="mpi", index=0, cpu_seconds=10.0, cores=16),
+                JobSpec(kind="acoustic", index=0, cpu_seconds=10.0),
+            ]
+        )
+        sim.run()
+        assert jobs[1].state is JobState.DONE  # the singleton ran
+        assert jobs[0].state is JobState.QUEUED  # the impossible one did not
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BigJobPriorityPolicy(dispatch_latency_s=-1.0)
+
+
+class TestBatchedSingletons:
+    def test_batching_restores_throughput_under_bigjob_policy(self):
+        """The paper's remedy: package singletons as wide batch jobs."""
+        campaign = EnsembleCampaign(
+            wide_cluster(), policy=BigJobPriorityPolicy(), io_config=quick_io()
+        )
+        n_tasks = 64
+
+        def makespan(specs, extra_wide):
+            sim = Simulator()
+            sched = ClusterScheduler(
+                sim, wide_cluster(), BigJobPriorityPolicy(), quick_io()
+            )
+            wide = [
+                JobSpec(kind="mpi", index=i, cpu_seconds=600.0, cores=8)
+                for i in range(extra_wide)
+            ]
+            jobs = sched.submit(wide + specs)
+            sim.run()
+            ours = [j for j in jobs if j.spec.kind.startswith("acoustic")]
+            return max(j.end_time for j in ours)
+
+        singles = campaign.acoustic_specs(n_tasks)
+        batched = campaign.batched_acoustic_specs(n_tasks, batch_size=8)
+        t_singles = makespan(singles, extra_wide=6)
+        t_batched = makespan(batched, extra_wide=6)
+        assert t_batched < t_singles
+
+    def test_batch_core_counts(self):
+        campaign = EnsembleCampaign(wide_cluster())
+        specs = campaign.batched_acoustic_specs(20, batch_size=8)
+        assert [s.cores for s in specs] == [8, 8, 4]
+        assert all(s.kind == "acoustic_batch" for s in specs)
+
+    def test_validation(self):
+        campaign = EnsembleCampaign(wide_cluster())
+        with pytest.raises(ValueError):
+            campaign.batched_acoustic_specs(0)
+        with pytest.raises(ValueError):
+            campaign.batched_acoustic_specs(5, batch_size=0)

@@ -1,0 +1,102 @@
+"""Tests for demand-driven EC2 provisioning (paper Sec 5.4.1, UniCloud)."""
+
+import pytest
+
+from repro.sched import (
+    ClusterModel,
+    ClusterScheduler,
+    JobSpec,
+    JobState,
+    Node,
+    NodeSpec,
+    SGEPolicy,
+    Simulator,
+)
+from repro.sched.elastic import ElasticEC2Pool
+from repro.sched.iomodel import IOConfiguration, IOMode
+
+
+def fast_io():
+    return IOConfiguration(
+        mode=IOMode.PRESTAGED, prestage_cost_s=0.0,
+        pert_input_mb=0.0, pemodel_input_mb=0.0, output_mb=0.0,
+    )
+
+
+def local_cluster(cores=4):
+    return ClusterModel(
+        nodes=[Node(NodeSpec(name="local", cores=cores, local_disk_mbps=250.0))]
+    )
+
+
+def run_burst(n_jobs=100, cpu=1500.0, pool_kwargs=None):
+    sim = Simulator()
+    sched = ClusterScheduler(sim, local_cluster(), SGEPolicy(), fast_io())
+    pool = ElasticEC2Pool(sim, sched, "c1.xlarge", **(pool_kwargs or {}))
+    sched.submit(
+        [JobSpec(kind="pemodel", index=i, cpu_seconds=cpu) for i in range(n_jobs)]
+    )
+    sim.run()
+    done = sum(1 for j in sched.jobs.values() if j.state is JobState.DONE)
+    return sim, sched, pool, done
+
+
+class TestElasticPool:
+    def test_all_jobs_complete_and_pool_drains(self):
+        sim, sched, pool, done = run_burst()
+        assert done == 100
+        assert pool.running_count == 0  # everything released at the end
+        assert pool.boots == pool.terminations
+
+    def test_elasticity_beats_fixed_local(self):
+        sim_e, _, pool, done = run_burst()
+        sim_f = Simulator()
+        sched_f = ClusterScheduler(sim_f, local_cluster(), SGEPolicy(), fast_io())
+        sched_f.submit(
+            [JobSpec(kind="pemodel", index=i, cpu_seconds=1500.0) for i in range(100)]
+        )
+        sim_f.run()
+        assert sim_e.now < 0.3 * sim_f.now
+
+    def test_respects_instance_cap(self):
+        _, _, pool, _ = run_burst(pool_kwargs={"max_instances": 2})
+        assert pool.boots <= 2
+
+    def test_no_boot_without_backlog(self):
+        """A handful of short jobs on free local cores boots nothing."""
+        sim = Simulator()
+        sched = ClusterScheduler(sim, local_cluster(cores=8), SGEPolicy(), fast_io())
+        pool = ElasticEC2Pool(sim, sched)
+        sched.submit(
+            [JobSpec(kind="pert", index=i, cpu_seconds=5.0) for i in range(4)]
+        )
+        sim.run()
+        assert pool.boots == 0
+
+    def test_cost_accounts_ceil_hours(self):
+        _, _, pool, _ = run_burst()
+        # every boot is billed at least one full hour
+        assert pool.total_cost() >= pool.boots * pool.instance_type.hourly_usd
+        # and the bill is finite/positive when instances ran
+        if pool.boots:
+            assert pool.total_cost() > 0
+
+    def test_boot_latency_delays_capacity(self):
+        _, _, fast_pool, _ = run_burst(pool_kwargs={"boot_latency_s": 1.0})
+        sim_slow, _, slow_pool, _ = run_burst(
+            pool_kwargs={"boot_latency_s": 1800.0}
+        )
+        # with a long boot latency the first extra capacity arrives late
+        first_fast = min(i.boot_time for i in fast_pool.instances)
+        first_slow = min(i.boot_time for i in slow_pool.instances)
+        assert first_slow > first_fast
+
+    def test_validation(self):
+        sim = Simulator()
+        sched = ClusterScheduler(sim, local_cluster(), SGEPolicy(), fast_io())
+        with pytest.raises(ValueError):
+            ElasticEC2Pool(sim, sched, max_instances=0)
+        with pytest.raises(ValueError):
+            ElasticEC2Pool(sim, sched, backlog_per_core=0.0)
+        with pytest.raises(KeyError):
+            ElasticEC2Pool(sim, sched, instance_type="warp9.xxl")

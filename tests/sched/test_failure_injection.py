@@ -1,0 +1,94 @@
+"""Infrastructure-level failure injection (paper Sec 4 point 3)."""
+
+import numpy as np
+import pytest
+
+from repro.sched import EnsembleCampaign, mseas_cluster
+from repro.sched.iomodel import IOConfiguration, IOMode
+from repro.sched.schedulers import ClusterScheduler, SGEPolicy
+from repro.sched.engine import Simulator
+from repro.sched.jobs import JobSpec, JobState
+from repro.sched.resources import ClusterModel, Node, NodeSpec
+
+
+def quick_io():
+    return IOConfiguration(
+        mode=IOMode.PRESTAGED, prestage_cost_s=0.0,
+        pert_input_mb=0.0, pemodel_input_mb=0.0, output_mb=0.0,
+    )
+
+
+class TestSchedulerFailures:
+    def test_failed_jobs_marked_and_counted(self):
+        sim = Simulator()
+        cluster = ClusterModel(nodes=[Node(NodeSpec(name="n", cores=4))])
+        sched = ClusterScheduler(
+            sim, cluster, SGEPolicy(), quick_io(),
+            failure_rate=0.5, failure_rng=np.random.default_rng(0),
+        )
+        jobs = sched.submit(
+            [JobSpec(kind="acoustic", index=i, cpu_seconds=10.0) for i in range(200)]
+        )
+        sim.run()
+        states = [j.state for j in jobs]
+        n_failed = states.count(JobState.FAILED)
+        n_done = states.count(JobState.DONE)
+        assert n_failed + n_done == 200
+        assert 60 < n_failed < 140  # ~50% +- statistical slack
+
+    def test_failed_pert_cancels_its_pemodel(self):
+        sim = Simulator()
+        cluster = ClusterModel(nodes=[Node(NodeSpec(name="n", cores=2))])
+        sched = ClusterScheduler(
+            sim, cluster, SGEPolicy(), quick_io(),
+            failure_rate=0.999999, failure_rng=np.random.default_rng(1),
+        )
+        jobs = sched.submit(
+            [
+                JobSpec(kind="pert", index=0, cpu_seconds=5.0),
+                JobSpec(kind="pemodel", index=0, cpu_seconds=50.0,
+                        depends_on=("pert", 0)),
+            ]
+        )
+        sim.run()
+        assert jobs[0].state is JobState.FAILED
+        assert jobs[1].state is JobState.CANCELLED
+
+    def test_cores_released_after_failure(self):
+        sim = Simulator()
+        node = Node(NodeSpec(name="n", cores=1))
+        sched = ClusterScheduler(
+            sim, ClusterModel(nodes=[node]), SGEPolicy(), quick_io(),
+            failure_rate=0.999999, failure_rng=np.random.default_rng(2),
+        )
+        sched.submit(
+            [JobSpec(kind="acoustic", index=i, cpu_seconds=5.0) for i in range(5)]
+        )
+        sim.run()
+        assert node.busy_cores == 0
+
+    def test_validation(self):
+        sim = Simulator()
+        cluster = ClusterModel(nodes=[Node(NodeSpec(name="n", cores=1))])
+        with pytest.raises(ValueError, match="failure_rate"):
+            ClusterScheduler(sim, cluster, SGEPolicy(), quick_io(), failure_rate=1.5)
+
+
+class TestCampaignFailures:
+    def test_campaign_tolerates_flaky_substrate(self):
+        """A few percent of lost members barely moves the makespan -- the
+        statistical coverage survives (Sec 4 point 3)."""
+        campaign = EnsembleCampaign(mseas_cluster(), io_config=quick_io())
+        clean = campaign.run(campaign.ensemble_specs(300))
+        flaky = campaign.run(
+            campaign.ensemble_specs(300), failure_rate=0.05, failure_seed=0
+        )
+        assert flaky.failed_count > 0
+        surviving = flaky.job_count
+        assert surviving >= 0.85 * clean.job_count
+        assert flaky.makespan_seconds < 1.1 * clean.makespan_seconds
+
+    def test_clean_campaign_reports_zero_failures(self):
+        campaign = EnsembleCampaign(mseas_cluster(), io_config=quick_io())
+        stats = campaign.run(campaign.ensemble_specs(20))
+        assert stats.failed_count == 0

@@ -1,0 +1,90 @@
+"""Tests for MyCluster-style federation of local/Grid/EC2 pools."""
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    EnsembleCampaign,
+    TERAGRID_SITES,
+    ec2_virtual_cluster,
+    mseas_cluster,
+)
+from repro.sched.federation import federate, pool_sizes
+from repro.sched.iomodel import IOConfiguration, IOMode
+
+
+class TestFederate:
+    def test_merges_cores(self):
+        local = mseas_cluster(available_cores=50)
+        ec2 = ec2_virtual_cluster("c1.xlarge", 5)
+        fed = federate([local, ec2])
+        assert fed.total_cores == 50 + 40
+
+    def test_node_names_carry_provenance(self):
+        fed = federate([mseas_cluster(available_cores=4),
+                        ec2_virtual_cluster("m1.large", 2)])
+        pools = pool_sizes(fed)
+        assert pools == {"mseas": 4, "ec2-m1.large": 4}
+
+    def test_bandwidth_defaults_to_weakest_member(self):
+        local = mseas_cluster()  # 1250 MB/s
+        ec2 = ec2_virtual_cluster("m1.large", 2)  # 125 MB/s
+        fed = federate([local, ec2])
+        assert fed.nfs_bandwidth_mbps == 125.0
+
+    def test_bandwidth_override(self):
+        fed = federate([mseas_cluster(available_cores=4)],
+                       nfs_bandwidth_mbps=500.0)
+        assert fed.nfs_bandwidth_mbps == 500.0
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError, match="member"):
+            federate([])
+
+
+class TestFederatedCampaign:
+    def _io(self):
+        return IOConfiguration(
+            mode=IOMode.PRESTAGED, prestage_cost_s=0.0,
+            pert_input_mb=0.0, pemodel_input_mb=0.0, output_mb=0.0,
+        )
+
+    def test_federation_shortens_the_campaign(self):
+        local = mseas_cluster(available_cores=60)
+        n = 300
+        alone = EnsembleCampaign(local, io_config=self._io())
+        stats_alone = alone.run(alone.ensemble_specs(n))
+        fed = federate(
+            [mseas_cluster(available_cores=60), ec2_virtual_cluster("c1.xlarge", 10)]
+        )
+        together = EnsembleCampaign(fed, io_config=self._io())
+        stats_fed = together.run(together.ensemble_specs(n))
+        assert stats_fed.makespan_seconds < stats_alone.makespan_seconds
+
+    def test_out_of_order_completion_across_pools(self):
+        """Sec 5.3.3: 'perturbation 900 may very well finish well before
+        number 700' on disparate hosts."""
+        # slow local pool + fast EC2 pool
+        fed = federate(
+            [
+                TERAGRID_SITES["ORNL"].cluster(),  # slow
+                ec2_virtual_cluster("c1.xlarge", 2),  # fast
+            ]
+        )
+        campaign = EnsembleCampaign(fed, io_config=self._io())
+        # submit more members than cores so late indices land on fast nodes
+        from repro.sched.engine import Simulator
+        from repro.sched.schedulers import ClusterScheduler, SGEPolicy
+
+        sim = Simulator()
+        sched = ClusterScheduler(sim, fed, SGEPolicy(), self._io())
+        sched.submit(campaign.ensemble_specs(120))
+        sim.run()
+        pemodels = [
+            j for (kind, _), j in sched.jobs.items() if kind == "pemodel"
+        ]
+        end_by_index = {j.spec.index: j.end_time for j in pemodels}
+        indices = sorted(end_by_index)
+        finishing_order = sorted(indices, key=lambda i: end_by_index[i])
+        # completion order is not index order
+        assert finishing_order != indices

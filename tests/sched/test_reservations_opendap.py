@@ -1,0 +1,101 @@
+"""Tests for advance reservations (Sec 5.3.4) and OpenDAP input (Sec 5.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.sched import (
+    ClusterModel,
+    ClusterScheduler,
+    EnsembleCampaign,
+    JobSpec,
+    Node,
+    NodeSpec,
+    SGEPolicy,
+    Simulator,
+    TERAGRID_SITES,
+)
+from repro.sched.gridsites import run_reserved_campaign
+from repro.sched.iomodel import IOConfiguration, IOMode
+
+
+class TestAdvanceReservations:
+    def test_reservation_removes_queue_wait(self):
+        site = TERAGRID_SITES["ORNL"]
+        rng = np.random.default_rng(0)
+        reserved = run_reserved_campaign(site, 32, window_seconds=3 * 3600.0, rng=rng)
+        unreserved = run_reserved_campaign(site, 32, window_seconds=None, rng=rng)
+        assert reserved["queue_wait_s"] == 0.0
+        assert unreserved["queue_wait_s"] > 0.0
+
+    def test_tight_window_truncates_the_ensemble(self):
+        """A reservation too short for the full ensemble loses members --
+        tolerable for ESSE, catastrophic for a parameter scan."""
+        site = TERAGRID_SITES["Purdue"]
+        # Purdue pemodel ~1107 s on 128 cores; 64 members need one wave
+        short = run_reserved_campaign(site, 200, window_seconds=1200.0)
+        long = run_reserved_campaign(site, 200, window_seconds=24 * 3600.0)
+        assert long["completed"] == 200
+        assert short["completed"] < 200
+        assert short["completed"] + short["cancelled"] == 200
+
+    def test_without_reservation_results_may_be_late(self):
+        """'jobs submitted may very well end up running ... outside the
+        useful time window' -- finish time includes the queue wait."""
+        site = TERAGRID_SITES["ORNL"]
+        rng = np.random.default_rng(3)
+        res = run_reserved_campaign(site, 16, window_seconds=None, rng=rng)
+        assert res["finish_time_s"] > res["queue_wait_s"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_reserved_campaign(TERAGRID_SITES["local"], 0, None)
+
+
+class TestOpenDAPInput:
+    def _cluster(self, cores=8):
+        return ClusterModel(
+            nodes=[Node(NodeSpec(name="n", cores=cores, local_disk_mbps=250.0))],
+            nfs_bandwidth_mbps=1250.0,
+        )
+
+    def _run(self, mode, **io_kw):
+        sim = Simulator()
+        io = IOConfiguration(
+            mode=mode, pert_input_mb=200.0, pemodel_input_mb=0.0,
+            output_mb=0.0, prestage_cost_s=0.0, **io_kw,
+        )
+        sched = ClusterScheduler(sim, self._cluster(), SGEPolicy(), io)
+        jobs = sched.submit(
+            [JobSpec(kind="pert", index=i, cpu_seconds=6.21) for i in range(8)]
+        )
+        sim.run()
+        return sim.now, jobs
+
+    def test_opendap_much_slower_than_nfs(self):
+        """Hundreds of requests to a central WAN server: 'a less desirable
+        solution' than the cluster file server."""
+        t_nfs, _ = self._run(IOMode.NFS)
+        t_dap, _ = self._run(IOMode.OPENDAP)
+        assert t_dap > 3.0 * t_nfs
+
+    def test_opendap_bandwidth_configurable(self):
+        t_slow, _ = self._run(IOMode.OPENDAP, opendap_bandwidth_mbps=10.0)
+        t_fast, _ = self._run(IOMode.OPENDAP, opendap_bandwidth_mbps=400.0)
+        assert t_fast < t_slow
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="opendap"):
+            IOConfiguration(opendap_bandwidth_mbps=0.0)
+
+    def test_opendap_campaign_worse_than_prestaged(self):
+        campaign_dap = EnsembleCampaign(
+            self._cluster(),
+            io_config=IOConfiguration(mode=IOMode.OPENDAP, prestage_cost_s=0.0),
+        )
+        campaign_pre = EnsembleCampaign(
+            self._cluster(),
+            io_config=IOConfiguration(mode=IOMode.PRESTAGED, prestage_cost_s=0.0),
+        )
+        s_dap = campaign_dap.run(campaign_dap.ensemble_specs(16))
+        s_pre = campaign_pre.run(campaign_pre.ensemble_specs(16))
+        assert s_dap.makespan_seconds > s_pre.makespan_seconds

@@ -1,0 +1,180 @@
+"""Tests for the output-return strategies (paper Sec 5.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.sched.transfer import (
+    OutputReturnPlan,
+    WANModel,
+    simulate_output_return,
+)
+
+
+def wave(n=200, start=1000.0, width=30.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.uniform(start, start + width, n))
+
+
+class TestWANModel:
+    def test_congestion_factor_bounds(self):
+        wan = WANModel(gateway_concurrency_limit=8, congestion_alpha=0.1)
+        assert wan.congestion_factor(1) == 1.0
+        assert wan.congestion_factor(8) == 1.0
+        assert 0.0 < wan.congestion_factor(100) < 1.0
+        assert wan.congestion_factor(100) < wan.congestion_factor(20)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WANModel(bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            WANModel(setup_seconds=-1.0)
+        with pytest.raises(ValueError):
+            WANModel(gateway_concurrency_limit=0)
+        with pytest.raises(ValueError):
+            WANModel(congestion_alpha=-0.1)
+
+
+class TestPlans:
+    def test_all_files_arrive(self):
+        times = wave(100)
+        for plan in OutputReturnPlan:
+            report = simulate_output_return(times, 11.0, plan)
+            assert report.all_home_time >= times[-1]
+            assert report.mean_file_delay > 0
+
+    def test_push_floods_the_gateway(self):
+        times = wave(300, width=10.0)
+        push = simulate_output_return(times, 11.0, OutputReturnPlan.PUSH)
+        pull = simulate_output_return(times, 11.0, OutputReturnPlan.PULL)
+        assert push.peak_concurrent_streams > 10 * pull.peak_concurrent_streams
+
+    def test_pull_beats_push_under_synchronized_bursts(self):
+        """The paper: pull 'can pace the file transfers ... and perform
+        much better' than the push burst."""
+        times = wave(400, width=20.0)
+        push = simulate_output_return(times, 11.0, OutputReturnPlan.PUSH)
+        pull = simulate_output_return(times, 11.0, OutputReturnPlan.PULL)
+        assert pull.all_home_time < push.all_home_time
+        assert pull.mean_file_delay < push.mean_file_delay
+
+    def test_pull_respects_concurrency(self):
+        times = wave(100)
+        report = simulate_output_return(
+            times, 11.0, OutputReturnPlan.PULL, pull_concurrency=3
+        )
+        assert report.peak_concurrent_streams <= 3
+
+    def test_two_stage_batches_transfers(self):
+        times = wave(100)
+        report = simulate_output_return(
+            times, 11.0, OutputReturnPlan.TWO_STAGE, batch_size=25
+        )
+        assert report.transfers_started == 4
+
+    def test_two_stage_flushes_partial_tail(self):
+        times = wave(37)
+        report = simulate_output_return(
+            times, 11.0, OutputReturnPlan.TWO_STAGE, batch_size=10
+        )
+        assert report.transfers_started == 4  # 3 full + 1 tail of 7
+
+    def test_spread_completions_make_push_fine(self):
+        """Without synchronization the push burst never forms."""
+        times = np.linspace(0.0, 5000.0, 100)
+        push = simulate_output_return(times, 11.0, OutputReturnPlan.PUSH)
+        assert push.peak_concurrent_streams <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="completion"):
+            simulate_output_return([], 11.0, OutputReturnPlan.PUSH)
+        with pytest.raises(ValueError, match="file_mb"):
+            simulate_output_return([1.0], 0.0, OutputReturnPlan.PUSH)
+        with pytest.raises(ValueError, match="pull_concurrency"):
+            simulate_output_return(
+                [1.0], 1.0, OutputReturnPlan.PULL, pull_concurrency=0
+            )
+
+
+class TestMultiCoreJobs:
+    """The Sec 7 nested-MPI-job extension of the scheduler."""
+
+    def test_nested_specs_occupy_cores(self):
+        from repro.sched import EnsembleCampaign, ClusterModel, Node, NodeSpec
+        from repro.sched.iomodel import IOConfiguration
+
+        cluster = ClusterModel(
+            nodes=[Node(NodeSpec(name="n", cores=4, local_disk_mbps=250.0))]
+        )
+        campaign = EnsembleCampaign(
+            cluster,
+            io_config=IOConfiguration(
+                pert_input_mb=0.0, pemodel_input_mb=0.0, output_mb=0.0,
+                prestage_cost_s=0.0,
+            ),
+            task_times={"pert": 1.0, "pemodel": 100.0, "acoustic": 10.0},
+        )
+        specs = campaign.nested_ensemble_specs(4, mpi_tasks=2)
+        assert all(s.cores == 2 for s in specs if s.kind == "pemodel")
+        stats = campaign.run(specs)
+        # 4 pemodels x 2 cores on 4 cores -> two waves of two
+        two_task_runtime = 100.0 / (2 * 0.9)
+        assert stats.makespan_seconds >= 2 * two_task_runtime
+
+    def test_mpi_speedup_shortens_each_job(self):
+        from repro.sched import EnsembleCampaign, ClusterModel, Node, NodeSpec
+
+        cluster = ClusterModel(nodes=[Node(NodeSpec(name="n", cores=4))])
+        campaign = EnsembleCampaign(
+            cluster, task_times={"pert": 1.0, "pemodel": 100.0, "acoustic": 1.0}
+        )
+        serial_spec = campaign.ensemble_specs(1)[1]
+        mpi_spec = campaign.nested_ensemble_specs(1, mpi_tasks=2)[1]
+        assert mpi_spec.cpu_seconds < serial_spec.cpu_seconds
+
+    def test_backfill_avoids_starvation(self):
+        """A 4-core job that doesn't fit must not block 1-core jobs."""
+        from repro.sched import (
+            ClusterModel,
+            ClusterScheduler,
+            JobSpec,
+            JobState,
+            Node,
+            NodeSpec,
+            SGEPolicy,
+            Simulator,
+        )
+        from repro.sched.iomodel import IOConfiguration
+
+        sim = Simulator()
+        cluster = ClusterModel(
+            nodes=[Node(NodeSpec(name="n", cores=2, local_disk_mbps=250.0))]
+        )
+        sched = ClusterScheduler(
+            sim, cluster, SGEPolicy(),
+            IOConfiguration(pert_input_mb=0.0, pemodel_input_mb=0.0,
+                            output_mb=0.0, prestage_cost_s=0.0),
+        )
+        big = JobSpec(kind="pemodel", index=0, cpu_seconds=10.0, cores=4)
+        small = JobSpec(kind="pemodel", index=1, cpu_seconds=10.0, cores=1)
+        jobs = sched.submit([big, small])
+        sim.run(until=100.0)
+        # the 4-core job can never run on a 2-core node; the small one must
+        assert jobs[1].state is JobState.DONE
+        assert jobs[0].state is JobState.QUEUED
+
+    def test_spec_validation(self):
+        from repro.sched import JobSpec
+
+        with pytest.raises(ValueError, match="cores"):
+            JobSpec(kind="pemodel", index=0, cpu_seconds=1.0, cores=0)
+
+    def test_campaign_validation(self):
+        from repro.sched import EnsembleCampaign, ClusterModel, Node, NodeSpec
+
+        campaign = EnsembleCampaign(
+            ClusterModel(nodes=[Node(NodeSpec(name="n", cores=2))])
+        )
+        with pytest.raises(ValueError, match="mpi_tasks"):
+            campaign.nested_ensemble_specs(2, mpi_tasks=0)
+        with pytest.raises(ValueError, match="efficiency"):
+            campaign.nested_ensemble_specs(2, parallel_efficiency=0.0)

@@ -1,0 +1,124 @@
+"""Tests for the declarative experiment configuration."""
+
+import json
+
+import pytest
+
+from repro.config import ConfigError, ExperimentConfig
+
+
+class TestValidation:
+    def test_empty_document_uses_defaults(self):
+        cfg = ExperimentConfig.from_dict({})
+        assert cfg.domain.nx == 42
+        assert cfg.esse.max_ensemble_size == 128
+
+    def test_partial_overrides(self):
+        cfg = ExperimentConfig.from_dict(
+            {"domain": {"nx": 20, "ny": 16, "nz": 3}, "esse": {"root_seed": 7}}
+        )
+        assert cfg.domain.nx == 20
+        assert cfg.esse.root_seed == 7
+        assert cfg.model.dt == 400.0  # untouched section keeps defaults
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sections"):
+            ExperimentConfig.from_dict({"oceanography": {}})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            ExperimentConfig.from_dict({"domain": {"resolution": 9}})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError, match="domain"):
+            ExperimentConfig.from_dict({"domain": {"nx": 1}})
+        with pytest.raises(ConfigError, match="esse"):
+            ExperimentConfig.from_dict({"esse": {"initial_ensemble_size": 1}})
+        with pytest.raises(ConfigError, match="model"):
+            ExperimentConfig.from_dict({"model": {"dt": -1.0}})
+        with pytest.raises(ConfigError, match="timeline"):
+            ExperimentConfig.from_dict({"timeline": {"n_periods": 0}})
+        with pytest.raises(ConfigError, match="network"):
+            ExperimentConfig.from_dict({"observations": {"network": "argo"}})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigError, match="dict"):
+            ExperimentConfig.from_dict("nx=20")
+        with pytest.raises(ConfigError, match="mapping"):
+            ExperimentConfig.from_dict({"domain": [1, 2]})
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        cfg = ExperimentConfig.from_dict({"domain": {"nx": 24, "ny": 20, "nz": 4}})
+        again = ExperimentConfig.from_dict(cfg.to_dict())
+        assert again == cfg
+
+    def test_json_file_round_trip(self, tmp_path):
+        cfg = ExperimentConfig.from_dict(
+            {"esse": {"max_ensemble_size": 64}, "timeline": {"n_periods": 3}}
+        )
+        path = tmp_path / "experiment.json"
+        cfg.save(path)
+        loaded = ExperimentConfig.load(path)
+        assert loaded == cfg
+        # document is valid JSON with explicit defaults
+        doc = json.loads(path.read_text())
+        assert doc["esse"]["max_ensemble_size"] == 64
+        assert doc["domain"]["nx"] == 42
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"domain": {"nx": 0}}')
+        with pytest.raises(ConfigError):
+            ExperimentConfig.load(path)
+
+
+class TestBuilders:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return ExperimentConfig.from_dict(
+            {
+                "domain": {"nx": 16, "ny": 14, "nz": 3},
+                "esse": {"initial_ensemble_size": 4, "max_ensemble_size": 8,
+                         "max_subspace_rank": 6, "root_seed": 5},
+                "timeline": {"period_hours": 6.0, "n_periods": 2},
+            }
+        )
+
+    def test_build_model(self, cfg):
+        model = cfg.build_model()
+        assert (model.grid.ny, model.grid.nx, model.grid.nz) == (14, 16, 3)
+        assert model.config.dt == 400.0
+
+    def test_build_driver(self, cfg):
+        model = cfg.build_model()
+        driver = cfg.build_driver(model)
+        assert driver.config.max_ensemble_size == 8
+        assert driver.root_seed == 5
+
+    def test_build_network(self, cfg):
+        model = cfg.build_model()
+        net = cfg.build_network(model)
+        assert len(net.instruments) >= 3
+
+    def test_build_timeline(self, cfg):
+        tl = cfg.build_timeline(t0=100.0)
+        assert tl.n_periods == 2
+        assert tl.period_length == 6.0 * 3600.0
+        assert tl.t0 == 100.0
+
+    def test_configured_experiment_runs(self, cfg):
+        """End to end: the document drives one working forecast."""
+        from repro.core import synthetic_initial_subspace
+
+        model = cfg.build_model()
+        driver = cfg.build_driver(model)
+        background = model.run(model.rest_state(), 4 * model.config.dt)
+        subspace = synthetic_initial_subspace(
+            model.layout, model.grid.shape2d, model.grid.nz, rank=6, seed=0
+        )
+        forecast = driver.forecast(
+            background, subspace, duration=4 * model.config.dt
+        )
+        assert forecast.ensemble_size >= 4

@@ -1,0 +1,57 @@
+"""Meta-test: every public item in the library carries a doc comment."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in public_members(module):
+        if not (inspect.getdoc(obj) or "").strip():
+            missing.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not callable(meth) and not isinstance(meth, property):
+                    continue
+                target = meth.fget if isinstance(meth, property) else meth
+                # getattr through the class so inspect.getdoc can walk the
+                # MRO: an override inherits its base method's doc comment
+                bound = getattr(obj, meth_name, target)
+                doc = inspect.getdoc(
+                    bound.fget if isinstance(bound, property) else bound
+                )
+                if not (doc or "").strip():
+                    missing.append(f"{name}.{meth_name}")
+    assert not missing, f"{module_name}: undocumented public items {missing}"

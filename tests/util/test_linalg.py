@@ -1,0 +1,92 @@
+"""Unit tests for SVD helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.linalg import (
+    orthonormal_columns,
+    subspace_principal_angles,
+    thin_svd,
+    truncated_svd,
+)
+
+
+class TestThinSVD:
+    def test_reconstruction(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((40, 7))
+        u, s, vt = thin_svd(a)
+        assert np.allclose(u @ np.diag(s) @ vt, a)
+        assert u.shape == (40, 7)
+
+    def test_descending_singular_values(self):
+        rng = np.random.default_rng(1)
+        _, s, _ = thin_svd(rng.standard_normal((20, 6)))
+        assert np.all(np.diff(s) <= 0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            thin_svd(np.zeros(5))
+
+
+class TestTruncatedSVD:
+    def test_rank_cap(self):
+        rng = np.random.default_rng(2)
+        u, s, vt = truncated_svd(rng.standard_normal((30, 10)), rank=3)
+        assert u.shape == (30, 3)
+        assert s.shape == (3,)
+
+    def test_energy_cut(self):
+        # construct known spectrum: [10, 1, 0.1, ...]
+        rng = np.random.default_rng(3)
+        q1, _ = np.linalg.qr(rng.standard_normal((20, 4)))
+        q2, _ = np.linalg.qr(rng.standard_normal((4, 4)))
+        a = q1 @ np.diag([10.0, 1.0, 0.1, 0.01]) @ q2.T
+        _, s, _ = truncated_svd(a, energy=0.99)
+        assert s.size == 1  # 100 / 101.0101 > 0.99
+
+    def test_rank_and_energy_compose(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((30, 10))
+        _, s, _ = truncated_svd(a, rank=4, energy=1.0)
+        assert s.size == 4
+
+    def test_rtol_floor(self):
+        a = np.diag([1.0, 1e-14, 0.0])
+        _, s, _ = truncated_svd(a, rtol=1e-10)
+        assert s.size == 1
+
+    def test_invalid_args(self):
+        a = np.eye(4)
+        with pytest.raises(ValueError, match="energy"):
+            truncated_svd(a, energy=1.5)
+        with pytest.raises(ValueError, match="rank"):
+            truncated_svd(a, rank=0)
+
+
+class TestOrthonormality:
+    def test_identity_is_orthonormal(self):
+        assert orthonormal_columns(np.eye(5)[:, :3])
+
+    def test_scaled_is_not(self):
+        assert not orthonormal_columns(2.0 * np.eye(5)[:, :3])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            orthonormal_columns(np.zeros(4))
+
+
+class TestPrincipalAngles:
+    def test_same_subspace_zero_angles(self):
+        q, _ = np.linalg.qr(np.random.default_rng(5).standard_normal((10, 3)))
+        angles = subspace_principal_angles(q, q)
+        assert np.allclose(angles, 0.0, atol=1e-7)
+
+    def test_orthogonal_subspaces_right_angles(self):
+        e = np.eye(6)
+        angles = subspace_principal_angles(e[:, :2], e[:, 2:4])
+        assert np.allclose(angles, np.pi / 2)
+
+    def test_requires_orthonormal_input(self):
+        with pytest.raises(ValueError, match="orthonormal"):
+            subspace_principal_angles(2.0 * np.eye(4)[:, :2], np.eye(4)[:, :2])

@@ -1,0 +1,130 @@
+"""Tests for the randomized (sketching) SVD."""
+
+import numpy as np
+import pytest
+
+from repro.util.linalg import orthonormal_columns, randomized_svd, thin_svd
+
+
+def decaying_matrix(n=2000, m=200, rank=40, seed=0):
+    rng = np.random.default_rng(seed)
+    u, _ = np.linalg.qr(rng.standard_normal((n, rank)))
+    s = np.geomspace(10.0, 0.05, rank)
+    return (u * s) @ rng.standard_normal((rank, m)) / np.sqrt(m)
+
+
+class TestRandomizedSVD:
+    def test_matches_lapack_on_dominant_modes(self):
+        a = decaying_matrix()
+        _, s_exact, _ = thin_svd(a)
+        rng = np.random.default_rng(1)
+        u, s, vt = randomized_svd(a, rank=20, rng=rng)
+        assert np.allclose(s, s_exact[:20], rtol=1e-3)
+
+    def test_subspace_agrees(self):
+        a = decaying_matrix()
+        u_exact, _, _ = thin_svd(a)
+        u, _, _ = randomized_svd(a, rank=10, rng=np.random.default_rng(2))
+        # principal angles between dominant subspaces ~ 0
+        overlap = np.linalg.svd(u_exact[:, :10].T @ u, compute_uv=False)
+        assert overlap.min() > 0.99
+
+    def test_output_shapes_and_orthonormality(self):
+        a = decaying_matrix(n=300, m=50)
+        u, s, vt = randomized_svd(a, rank=7, rng=np.random.default_rng(3))
+        assert u.shape == (300, 7)
+        assert s.shape == (7,)
+        assert vt.shape == (7, 50)
+        assert orthonormal_columns(u, atol=1e-8)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_rank_larger_than_columns_clamped(self):
+        a = decaying_matrix(n=100, m=8)
+        u, s, _ = randomized_svd(a, rank=20, rng=np.random.default_rng(4))
+        assert s.size <= 8
+
+    def test_power_iterations_improve_accuracy(self):
+        """On slowly decaying spectra, power iterations sharpen the tail."""
+        rng = np.random.default_rng(5)
+        n, m = 3000, 300
+        u0, _ = np.linalg.qr(rng.standard_normal((n, 100)))
+        s0 = np.linspace(1.0, 0.8, 100)  # nearly flat: hard case
+        a = (u0 * s0) @ rng.standard_normal((100, m)) / np.sqrt(m)
+        _, s_exact, _ = thin_svd(a)
+
+        def err(n_iter):
+            _, s, _ = randomized_svd(
+                a, rank=10, n_iter=n_iter, rng=np.random.default_rng(6)
+            )
+            return np.abs(s - s_exact[:10]).max()
+
+        assert err(3) <= err(0) + 1e-12
+
+    def test_validation(self):
+        a = decaying_matrix(n=50, m=10)
+        with pytest.raises(ValueError, match="rank"):
+            randomized_svd(a, rank=0)
+        with pytest.raises(ValueError, match="2-D"):
+            randomized_svd(np.zeros(5), rank=1)
+        with pytest.raises(ValueError, match="oversample"):
+            randomized_svd(a, rank=2, oversample=-1)
+
+
+class TestMemmapAccumulator:
+    def test_round_trip_matches_in_memory(self, tmp_path):
+        from repro.core.covariance import (
+            AnomalyAccumulator,
+            MemmapAnomalyAccumulator,
+        )
+        from repro.core.state import FieldLayout, FieldSpec
+
+        layout = FieldLayout([FieldSpec("a", (64,), scale=2.0)])
+        rng = np.random.default_rng(0)
+        members = {k: rng.standard_normal(64) for k in range(12)}
+
+        mem = AnomalyAccumulator(layout, np.zeros(64))
+        disk = MemmapAnomalyAccumulator(
+            layout, np.zeros(64), tmp_path / "cov.npy", max_members=16
+        )
+        for k, v in members.items():
+            mem.add_member(k, v)
+            disk.add_member(k, v)
+        disk.flush()
+        assert np.allclose(mem.matrix(), disk.matrix())
+
+    def test_backing_file_readable_out_of_process(self, tmp_path):
+        from repro.core.covariance import MemmapAnomalyAccumulator
+        from repro.core.state import FieldLayout, FieldSpec
+
+        layout = FieldLayout([FieldSpec("a", (16,), scale=1.0)])
+        acc = MemmapAnomalyAccumulator(
+            layout, np.zeros(16), tmp_path / "cov.npy", max_members=4
+        )
+        acc.add_member(0, np.ones(16))
+        acc.flush()
+        raw = np.load(tmp_path / "cov.npy", mmap_mode="r")
+        assert raw.shape == (16, 4)
+        assert np.allclose(raw[:, 0], 1.0)
+
+    def test_capacity_enforced(self, tmp_path):
+        from repro.core.covariance import MemmapAnomalyAccumulator
+        from repro.core.state import FieldLayout, FieldSpec
+
+        layout = FieldLayout([FieldSpec("a", (8,), scale=1.0)])
+        acc = MemmapAnomalyAccumulator(
+            layout, np.zeros(8), tmp_path / "cov.npy", max_members=2
+        )
+        acc.add_member(0, np.ones(8))
+        acc.add_member(1, np.ones(8))
+        with pytest.raises(RuntimeError, match="full"):
+            acc.add_member(2, np.ones(8))
+
+    def test_validation(self, tmp_path):
+        from repro.core.covariance import MemmapAnomalyAccumulator
+        from repro.core.state import FieldLayout, FieldSpec
+
+        layout = FieldLayout([FieldSpec("a", (8,), scale=1.0)])
+        with pytest.raises(ValueError, match="max_members"):
+            MemmapAnomalyAccumulator(
+                layout, np.zeros(8), tmp_path / "cov.npy", max_members=1
+            )

@@ -1,0 +1,94 @@
+"""Unit tests for RNG streams and Gaussian random fields."""
+
+import numpy as np
+import pytest
+
+from repro.util.randomfields import GaussianRandomField2D
+from repro.util.rng import SeedSequenceStream, member_rng
+
+
+class TestSeedStreams:
+    def test_same_key_same_stream(self):
+        s = SeedSequenceStream(42)
+        a = s.rng("pert", 3).standard_normal(5)
+        b = SeedSequenceStream(42).rng("pert", 3).standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_different_index_different_stream(self):
+        s = SeedSequenceStream(42)
+        a = s.rng("pert", 3).standard_normal(5)
+        b = s.rng("pert", 4).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_purpose_different_stream(self):
+        s = SeedSequenceStream(42)
+        a = s.rng("pert", 3).standard_normal(5)
+        b = s.rng("model", 3).standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_string_hash_is_stable(self):
+        """Keys must not depend on Python's salted hash()."""
+        w1 = SeedSequenceStream(0)._key_words(("pert", 7))
+        w2 = SeedSequenceStream(0)._key_words(("pert", 7))
+        assert w1 == w2
+
+    def test_rejects_bad_key_parts(self):
+        with pytest.raises(TypeError, match="int or str"):
+            SeedSequenceStream(0).rng(("tuple",))
+
+    def test_member_rng_rejects_negative(self):
+        with pytest.raises(ValueError):
+            member_rng(0, -1)
+
+    def test_member_rng_independent_of_call_order(self):
+        a1 = member_rng(9, 700).standard_normal(4)
+        b1 = member_rng(9, 900).standard_normal(4)
+        b2 = member_rng(9, 900).standard_normal(4)
+        a2 = member_rng(9, 700).standard_normal(4)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(b1, b2)
+
+
+class TestGaussianRandomField:
+    def test_shape_and_determinism(self):
+        f1 = GaussianRandomField2D((12, 16), 3.0, seed=1).sample()
+        f2 = GaussianRandomField2D((12, 16), 3.0, seed=1).sample()
+        assert f1.shape == (12, 16)
+        assert np.array_equal(f1, f2)
+
+    def test_unit_variance_approximately(self):
+        grf = GaussianRandomField2D((32, 32), 4.0, seed=0)
+        fields = grf.sample_many(300)
+        assert fields.std() == pytest.approx(1.0, rel=0.1)
+
+    def test_correlation_increases_with_length_scale(self):
+        def neighbour_corr(ls):
+            grf = GaussianRandomField2D((32, 32), ls, seed=3)
+            f = grf.sample_many(200)
+            a = f[:, :, :-1].ravel()
+            b = f[:, :, 1:].ravel()
+            return np.corrcoef(a, b)[0, 1]
+
+        assert neighbour_corr(6.0) > neighbour_corr(1.0) > neighbour_corr(0.0) - 0.1
+
+    def test_zero_length_scale_is_white(self):
+        grf = GaussianRandomField2D((32, 32), 0.0, seed=2)
+        f = grf.sample_many(200)
+        a = f[:, :, :-1].ravel()
+        b = f[:, :, 1:].ravel()
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+    def test_sample_many_matches_count(self):
+        grf = GaussianRandomField2D((8, 8), 2.0, seed=4)
+        assert grf.sample_many(5).shape == (5, 8, 8)
+        assert grf.sample_many(0).shape == (0, 8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianRandomField2D((0, 5), 1.0)
+        with pytest.raises(ValueError):
+            GaussianRandomField2D((5, 5), -1.0)
+        with pytest.raises(ValueError):
+            GaussianRandomField2D((5, 5), 1.0, seed=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            GaussianRandomField2D((5, 5), 1.0).sample_many(-1)

@@ -1,0 +1,96 @@
+"""Unit tests for the three-file covariance protocol."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.workflow.covfile import CovarianceFileSet
+
+
+@pytest.fixture()
+def covset(tmp_path):
+    return CovarianceFileSet(tmp_path)
+
+
+class TestProtocol:
+    def test_no_snapshot_before_publish(self, covset):
+        assert covset.read_safe() is None
+        covset.write_live(np.ones((4, 2)), [0, 1])
+        assert covset.read_safe() is None  # live written, not published
+
+    def test_publish_exposes_snapshot(self, covset):
+        covset.write_live(np.ones((4, 2)), [0, 1])
+        assert covset.publish()
+        snap = covset.read_safe()
+        assert snap is not None
+        assert snap.count == 2
+        assert np.allclose(snap.anomalies, 1.0)
+        assert list(snap.member_ids) == [0, 1]
+
+    def test_publish_without_write_is_false(self, covset):
+        assert not covset.publish()
+
+    def test_live_files_alternate(self, covset):
+        p1 = covset.write_live(np.ones((4, 2)), [0, 1])
+        p2 = covset.write_live(np.ones((4, 3)), [0, 1, 2])
+        p3 = covset.write_live(np.ones((4, 4)), [0, 1, 2, 3])
+        assert p1 != p2
+        assert p1 == p3
+
+    def test_version_monotone(self, covset):
+        covset.write_live(np.ones((4, 2)), [0, 1])
+        covset.publish()
+        v1 = covset.read_safe().version
+        covset.write_live(np.ones((4, 3)), [0, 1, 2])
+        covset.publish()
+        v2 = covset.read_safe().version
+        assert v2 > v1
+
+    def test_safe_stable_while_live_written(self, covset):
+        """The SVD's snapshot must not change until the next publish."""
+        covset.write_live(np.full((4, 2), 1.0), [0, 1])
+        covset.publish()
+        before = covset.read_safe()
+        covset.write_live(np.full((4, 3), 2.0), [0, 1, 2])  # no publish
+        after = covset.read_safe()
+        assert after.version == before.version
+        assert after.count == 2
+
+    def test_shape_validation(self, covset):
+        with pytest.raises(ValueError, match="inconsistent"):
+            covset.write_live(np.ones((4, 2)), [0, 1, 2])
+
+    def test_cleanup(self, covset):
+        covset.write_live(np.ones((4, 2)), [0, 1])
+        covset.publish()
+        covset.cleanup()
+        assert covset.read_safe() is None
+
+    def test_concurrent_reader_never_sees_torn_snapshot(self, covset):
+        """Hammer the protocol: reader snapshots are always consistent."""
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                snap = covset.read_safe()
+                if snap is None:
+                    continue
+                # consistency invariant: every column equals its member id
+                for col, mid in enumerate(snap.member_ids):
+                    if not np.all(snap.anomalies[:, col] == mid):
+                        errors.append(f"torn snapshot at version {snap.version}")
+                        return
+
+        t = threading.Thread(target=reader)
+        t.start()
+        ids: list[int] = []
+        for k in range(60):
+            ids.append(k)
+            matrix = np.tile(np.array(ids, dtype=float), (8, 1))
+            covset.write_live(matrix, ids)
+            covset.publish()
+        stop.set()
+        t.join()
+        assert errors == []

@@ -1,0 +1,118 @@
+"""Tests for the ESSE task-graph (Fig 3 / Fig 4) analysis."""
+
+import networkx as nx
+import pytest
+
+from repro.workflow.dag import (
+    DagAnalysis,
+    analyse,
+    build_parallel_esse_dag,
+    build_serial_esse_dag,
+    esse_speedup_bound,
+)
+
+TIMES = {"pert": 6.0, "pemodel": 1500.0, "diff": 2.0, "svd": 120.0, "conv": 1.0}
+
+
+class TestGraphShapes:
+    def test_node_counts_match(self):
+        s = build_serial_esse_dag(10)
+        p = build_parallel_esse_dag(10)
+        # same inventory: 3 per member + svd + conv
+        assert s.number_of_nodes() == p.number_of_nodes() == 32
+
+    def test_both_acyclic(self):
+        assert nx.is_directed_acyclic_graph(build_serial_esse_dag(5))
+        assert nx.is_directed_acyclic_graph(build_parallel_esse_dag(5))
+
+    def test_serial_diff_chain(self):
+        g = build_serial_esse_dag(4)
+        assert g.has_edge("diff/0", "diff/1")
+        assert g.has_edge("diff/2", "diff/3")
+
+    def test_serial_barrier_before_diffs(self):
+        g = build_serial_esse_dag(4)
+        for j in range(4):
+            assert g.has_edge(f"pemodel/{j}", "diff/0")
+
+    def test_parallel_members_independent(self):
+        g = build_parallel_esse_dag(4)
+        assert not g.has_edge("diff/0", "diff/1")
+        assert g.has_edge("diff/3", "svd")
+        assert not g.has_edge("pemodel/0", "diff/1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_serial_esse_dag(0)
+        with pytest.raises(ValueError):
+            build_parallel_esse_dag(0)
+
+
+class TestAnalysis:
+    def test_total_work_equal_in_both(self):
+        s = analyse(build_serial_esse_dag(20), TIMES)
+        p = analyse(build_parallel_esse_dag(20), TIMES)
+        assert s.total_work == pytest.approx(p.total_work)
+
+    def test_serial_span_contains_all_pemodels(self):
+        """Fig 3's barrier puts only ONE pemodel on the span (the members
+        run one after another on the shepherd, but the DAG has no worker
+        limit) -- the diff chain, not the forecasts, is its structural
+        extra length."""
+        n = 20
+        s = analyse(build_serial_esse_dag(n), TIMES)
+        p = analyse(build_parallel_esse_dag(n), TIMES)
+        # serial span >= parallel span: extra diff-chain + barrier
+        assert s.critical_path > p.critical_path
+        # parallel span = pert + pemodel + diff + svd + conv
+        expected = sum(TIMES.values())
+        assert p.critical_path == pytest.approx(expected)
+        # serial span adds the full diff chain after every pemodel
+        expected_serial = (
+            TIMES["pert"] + TIMES["pemodel"] + n * TIMES["diff"]
+            + TIMES["svd"] + TIMES["conv"]
+        )
+        assert s.critical_path == pytest.approx(expected_serial)
+
+    def test_average_parallelism_grows_with_members(self):
+        p10 = analyse(build_parallel_esse_dag(10), TIMES)
+        p100 = analyse(build_parallel_esse_dag(100), TIMES)
+        assert p100.average_parallelism > 5 * p10.average_parallelism
+
+    def test_brents_bound(self):
+        a = DagAnalysis(total_work=1000.0, critical_path=100.0, node_count=5)
+        assert a.makespan_lower_bound(1) == 1000.0
+        assert a.makespan_lower_bound(5) == 200.0
+        assert a.makespan_lower_bound(1000) == 100.0
+        with pytest.raises(ValueError):
+            a.makespan_lower_bound(0)
+
+    def test_missing_duration_rejected(self):
+        g = build_parallel_esse_dag(2)
+        with pytest.raises(KeyError, match="pemodel"):
+            analyse(g, {"pert": 1.0, "diff": 1.0, "svd": 1.0, "conv": 1.0})
+
+    def test_cycle_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a", kind="pert")
+        g.add_node("b", kind="pert")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError, match="acyclic"):
+            analyse(g, {"pert": 1.0})
+
+
+class TestSpeedupBound:
+    def test_speedup_increases_with_workers(self):
+        assert esse_speedup_bound(100, 100) > esse_speedup_bound(100, 10) > 1.0
+
+    def test_speedup_saturates_at_span(self):
+        """Beyond work/span workers, more cores stop helping."""
+        at_200 = esse_speedup_bound(100, 200)
+        at_2000 = esse_speedup_bound(100, 2000)
+        assert at_2000 == pytest.approx(at_200, rel=0.25)
+
+    def test_default_durations_are_papers(self):
+        analysis = analyse(build_parallel_esse_dag(600))
+        # 600 members at ~1537.5 s each dominates total work
+        assert analysis.total_work > 600 * 1500.0

@@ -1,0 +1,91 @@
+"""Restart semantics (paper Sec 4.2): resume without rerunning all jobs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ESSEConfig, PerturbationGenerator, synthetic_initial_subspace
+from repro.core.ensemble import EnsembleRunner
+from repro.ocean import PEModel
+from repro.ocean.bathymetry import monterey_grid
+from repro.workflow import SerialESSEWorkflow
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = monterey_grid(nx=16, ny=14, nz=3)
+    model = PEModel(grid=grid)
+    background = model.run(model.rest_state(), 86400.0)
+    subspace = synthetic_initial_subspace(
+        model.layout, grid.shape2d, grid.nz, rank=6, seed=0
+    )
+    perturber = PerturbationGenerator(model.layout, subspace, root_seed=5)
+    runner = EnsembleRunner(model, perturber, duration=4 * 400.0, root_seed=5)
+    return runner, background
+
+
+def config():
+    return ESSEConfig(
+        initial_ensemble_size=4,
+        max_ensemble_size=8,
+        convergence_tolerance=1.0,  # always run to Nmax
+        max_subspace_rank=6,
+    )
+
+
+class TestSerialRestart:
+    def test_second_run_reuses_members(self, setup, tmp_path):
+        runner, background = setup
+
+        calls = []
+
+        class CountingRunner(EnsembleRunner):
+            def run_member(self, mean_state, member_index):
+                calls.append(member_index)
+                return super().run_member(mean_state, member_index)
+
+        counting = CountingRunner(
+            runner.model, runner.perturber, runner.duration, runner.root_seed
+        )
+        first = SerialESSEWorkflow(counting, config(), tmp_path).run(background)
+        n_first = len(calls)
+        assert n_first == 8
+
+        # "restart": same workdir, fresh shepherd
+        second = SerialESSEWorkflow(counting, config(), tmp_path).run(background)
+        assert len(calls) == n_first  # no member recomputed
+        assert second.ensemble_size == first.ensemble_size
+        assert np.allclose(second.subspace.sigmas, first.subspace.sigmas)
+
+    def test_partial_restart_runs_only_missing(self, setup, tmp_path):
+        runner, background = setup
+        workflow = SerialESSEWorkflow(runner, config(), tmp_path)
+        workflow.run(background)
+        # simulate a lost member: remove its file and status record
+        victim = 3
+        workflow._member_path(victim).unlink()
+        (workflow.status.root / f"pemodel.{victim}.status").unlink()
+
+        calls = []
+
+        class CountingRunner(EnsembleRunner):
+            def run_member(self, mean_state, member_index):
+                calls.append(member_index)
+                return super().run_member(mean_state, member_index)
+
+        counting = CountingRunner(
+            runner.model, runner.perturber, runner.duration, runner.root_seed
+        )
+        result = SerialESSEWorkflow(counting, config(), tmp_path).run(background)
+        assert calls == [victim]
+        assert result.ensemble_size == 8
+
+    def test_status_file_without_member_file_is_recomputed(self, setup, tmp_path):
+        """A success record whose output vanished must not be trusted."""
+        runner, background = setup
+        workflow = SerialESSEWorkflow(runner, config(), tmp_path)
+        workflow.run(background)
+        victim = 2
+        workflow._member_path(victim).unlink()  # file gone, status says OK
+
+        result = SerialESSEWorkflow(runner, config(), tmp_path).run(background)
+        assert result.ensemble_size == 8  # recomputed, not skipped

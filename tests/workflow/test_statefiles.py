@@ -1,0 +1,86 @@
+"""Unit tests for per-index status files."""
+
+import pytest
+
+from repro.workflow.statefiles import StatusDirectory, TaskStatus
+
+
+@pytest.fixture()
+def status(tmp_path):
+    return StatusDirectory(tmp_path / "status")
+
+
+class TestBasics:
+    def test_round_trip(self, status):
+        status.write("pemodel", 7, TaskStatus.SUCCESS)
+        assert status.read("pemodel", 7) == TaskStatus.SUCCESS
+        assert status.is_done("pemodel", 7)
+        assert status.succeeded("pemodel", 7)
+
+    def test_unreported_is_none(self, status):
+        assert status.read("pemodel", 0) is None
+        assert not status.is_done("pemodel", 0)
+        assert not status.succeeded("pemodel", 0)
+
+    def test_failure_codes(self, status):
+        status.write("pemodel", 1, TaskStatus.MODEL_FAILURE)
+        assert status.is_done("pemodel", 1)
+        assert not status.succeeded("pemodel", 1)
+
+    def test_overwrite_allowed(self, status):
+        status.write("pert", 0, TaskStatus.MODEL_FAILURE)
+        status.write("pert", 0, TaskStatus.SUCCESS)
+        assert status.succeeded("pert", 0)
+
+    def test_kinds_are_separate(self, status):
+        status.write("pert", 3, TaskStatus.SUCCESS)
+        assert status.read("pemodel", 3) is None
+
+    def test_invalid_kind(self, status):
+        with pytest.raises(ValueError, match="kind"):
+            status.write("a.b", 0, TaskStatus.SUCCESS)
+        with pytest.raises(ValueError, match="kind"):
+            status.write("", 0, TaskStatus.SUCCESS)
+
+    def test_invalid_index(self, status):
+        with pytest.raises(ValueError, match="index"):
+            status.write("pert", -1, TaskStatus.SUCCESS)
+
+
+class TestScans:
+    def test_completed_indices(self, status):
+        status.write("pemodel", 0, TaskStatus.SUCCESS)
+        status.write("pemodel", 5, TaskStatus.MODEL_FAILURE)
+        status.write("pemodel", 2, TaskStatus.CANCELLED)
+        done = status.completed_indices("pemodel")
+        assert done == {
+            0: TaskStatus.SUCCESS,
+            5: TaskStatus.MODEL_FAILURE,
+            2: TaskStatus.CANCELLED,
+        }
+
+    def test_successful_indices_sorted(self, status):
+        for idx in (9, 1, 4):
+            status.write("pemodel", idx, TaskStatus.SUCCESS)
+        status.write("pemodel", 2, TaskStatus.MODEL_FAILURE)
+        assert status.successful_indices("pemodel") == [1, 4, 9]
+
+    def test_pending_indices_restart_path(self, status):
+        """Sec 4.2: restart submits only not-yet-reported indices."""
+        for idx in (0, 1, 3):
+            status.write("pemodel", idx, TaskStatus.SUCCESS)
+        assert status.pending_indices("pemodel", range(6)) == [2, 4, 5]
+
+    def test_foreign_files_ignored(self, status, tmp_path):
+        (status.root / "pemodel.notanint.status").write_text("0\n")
+        (status.root / "pemodel.3.status").write_text("garbage\n")
+        status.write("pemodel", 1, TaskStatus.SUCCESS)
+        assert status.completed_indices("pemodel") == {1: TaskStatus.SUCCESS}
+
+    def test_clear(self, status):
+        status.write("pert", 0, TaskStatus.SUCCESS)
+        status.write("pemodel", 0, TaskStatus.SUCCESS)
+        assert status.clear("pert") == 1
+        assert status.read("pert", 0) is None
+        assert status.read("pemodel", 0) is not None
+        assert status.clear() == 1
