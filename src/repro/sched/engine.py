@@ -53,6 +53,24 @@ class Simulator:
         """Cancel a scheduled event (lazy removal)."""
         self._cancelled.add(handle)
 
+    def step(self) -> bool:
+        """Process exactly one (non-cancelled) event.
+
+        Returns False when the queue is empty.  Useful for observing a
+        simulation mid-flight -- e.g. asserting that a retry's backoff
+        delay elapsed before its resubmission fired.
+        """
+        while self._queue:
+            time, handle, callback = heapq.heappop(self._queue)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self.now = time
+            self.events_processed += 1
+            callback()
+            return True
+        return False
+
     def run(self, until: float | None = None) -> None:
         """Process events in time order, optionally stopping at ``until``.
 

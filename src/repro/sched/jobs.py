@@ -64,6 +64,21 @@ class Job:
     end_time: float | None = None
     node_name: str | None = None
     cpu_busy_seconds: float = 0.0  # time actually computing (not I/O)
+    attempt: int = 1  # 1-based; > 1 after retry-policy resubmissions
+
+    def reset_for_retry(self, submit_time: float) -> None:
+        """Re-queue this record for its next attempt (retry policy).
+
+        Timing fields are cleared so wait/runtime metrics describe the
+        attempt that actually produced the result, not the failed ones.
+        """
+        self.attempt += 1
+        self.state = JobState.QUEUED
+        self.submit_time = submit_time
+        self.start_time = None
+        self.end_time = None
+        self.node_name = None
+        self.cpu_busy_seconds = 0.0
 
     @property
     def wait_seconds(self) -> float | None:

@@ -19,6 +19,8 @@ from repro.sched.engine import Simulator
 from repro.sched.iomodel import IOConfiguration, IOMode, SharedBandwidth
 from repro.sched.jobs import Job, JobSpec, JobState
 from repro.sched.resources import ClusterModel, Node
+from repro.workflow.faults import FaultInjector, FaultKind
+from repro.workflow.policies import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -103,7 +105,22 @@ class ClusterScheduler:
         statistical coverage surviving a flaky substrate.
     failure_rng:
         Generator for failure draws (seeded for reproducible campaigns).
+    retry_policy:
+        When set, FAILED jobs are resubmitted with deterministic
+        exponential backoff until ``max_attempts`` is exhausted -- the
+        campaign-simulator mirror of the task-pool retry machinery.
+        Completion callbacks and dependent-job aborts fire only on
+        *terminal* outcomes.
+    fault_injector:
+        Deterministic fault source (same draws as the live workflow):
+        CRASH and CORRUPT attempts fail on their node (CORRUPT after
+        paying the output transfer), STALL attempts occupy the node for
+        ``stall_seconds`` extra, and transiently submit-failing jobs reach
+        the queue only after their backoff delays elapse.
     """
+
+    #: Bound on transient-submit retries per job (mirrors the workflow).
+    MAX_SUBMIT_TRIES = 50
 
     def __init__(
         self,
@@ -114,6 +131,8 @@ class ClusterScheduler:
         as_job_array: bool = True,
         failure_rate: float = 0.0,
         failure_rng=None,
+        retry_policy: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError("failure_rate must be in [0, 1)")
@@ -123,6 +142,9 @@ class ClusterScheduler:
         self.io_config = io_config if io_config is not None else IOConfiguration()
         self.as_job_array = as_job_array
         self.failure_rate = failure_rate
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        self.n_retried = 0  # resubmissions performed by the retry policy
         self._failure_rng = failure_rng
         if failure_rate > 0 and failure_rng is None:
             import numpy as _np
@@ -172,7 +194,19 @@ class ClusterScheduler:
             self.jobs[key] = job
             submitted.append(job)
             if spec.depends_on is None:
-                if self.as_job_array:
+                fault_delay = self._submit_fault_delay(spec)
+                if fault_delay is None:
+                    # every transient-submit retry failed: terminal
+                    job.state = JobState.FAILED
+                    job.end_time = self.sim.now
+                    self._notify(job)
+                elif fault_delay > 0:
+                    # transient submit failures: the job reaches the queue
+                    # only after its backoff delays elapse (Sec 5.3.1)
+                    self.sim.schedule(
+                        delay + fault_delay, lambda j=job: self._enqueue(j)
+                    )
+                elif self.as_job_array:
                     # One array = one scheduler object: all tasks become
                     # visible together, no per-job events.
                     self._ready.append(job)
@@ -222,9 +256,45 @@ class ClusterScheduler:
         self._prestage_done = True
         self._request_dispatch()
 
+    def _submit_fault_delay(self, spec: JobSpec) -> float | None:
+        """Backoff delay from transient submit failures (deterministic).
+
+        0.0 when the first try sticks; None when MAX_SUBMIT_TRIES draws in
+        a row fail (the submission is terminally lost).
+        """
+        if self.fault_injector is None:
+            return 0.0
+        delay = 0.0
+        for t in range(1, self.MAX_SUBMIT_TRIES + 1):
+            if not self.fault_injector.submit_fails(spec.index, t, kind=spec.kind):
+                return delay
+            self.fault_injector.fire(
+                FaultKind.SUBMIT_FAILURE, spec.index, t, kind=spec.kind
+            )
+            if self.retry_policy is not None:
+                delay += self.retry_policy.backoff_seconds(spec.index, min(t, 8))
+            else:
+                delay += 1.0  # nominal resubmission pause without a policy
+        return None
+
+    def _draw_fault(self, job: Job) -> FaultKind | None:
+        """The injected execution fault for this job attempt, if any."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.draw(
+            job.spec.index, job.attempt, kind=job.spec.kind
+        )
+
     def _enqueue(self, job: Job) -> None:
         if job.state is JobState.QUEUED:  # not cancelled meanwhile
             self._ready.append(job)
+            if (
+                isinstance(self.policy, CondorPolicy)
+                and not self._negotiation_active
+            ):
+                # a retried/delayed job may arrive after negotiation went
+                # idle; restart the cycle or it would never be dispatched
+                self._schedule_negotiation()
             self._request_dispatch()
 
     def _notify(self, job: Job) -> None:
@@ -344,24 +414,62 @@ class ClusterScheduler:
     def _start_compute(self, job: Job, node: Node) -> None:
         duration = job.spec.cpu_seconds / node.spec.speed_factor
         job.cpu_busy_seconds = duration
-        self.sim.schedule(duration, lambda: self._start_output(job, node))
+        wall = duration
+        if self._draw_fault(job) is FaultKind.STALL:
+            # straggler: the node is held for the stall on top of compute
+            self.fault_injector.fire(
+                FaultKind.STALL, job.spec.index, job.attempt, kind=job.spec.kind
+            )
+            wall += self.fault_injector.stall_seconds
+        self.sim.schedule(wall, lambda: self._start_output(job, node))
 
     def _start_output(self, job: Job, node: Node) -> None:
+        fault = self._draw_fault(job)
+        if fault is FaultKind.CRASH:
+            # dies before any output comes home
+            self.fault_injector.fire(
+                FaultKind.CRASH, job.spec.index, job.attempt, kind=job.spec.kind
+            )
+            self._fail_job(job, node)
+            return
         if self.failure_rate > 0 and self._failure_rng.random() < self.failure_rate:
             # the job died on its node; no output comes home, and jobs
             # depending on it can never run
-            node.release(job.spec.cores)
-            job.state = JobState.FAILED
-            job.end_time = self.sim.now
-            self._abort_dependents(job)
-            self._notify(job)
-            self._request_dispatch()
+            self._fail_job(job, node)
             return
         out_mb = self.io_config.output_mb_for(job.spec.kind)
+        if fault is FaultKind.CORRUPT:
+            # the output transfer happens -- and is wasted: the file is
+            # unreadable, discovered only after it came home (Sec 5.2.1)
+            self.fault_injector.fire(
+                FaultKind.CORRUPT, job.spec.index, job.attempt, kind=job.spec.kind
+            )
+            if out_mb > 0:
+                self.nfs.transfer(out_mb, lambda: self._fail_job(job, node))
+            else:
+                self._fail_job(job, node)
+            return
         if out_mb > 0:
             self.nfs.transfer(out_mb, lambda: self._finish_job(job, node))
         else:
             self._finish_job(job, node)
+
+    def _fail_job(self, job: Job, node: Node) -> None:
+        """One attempt failed: resubmit under the retry policy or finalize."""
+        node.release(job.spec.cores)
+        job.end_time = self.sim.now
+        policy = self.retry_policy
+        if policy is not None and policy.retries_left(job.attempt):
+            delay = policy.backoff_seconds(job.spec.index, job.attempt)
+            self.n_retried += 1
+            job.reset_for_retry(self.sim.now + delay)
+            self.sim.schedule(delay, lambda j=job: self._enqueue(j))
+            self._request_dispatch()
+            return
+        job.state = JobState.FAILED
+        self._abort_dependents(job)
+        self._notify(job)
+        self._request_dispatch()
 
     def _abort_dependents(self, job: Job) -> None:
         key = (job.spec.kind, job.spec.index)

@@ -14,14 +14,25 @@ serial ESSE job shepherd (Fig 3) into a decoupled many-task pipeline
 - :mod:`~repro.workflow.parallel` -- the MTC implementation: a task pool of
   size M >= N, a continuously running differ, a decoupled SVD/convergence
   worker, cancellation of superfluous members and staged pool enlargement,
-- :mod:`~repro.workflow.policies` -- cancellation and deadline policies.
+- :mod:`~repro.workflow.policies` -- cancellation, deadline and retry
+  policies,
+- :mod:`~repro.workflow.faults` -- deterministic fault injection (crash /
+  corrupt output / straggler stall / transient submit failure) for
+  exercising the retry machinery; the failure model is documented in
+  ``docs/FAILURE_MODEL.md``.
 """
 
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
 from repro.workflow.covfile import CovarianceFileSet
-from repro.workflow.policies import CancellationPolicy, DeadlinePolicy
+from repro.workflow.policies import CancellationPolicy, DeadlinePolicy, RetryPolicy
+from repro.workflow.faults import FaultEvent, FaultInjector, FaultKind
 from repro.workflow.serial import SerialESSEWorkflow, SerialTimings
-from repro.workflow.parallel import ParallelESSEWorkflow, WorkflowEvent, WorkflowResult
+from repro.workflow.parallel import (
+    DegradedEnsembleWarning,
+    ParallelESSEWorkflow,
+    WorkflowEvent,
+    WorkflowResult,
+)
 from repro.workflow.monitor import ProgressMonitor, ProgressReport
 
 __all__ = [
@@ -30,8 +41,13 @@ __all__ = [
     "CovarianceFileSet",
     "CancellationPolicy",
     "DeadlinePolicy",
+    "RetryPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
     "SerialESSEWorkflow",
     "SerialTimings",
+    "DegradedEnsembleWarning",
     "ParallelESSEWorkflow",
     "WorkflowEvent",
     "WorkflowResult",

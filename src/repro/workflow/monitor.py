@@ -28,6 +28,8 @@ class ProgressReport:
     cancelled: int
     throughput_per_minute: float  # completions/minute since monitoring began
     eta_seconds: float | None  # None until throughput is measurable
+    n_retried: int = 0  # resubmitted executions (attempt records beyond the 1st)
+    n_timed_out: int = 0  # straggler attempts cancelled past their deadline
 
     @property
     def reported(self) -> int:
@@ -52,10 +54,15 @@ class ProgressReport:
             if self.eta_seconds is not None
             else ""
         )
+        faults = (
+            f", retried {self.n_retried}, timed out {self.n_timed_out}"
+            if self.n_retried or self.n_timed_out
+            else ""
+        )
         return (
             f"{self.kind}: {self.reported}/{self.expected} ({pct:.0f}%) "
             f"[ok {self.succeeded}, failed {self.failed}, "
-            f"cancelled {self.cancelled}]{eta}"
+            f"cancelled {self.cancelled}{faults}]{eta}"
         )
 
 
@@ -98,9 +105,18 @@ class ProgressMonitor:
             raise KeyError(f"unknown kind {kind!r}; expected {sorted(self.expected)}")
         statuses = self.status.completed_indices(kind)
         succeeded = sum(1 for s in statuses.values() if s == TaskStatus.SUCCESS)
-        failed = sum(1 for s in statuses.values() if s == TaskStatus.MODEL_FAILURE)
-        failed += sum(1 for s in statuses.values() if s == TaskStatus.IO_FAILURE)
+        failed = sum(
+            1
+            for s in statuses.values()
+            if s
+            in (TaskStatus.MODEL_FAILURE, TaskStatus.IO_FAILURE, TaskStatus.TIMED_OUT)
+        )
         cancelled = sum(1 for s in statuses.values() if s == TaskStatus.CANCELLED)
+        attempts = self.status.attempt_counts(kind)
+        n_retried = sum(sum(per.values()) - 1 for per in attempts.values())
+        n_timed_out = sum(
+            per.get(TaskStatus.TIMED_OUT, 0) for per in attempts.values()
+        )
 
         elapsed = max(self._clock() - self._t0, 1e-9)
         new_since_start = len(statuses) - self._baseline[kind]
@@ -117,6 +133,8 @@ class ProgressMonitor:
             cancelled=cancelled,
             throughput_per_minute=rate,
             eta_seconds=eta,
+            n_retried=n_retried,
+            n_timed_out=n_timed_out,
         )
 
     def reports(self) -> list[ProgressReport]:

@@ -16,7 +16,15 @@ components:
 - *cancellation*: on convergence the remaining members are cancelled per
   policy, and on failure near the pool size the pool is enlarged in stages
   "to make sure that there is no point during this process where the
-  pipeline of results drains".
+  pipeline of results drains";
+- *fault tolerance*: with a :class:`~repro.workflow.policies.RetryPolicy`,
+  members that fail, time out past a straggler deadline, or produce a
+  corrupt output file are resubmitted with deterministic exponential
+  backoff, and the run degrades gracefully to whatever converged subspace
+  the surviving members support when retries are exhausted (see
+  ``docs/FAILURE_MODEL.md``).  A seedable
+  :class:`~repro.workflow.faults.FaultInjector` exercises all of this on
+  demand.
 
 Every component appends to a shared event log, from which the Fig 4 bench
 derives phase overlap and speedup versus the serial implementation.
@@ -24,9 +32,11 @@ derives phase overlap and speedup versus the serial implementation.
 
 from __future__ import annotations
 
+import heapq
 import pickle
 import threading
 import time
+import warnings
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,8 +49,18 @@ from repro.core.driver import ESSEConfig
 from repro.core.ensemble import EnsembleRunner
 from repro.core.subspace import ErrorSubspace
 from repro.workflow.covfile import CovarianceFileSet
-from repro.workflow.policies import CancellationPolicy
+from repro.workflow.faults import FaultInjector, FaultKind
+from repro.workflow.policies import CancellationPolicy, RetryPolicy
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
+
+
+class DegradedEnsembleWarning(UserWarning):
+    """Members were lost terminally; statistics come from survivors only.
+
+    Ensemble methods are sensitive to member loss in high dimensions, so
+    degradation is surfaced loudly rather than absorbed silently -- see
+    ``docs/FAILURE_MODEL.md`` for the semantics.
+    """
 
 
 @dataclass(frozen=True)
@@ -66,6 +86,9 @@ class WorkflowResult:
     n_cancelled: int
     wall_seconds: float
     member_ids: tuple[int, ...]
+    n_retried: int = 0  # resubmissions actually executed
+    n_timed_out: int = 0  # straggler attempts cancelled past the deadline
+    degraded: bool = False  # members lost terminally; subspace from survivors
 
     def events_of(self, kind: str) -> list[WorkflowEvent]:
         """All events of one kind, in time order."""
@@ -101,21 +124,60 @@ def _process_worker_init(payload: bytes) -> None:
     _WORKER_CTX.update(pickle.loads(payload))
 
 
-def _process_member_task(index: int) -> tuple[int, bool, str | None]:
-    runner: EnsembleRunner = _WORKER_CTX["runner"]
-    mean_state = _WORKER_CTX["mean_state"]
-    members_dir = Path(_WORKER_CTX["members_dir"])
-    status = StatusDirectory(_WORKER_CTX["status_dir"])
+def _execute_member(
+    runner: EnsembleRunner,
+    mean_state,
+    index: int,
+    attempt: int,
+    members_dir: Path,
+    status: StatusDirectory,
+    faults: FaultInjector | None,
+    cancel: threading.Event | None,
+) -> tuple[int, int, bool, str | None]:
+    """One member attempt: inject faults, write output + attempt status.
+
+    Returns ``(index, attempt, ok, error)``.  A cancelled attempt writes
+    nothing (the main loop already recorded TIMED_OUT for it); an injected
+    CORRUPT attempt deliberately writes a truncated file *and* a success
+    status -- the torn-shared-FS-write case the differ must catch.
+    """
+    fault = faults.draw(index, attempt) if faults is not None else None
+    if fault is FaultKind.STALL:
+        faults.fire(fault, index, attempt)
+        if faults.stall(cancel):
+            return index, attempt, False, "stall cancelled"
     result = runner.run_member(mean_state, index)
+    if cancel is not None and cancel.is_set():
+        return index, attempt, False, "cancelled"
+    if fault is FaultKind.CRASH:
+        faults.fire(fault, index, attempt)
+        status.write("pemodel", index, TaskStatus.MODEL_FAILURE, attempt=attempt)
+        return index, attempt, False, "injected crash before output"
     if result.ok:
         path = members_dir / f"forecast_{index:05d}.npz"
         tmp = path.with_suffix(".tmp.npz")
         np.savez(tmp, forecast=result.forecast)
+        if fault is FaultKind.CORRUPT:
+            faults.fire(fault, index, attempt)
+            tmp.write_bytes(faults.corrupt_bytes(tmp.read_bytes()))
         tmp.replace(path)
-        status.write("pemodel", index, TaskStatus.SUCCESS)
-        return index, True, None
-    status.write("pemodel", index, TaskStatus.MODEL_FAILURE)
-    return index, False, result.error
+        status.write("pemodel", index, TaskStatus.SUCCESS, attempt=attempt)
+        return index, attempt, True, None
+    status.write("pemodel", index, TaskStatus.MODEL_FAILURE, attempt=attempt)
+    return index, attempt, False, result.error
+
+
+def _process_member_task(index: int, attempt: int = 1) -> tuple[int, int, bool, str | None]:
+    return _execute_member(
+        _WORKER_CTX["runner"],
+        _WORKER_CTX["mean_state"],
+        index,
+        attempt,
+        Path(_WORKER_CTX["members_dir"]),
+        StatusDirectory(_WORKER_CTX["status_dir"]),
+        _WORKER_CTX.get("faults"),
+        None,  # process attempts cannot be cancelled cooperatively
+    )
 
 
 class ParallelESSEWorkflow:
@@ -144,7 +206,19 @@ class ParallelESSEWorkflow:
     pool_margin:
         The task pool stays this factor ahead of the next SVD checkpoint
         so the pipeline never drains.
+    retry:
+        Resubmission policy for failed/corrupt/straggling members.  None
+        (the default) keeps the seed semantics: every failure is terminal.
+        Straggler cancellation (``retry.timeout_seconds``) requires the
+        thread backend; process-pool attempts cannot be interrupted.
+    faults:
+        Deterministic fault injector exercised by every member attempt;
+        None runs fault-free.
     """
+
+    #: Bound on transient-submit retries per member before the submission
+    #: is declared terminally failed (guards a pathological injector).
+    MAX_SUBMIT_TRIES = 50
 
     def __init__(
         self,
@@ -156,6 +230,8 @@ class ParallelESSEWorkflow:
         use_processes: bool = False,
         poll_interval: float = 0.005,
         pool_margin: float = 1.5,
+        retry: RetryPolicy | None = None,
+        faults: FaultInjector | None = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -173,10 +249,17 @@ class ParallelESSEWorkflow:
         self.use_processes = use_processes
         self.poll_interval = poll_interval
         self.pool_margin = pool_margin
+        self.retry = retry
+        self.faults = faults
 
         self._events: list[WorkflowEvent] = []
         self._events_lock = threading.Lock()
         self._t0 = 0.0
+        # worker -> main-loop signals (guarded by _fault_lock)
+        self._fault_lock = threading.Lock()
+        self._corrupt_found: list[int] = []
+        self._started_at: dict[tuple[int, int], float] = {}  # (index, attempt)
+        self._missing_sweeps: dict[int, int] = {}
 
     # -- event log ---------------------------------------------------------
 
@@ -185,6 +268,33 @@ class ParallelESSEWorkflow:
             self._events.append(
                 WorkflowEvent(time.perf_counter() - self._t0, kind=kind, detail=detail)
             )
+
+    # -- worker -> main-loop fault signals -----------------------------------
+
+    def _note_missing(self, index: int) -> None:
+        """Log a structured io_retry event for a status-before-file sweep.
+
+        Events are emitted at sweep counts 1, 2, 4, 8, ... so a member
+        stuck behind a slow shared filesystem is visible without the event
+        log growing by one entry per 5 ms poll.
+        """
+        with self._fault_lock:
+            sweeps = self._missing_sweeps.get(index, 0) + 1
+            self._missing_sweeps[index] = sweeps
+        if sweeps & (sweeps - 1) == 0:  # powers of two
+            self._log("io_retry", f"member={index} sweeps={sweeps}")
+
+    def _flag_corrupt(self, index: int) -> None:
+        """Report an unreadable member file (consumed by the main loop)."""
+        with self._fault_lock:
+            if index not in self._corrupt_found:
+                self._corrupt_found.append(index)
+
+    def _drain_corrupt(self) -> list[int]:
+        """Hand corrupt-member reports to the main loop exactly once."""
+        with self._fault_lock:
+            found, self._corrupt_found = self._corrupt_found, []
+        return found
 
     # -- component threads ----------------------------------------------------
 
@@ -205,8 +315,21 @@ class ParallelESSEWorkflow:
                 try:
                     with np.load(path) as data:
                         forecast = data["forecast"].copy()
-                except (FileNotFoundError, OSError):
-                    continue  # status visible before file: retry next sweep
+                except FileNotFoundError:
+                    # Status visible before file (NFS-style lag).  Not a
+                    # silent spin: each sweep is a structured retry event
+                    # (geometrically thinned) the monitor can see.
+                    self._note_missing(index)
+                    continue
+                except Exception:
+                    if path.exists():
+                        # File present but unreadable: a torn write.  Flag
+                        # for the main loop to fail/resubmit this member.
+                        self._flag_corrupt(index)
+                    else:
+                        self._note_missing(index)
+                    continue
+                self._missing_sweeps.pop(index, None)
                 with acc_lock:
                     if accumulator.has_member(index):
                         continue
@@ -274,6 +397,7 @@ class ParallelESSEWorkflow:
                     "mean_state": mean_state,
                     "members_dir": str(self.members_dir),
                     "status_dir": str(self.workdir / "status"),
+                    "faults": self.faults,
                 }
             )
             return ProcessPoolExecutor(
@@ -283,21 +407,32 @@ class ParallelESSEWorkflow:
             )
         return ThreadPoolExecutor(max_workers=self.n_workers)
 
-    def _submit(self, executor, mean_state, index: int) -> Future:
+    def _submit(
+        self,
+        executor,
+        mean_state,
+        index: int,
+        attempt: int = 1,
+        cancel: threading.Event | None = None,
+    ) -> Future:
         if self.use_processes:
-            return executor.submit(_process_member_task, index)
+            return executor.submit(_process_member_task, index, attempt)
 
-        def task(idx=index):
-            result = self.runner.run_member(mean_state, idx)
-            if result.ok:
-                path = self.members_dir / f"forecast_{idx:05d}.npz"
-                tmp = path.with_suffix(".tmp.npz")
-                np.savez(tmp, forecast=result.forecast)
-                tmp.replace(path)
-                self.status.write("pemodel", idx, TaskStatus.SUCCESS)
-                return idx, True, None
-            self.status.write("pemodel", idx, TaskStatus.MODEL_FAILURE)
-            return idx, False, result.error
+        def task(idx=index, att=attempt, cancel_event=cancel):
+            self._started_at[(idx, att)] = time.perf_counter()
+            try:
+                return _execute_member(
+                    self.runner,
+                    mean_state,
+                    idx,
+                    att,
+                    self.members_dir,
+                    self.status,
+                    self.faults,
+                    cancel_event,
+                )
+            finally:
+                self._started_at.pop((idx, att), None)
 
         return executor.submit(task)
 
@@ -305,6 +440,9 @@ class ParallelESSEWorkflow:
         """Execute the many-task pipeline until convergence/Nmax/Tmax."""
         cfg = self.config
         self._events = []
+        self._corrupt_found = []
+        self._started_at = {}
+        self._missing_sweeps = {}
         self._t0 = time.perf_counter()
         started = self._t0
 
@@ -349,6 +487,18 @@ class ParallelESSEWorkflow:
 
         futures: dict[int, Future] = {}
         n_cancelled = 0
+        n_retried = 0
+        n_timed_out = 0
+        retry = self.retry
+        attempts: dict[int, int] = {}  # current (latest) attempt per index
+        submit_tries: dict[int, int] = {}
+        cancel_events: dict[int, threading.Event] = {}
+        pending: list[tuple[float, int]] = []  # (ready_at, index) retry heap
+        processed: set[tuple[int, int]] = set()  # (index, attempt) results seen
+        abandoned: set[tuple[int, int]] = set()  # straggler-cancelled attempts
+        corrupt_handled: set[tuple[int, int]] = set()
+        terminal_failed: set[int] = set()
+        seen_done: set[int] = set()
         try:
             with self._make_executor(mean_state) as executor:
                 pool_target = min(
@@ -356,27 +506,157 @@ class ParallelESSEWorkflow:
                     cfg.max_ensemble_size,
                 )
                 next_index = 0
-                seen_done: set[int] = set()
+
+                def schedule_resubmit(idx: int, why: str) -> bool:
+                    """Queue the next attempt; False when retries exhausted."""
+                    nonlocal n_retried
+                    att = attempts[idx]
+                    if retry is None or not retry.retries_left(att):
+                        return False
+                    attempts[idx] = att + 1
+                    delay = retry.backoff_seconds(idx, att)
+                    heapq.heappush(pending, (time.perf_counter() + delay, idx))
+                    n_retried += 1
+                    self._log(
+                        "retry",
+                        f"member={idx} attempt={att + 1} delay={delay:.3f} why={why}",
+                    )
+                    return True
+
+                def terminal_failure(idx: int, why: str) -> None:
+                    terminal_failed.add(idx)
+                    seen_done.add(idx)  # reported, like the seed semantics
+                    self._log("member_terminal_failure", f"member={idx} why={why}")
+
+                def try_submit(idx: int) -> None:
+                    """Submit the current attempt (may transiently fail)."""
+                    tries = submit_tries.get(idx, 0) + 1
+                    submit_tries[idx] = tries
+                    if self.faults is not None and self.faults.submit_fails(
+                        idx, tries
+                    ):
+                        self.faults.fire(FaultKind.SUBMIT_FAILURE, idx, tries)
+                        if tries >= self.MAX_SUBMIT_TRIES:
+                            self.status.write(
+                                "pemodel",
+                                idx,
+                                TaskStatus.IO_FAILURE,
+                                attempt=attempts[idx],
+                            )
+                            terminal_failure(idx, "submit failures exhausted")
+                            return
+                        delay = (
+                            retry.backoff_seconds(idx, min(tries, 8))
+                            if retry is not None
+                            else self.poll_interval
+                        )
+                        heapq.heappush(pending, (time.perf_counter() + delay, idx))
+                        self._log("submit_retry", f"member={idx} try={tries}")
+                        return
+                    cancel = threading.Event()
+                    cancel_events[idx] = cancel
+                    futures[idx] = self._submit(
+                        executor, mean_state, idx, attempts[idx], cancel
+                    )
 
                 def extend_pool(target: int):
                     nonlocal next_index
                     while next_index < target:
-                        futures[next_index] = self._submit(
-                            executor, mean_state, next_index
-                        )
+                        attempts[next_index] = 1
+                        try_submit(next_index)
                         next_index += 1
 
                 def observe_done() -> int:
-                    for idx, f in futures.items():
-                        if idx not in seen_done and f.done() and not f.cancelled():
-                            seen_done.add(idx)
-                            self._log("member_done", f"member={idx}")
+                    for idx, f in list(futures.items()):
+                        if not f.done() or f.cancelled():
+                            continue
+                        try:
+                            r_idx, r_att, ok, err = f.result()
+                        except Exception as exc:  # worker infrastructure died
+                            r_idx, r_att = idx, attempts[idx]
+                            ok, err = False, f"worker error: {exc!r}"
+                        key = (r_idx, r_att)
+                        if key in processed:
+                            continue
+                        processed.add(key)
+                        if key in abandoned:
+                            continue  # straggler-cancelled; retry path owns it
+                        if ok:
+                            seen_done.add(r_idx)
+                            self._log("member_done", f"member={r_idx}")
+                        elif not schedule_resubmit(r_idx, err or "failure"):
+                            self._log("member_done", f"member={r_idx}")
+                            terminal_failure(r_idx, err or "failure")
                     return len(seen_done)
+
+                def check_stragglers(now: float) -> None:
+                    """Cancel-and-replace attempts past the per-task deadline."""
+                    nonlocal n_timed_out
+                    if (
+                        retry is None
+                        or retry.timeout_seconds is None
+                        or self.use_processes
+                    ):
+                        return
+                    for idx, f in list(futures.items()):
+                        if f.done() or f.cancelled():
+                            continue
+                        att = attempts[idx]
+                        if (idx, att) in abandoned:
+                            continue
+                        t_start = self._started_at.get((idx, att))
+                        if t_start is None or now - t_start <= retry.timeout_seconds:
+                            continue
+                        abandoned.add((idx, att))
+                        event = cancel_events.get(idx)
+                        if event is not None:
+                            event.set()  # frees the pool slot mid-stall
+                        self.status.write(
+                            "pemodel", idx, TaskStatus.TIMED_OUT, attempt=att
+                        )
+                        n_timed_out += 1
+                        self._log(
+                            "straggler_cancel",
+                            f"member={idx} attempt={att} after={now - t_start:.3f}",
+                        )
+                        if not schedule_resubmit(idx, "straggler timeout"):
+                            terminal_failure(idx, "straggler timeout")
+
+                def process_corrupt() -> None:
+                    """Fail/resubmit members whose output file is unreadable."""
+                    for idx in self._drain_corrupt():
+                        att = attempts.get(idx, 1)
+                        if (idx, att) in corrupt_handled:
+                            continue
+                        corrupt_handled.add((idx, att))
+                        seen_done.discard(idx)
+                        self.status.write(
+                            "pemodel", idx, TaskStatus.IO_FAILURE, attempt=att
+                        )
+                        self._log("member_corrupt", f"member={idx} attempt={att}")
+                        if not schedule_resubmit(idx, "corrupt output"):
+                            terminal_failure(idx, "corrupt output")
+
+                def process_pending(now: float) -> None:
+                    """Launch resubmissions whose backoff delay has elapsed."""
+                    while pending and pending[0][0] <= now:
+                        _, idx = heapq.heappop(pending)
+                        if (
+                            idx in seen_done
+                            or idx in terminal_failed
+                            or converged.is_set()
+                        ):
+                            continue
+                        try_submit(idx)
 
                 extend_pool(pool_target)
                 self._log("pool", f"size={pool_target}")
 
                 while not converged.is_set():
+                    now = time.perf_counter()
+                    process_corrupt()
+                    check_stragglers(now)
+                    process_pending(now)
                     reached = observe_done()
                     # keep the pool ahead of the next unreached checkpoint
                     pending_cp = [c for c in checkpoints if c > reached]
@@ -388,8 +668,10 @@ class ParallelESSEWorkflow:
                         if want > next_index:
                             extend_pool(want)
                             self._log("enlarge", f"size={next_index}")
-                    if all(f.done() for f in futures.values()) and (
-                        next_index >= cfg.max_ensemble_size
+                    if (
+                        all(f.done() for f in futures.values())
+                        and next_index >= cfg.max_ensemble_size
+                        and not pending
                     ):
                         break  # Nmax exhausted without convergence
                     if cfg.deadline_seconds is not None and (
@@ -400,11 +682,26 @@ class ParallelESSEWorkflow:
                     time.sleep(self.poll_interval)
 
                 # Cancellation of superfluous members (queued and/or running)
+                pending.clear()  # superfluous resubmissions never launch
                 for idx, f in futures.items():
                     if f.cancel():
                         n_cancelled += 1
                         self.status.write("pemodel", idx, TaskStatus.CANCELLED)
                         self._log("cancel", f"member={idx}")
+                if self.faults is not None:
+                    # Release in-flight *stalled* attempts: a straggler that
+                    # outlived convergence is exactly the superfluous member
+                    # the paper cancels; draws are pure so we can tell which
+                    # running attempts are stalls without asking the worker.
+                    for idx, f in futures.items():
+                        if f.done() or f.cancelled():
+                            continue
+                        att = attempts[idx]
+                        if self.faults.draw(idx, att) is FaultKind.STALL:
+                            abandoned.add((idx, att))
+                            event = cancel_events.get(idx)
+                            if event is not None:
+                                event.set()
                 if self.cancellation is not CancellationPolicy.IMMEDIATE:
                     # drain: let running members finish and be diffed
                     for f in futures.values():
@@ -442,12 +739,37 @@ class ParallelESSEWorkflow:
             svd_out["count"] = final_count
             self._log("final_svd", f"count={final_count}")
 
+        # Corruption discovered during the final drain is terminal: record
+        # it so restart/monitoring see an IO_FAILURE, not a phantom success.
+        for idx in self._drain_corrupt():
+            att = attempts.get(idx, 1)
+            self.status.write("pemodel", idx, TaskStatus.IO_FAILURE, attempt=att)
+            terminal_failed.add(idx)
+            self._log("member_corrupt", f"member={idx} attempt={att} terminal=1")
+
         if "subspace" not in svd_out:
             raise RuntimeError("parallel workflow finished without a subspace")
 
+        degraded = bool(terminal_failed)
+        if degraded:
+            self._log("degraded", f"n_lost={len(terminal_failed)}")
+            warnings.warn(
+                f"ensemble degraded: {len(terminal_failed)} member(s) lost "
+                "terminally (retries exhausted or disabled); the error "
+                "subspace is estimated from the surviving members only "
+                "(see docs/FAILURE_MODEL.md)",
+                DegradedEnsembleWarning,
+                stacklevel=2,
+            )
+
         statuses = self.status.completed_indices("pemodel")
         n_completed = sum(1 for s in statuses.values() if s == TaskStatus.SUCCESS)
-        n_failed = sum(1 for s in statuses.values() if s == TaskStatus.MODEL_FAILURE)
+        n_failed = sum(
+            1
+            for s in statuses.values()
+            if s
+            in (TaskStatus.MODEL_FAILURE, TaskStatus.IO_FAILURE, TaskStatus.TIMED_OUT)
+        )
         with acc_lock:
             member_ids = accumulator.member_ids
         return WorkflowResult(
@@ -461,4 +783,7 @@ class ParallelESSEWorkflow:
             n_cancelled=n_cancelled,
             wall_seconds=time.perf_counter() - started,
             member_ids=member_ids,
+            n_retried=n_retried,
+            n_timed_out=n_timed_out,
+            degraded=degraded,
         )

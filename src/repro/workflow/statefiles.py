@@ -25,6 +25,16 @@ class TaskStatus(IntEnum):
     MODEL_FAILURE = 1  # blow-up / numerical failure (tolerated)
     CANCELLED = 2  # superfluous member cancelled on convergence
     IO_FAILURE = 3  # could not read inputs / write outputs
+    TIMED_OUT = 4  # straggler cancelled past its per-attempt deadline
+
+    @property
+    def is_retryable(self) -> bool:
+        """Whether a retry policy may resubmit after this outcome."""
+        return self in (
+            TaskStatus.MODEL_FAILURE,
+            TaskStatus.IO_FAILURE,
+            TaskStatus.TIMED_OUT,
+        )
 
 
 @dataclass(frozen=True)
@@ -34,6 +44,7 @@ class StatusRecord:
     kind: str
     index: int
     status: TaskStatus
+    attempt: int = 1
 
 
 class StatusDirectory:
@@ -54,20 +65,43 @@ class StatusDirectory:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def _path(self, kind: str, index: int) -> Path:
+    def _path(self, kind: str, index: int, attempt: int | None = None) -> Path:
         if not kind or "." in kind or "/" in kind:
             raise ValueError(f"invalid task kind {kind!r}")
         if index < 0:
             raise ValueError(f"invalid task index {index}")
-        return self.root / f"{kind}.{index}.status"
+        if attempt is None:
+            return self.root / f"{kind}.{index}.status"
+        if attempt < 1:
+            raise ValueError(f"invalid attempt {attempt} (1-based)")
+        return self.root / f"{kind}.{index}.a{attempt}.status"
 
-    def write(self, kind: str, index: int, status: TaskStatus | int) -> None:
-        """Record a singleton's exit code (atomic)."""
+    def write(
+        self,
+        kind: str,
+        index: int,
+        status: TaskStatus | int,
+        attempt: int | None = None,
+    ) -> None:
+        """Record a singleton's exit code (atomic).
+
+        The plain ``<kind>.<index>.status`` file always carries the task's
+        *latest* outcome -- what restart and the differ consult.  When
+        ``attempt`` is given, an additional attempt-numbered record
+        ``<kind>.<index>.a<attempt>.status`` preserves the full retry
+        history (consumed by :meth:`attempt_history` and the progress
+        monitor's retry counters).
+        """
         status = TaskStatus(status)
         path = self._path(kind, index)
         tmp = path.with_suffix(".status.tmp")
         tmp.write_text(f"{int(status)}\n")
         os.replace(tmp, path)
+        if attempt is not None:
+            apath = self._path(kind, index, attempt)
+            atmp = apath.with_suffix(".status.tmp")
+            atmp.write_text(f"{int(status)}\n")
+            os.replace(atmp, apath)
 
     def read(self, kind: str, index: int) -> TaskStatus | None:
         """The recorded status, or None if the task has not reported."""
@@ -100,6 +134,44 @@ class StatusDirectory:
                 out[index] = TaskStatus(int(path.read_text().strip()))
             except (ValueError, OSError):
                 continue  # torn/foreign content: treat as not reported
+        return out
+
+    def attempt_history(self, kind: str, index: int) -> dict[int, TaskStatus]:
+        """Attempt number -> recorded status for one task (may be empty).
+
+        Only populated by attempt-aware writers (the retrying workflow);
+        plain single-attempt writes leave it empty.
+        """
+        out: dict[int, TaskStatus] = {}
+        for path in self.root.glob(f"{kind}.{index}.a*.status"):
+            stem = path.name[: -len(".status")].rsplit(".a", 1)[-1]
+            try:
+                attempt = int(stem)
+                out[attempt] = TaskStatus(int(path.read_text().strip()))
+            except (ValueError, OSError):
+                continue  # torn/foreign content: treat as not reported
+        return out
+
+    def attempt_counts(self, kind: str) -> dict[int, dict[TaskStatus, int]]:
+        """Index -> {status: attempt-record count} in one directory scan.
+
+        The monitor derives its retry/straggler counters from this:
+        resubmissions are attempt records beyond the first, and timed-out
+        attempts carry :attr:`TaskStatus.TIMED_OUT`.
+        """
+        prefix = f"{kind}."
+        out: dict[int, dict[TaskStatus, int]] = {}
+        for path in self.root.glob(f"{kind}.*.a*.status"):
+            stem = path.name[len(prefix) : -len(".status")]
+            index_part, _, attempt_part = stem.rpartition(".a")
+            try:
+                index = int(index_part)
+                int(attempt_part)
+                status = TaskStatus(int(path.read_text().strip()))
+            except (ValueError, OSError):
+                continue  # foreign file in a shared directory
+            per_index = out.setdefault(index, {})
+            per_index[status] = per_index.get(status, 0) + 1
         return out
 
     def successful_indices(self, kind: str) -> list[int]:

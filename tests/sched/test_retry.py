@@ -1,0 +1,193 @@
+"""Retry/backoff and fault injection in the campaign simulator."""
+
+import pytest
+
+from repro.sched.engine import Simulator
+from repro.sched.iomodel import IOConfiguration, IOMode
+from repro.sched.jobs import JobSpec, JobState
+from repro.sched.resources import ClusterModel, Node, NodeSpec
+from repro.sched.schedulers import ClusterScheduler, CondorPolicy, SGEPolicy
+from repro.workflow import FaultInjector, RetryPolicy
+
+
+def quick_io():
+    return IOConfiguration(
+        mode=IOMode.PRESTAGED, prestage_cost_s=0.0,
+        pert_input_mb=0.0, pemodel_input_mb=0.0, output_mb=0.0,
+    )
+
+
+def small_cluster(cores=4):
+    return ClusterModel(nodes=[Node(NodeSpec(name="n", cores=cores))])
+
+
+def specs(n, kind="pemodel", cpu=10.0):
+    return [JobSpec(kind=kind, index=i, cpu_seconds=cpu) for i in range(n)]
+
+
+class TestSchedulerRetry:
+    def test_injected_crashes_healed_by_retries(self):
+        sim = Simulator()
+        sched = ClusterScheduler(
+            sim, small_cluster(), SGEPolicy(), quick_io(),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=1.0),
+            fault_injector=FaultInjector(crash_rate=0.2, seed=0),
+        )
+        jobs = sched.submit(specs(40))
+        sim.run()
+        assert all(j.state is JobState.DONE for j in jobs)
+        assert sched.n_retried > 0
+        # retried jobs carry their attempt number
+        assert any(j.attempt > 1 for j in jobs)
+
+    def test_without_retry_policy_crashes_are_terminal(self):
+        sim = Simulator()
+        sched = ClusterScheduler(
+            sim, small_cluster(), SGEPolicy(), quick_io(),
+            fault_injector=FaultInjector(crash_rate=0.2, seed=0),
+        )
+        jobs = sched.submit(specs(40))
+        sim.run()
+        assert any(j.state is JobState.FAILED for j in jobs)
+        assert sched.n_retried == 0
+
+    def test_same_seed_reproduces_campaign(self):
+        def run():
+            sim = Simulator()
+            sched = ClusterScheduler(
+                sim, small_cluster(), SGEPolicy(), quick_io(),
+                retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=1.0),
+                fault_injector=FaultInjector(
+                    crash_rate=0.15, stall_rate=0.1, stall_seconds=30.0, seed=4
+                ),
+            )
+            jobs = sched.submit(specs(30))
+            sim.run()
+            return (
+                sim.now,
+                sched.n_retried,
+                tuple(j.state for j in jobs),
+                sched.fault_injector.fault_sequence(),
+            )
+
+        assert run() == run()
+
+    def test_backoff_delays_resubmission(self):
+        sim = Simulator()
+        backoff = 500.0
+        sched = ClusterScheduler(
+            sim, small_cluster(1), SGEPolicy(), quick_io(),
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_base_s=backoff, jitter=0.0
+            ),
+            # crash_rate=1 would fail both attempts; rely on the injector's
+            # per-attempt draw instead: seed 0 crashes index 9 attempt 1 only
+            fault_injector=FaultInjector(crash_rate=0.2, seed=0),
+        )
+        [job] = sched.submit([JobSpec(kind="pemodel", index=9, cpu_seconds=10.0)])
+        sim.run()
+        assert job.state is JobState.DONE
+        assert job.attempt == 2
+        # the second attempt could not have started before the backoff
+        assert job.start_time >= backoff
+
+    def test_stall_fault_extends_runtime(self):
+        stall = 300.0
+
+        def makespan(stall_rate):
+            sim = Simulator()
+            sched = ClusterScheduler(
+                sim, small_cluster(), SGEPolicy(), quick_io(),
+                fault_injector=FaultInjector(
+                    stall_rate=stall_rate, stall_seconds=stall, seed=2
+                ),
+            )
+            jobs = sched.submit(specs(16))
+            sim.run()
+            assert all(j.state is JobState.DONE for j in jobs)
+            return sim.now
+
+        assert makespan(0.5) > makespan(0.0) + stall / 2
+
+    def test_transient_submit_failure_delays_enqueue(self):
+        sim = Simulator()
+        sched = ClusterScheduler(
+            sim, small_cluster(), SGEPolicy(), quick_io(),
+            retry_policy=RetryPolicy(backoff_base_s=100.0, jitter=0.0),
+            # seed 3: indices 3, 6, 7, 11 fail their first submit try
+            fault_injector=FaultInjector(submit_failure_rate=0.4, seed=3),
+        )
+        jobs = sched.submit(specs(16))
+        sim.run()
+        assert all(j.state is JobState.DONE for j in jobs)
+        delayed = [j for j in jobs if j.spec.index in (3, 6, 7, 11)]
+        assert all(j.start_time >= 100.0 for j in delayed)
+
+    def test_condor_negotiation_resumes_for_retried_jobs(self):
+        # a retried job arriving after negotiation went idle must restart
+        # the cycle, not hang in the queue forever
+        sim = Simulator()
+        sched = ClusterScheduler(
+            sim, small_cluster(1), CondorPolicy(), quick_io(),
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_base_s=1000.0, jitter=0.0
+            ),
+            fault_injector=FaultInjector(crash_rate=0.2, seed=0),
+        )
+        [job] = sched.submit([JobSpec(kind="pemodel", index=9, cpu_seconds=10.0)])
+        sim.run()
+        assert job.state is JobState.DONE
+        assert job.attempt == 2
+
+    def test_terminal_failure_aborts_dependents_once(self):
+        sim = Simulator()
+        sched = ClusterScheduler(
+            sim, small_cluster(2), SGEPolicy(), quick_io(),
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=1.0),
+            # pert index 9 crashes on attempts 1 AND 2 under seed 0
+            fault_injector=FaultInjector(crash_rate=0.2, seed=0),
+        )
+        jobs = sched.submit(
+            [
+                JobSpec(kind="pert", index=9, cpu_seconds=5.0),
+                JobSpec(kind="pemodel", index=9, cpu_seconds=50.0,
+                        depends_on=("pert", 9)),
+            ]
+        )
+        sim.run()
+        assert jobs[0].state is JobState.FAILED
+        assert jobs[0].attempt == 2  # both attempts consumed
+        assert jobs[1].state is JobState.CANCELLED
+
+    def test_retry_resets_timing_metrics(self):
+        sim = Simulator()
+        sched = ClusterScheduler(
+            sim, small_cluster(1), SGEPolicy(), quick_io(),
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=10.0),
+            fault_injector=FaultInjector(crash_rate=0.2, seed=0),
+        )
+        [job] = sched.submit([JobSpec(kind="pemodel", index=9, cpu_seconds=10.0)])
+        sim.run()
+        # metrics describe the successful attempt, not accumulated history
+        assert job.runtime_seconds == pytest.approx(10.0)
+        assert job.cpu_utilization == pytest.approx(1.0)
+
+
+class TestSimulatorStep:
+    def test_step_processes_single_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        assert sim.step() and fired == ["a"] and sim.now == 1.0
+        assert sim.step() and fired == ["a", "b"] and sim.now == 2.0
+        assert not sim.step()
+
+    def test_step_skips_cancelled(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.cancel(h)
+        assert sim.step()
+        assert fired == ["b"]

@@ -32,6 +32,17 @@ def test_module_documented(module_name):
     )
 
 
+def test_fault_modules_are_covered():
+    """The robustness subsystem must stay under the docs lint.
+
+    Guards against the fault/retry modules being moved or renamed out of
+    the package walk: ``repro.workflow.faults`` and its policy module are
+    load-bearing for the documented failure model (docs/FAILURE_MODEL.md).
+    """
+    assert "repro.workflow.faults" in MODULES
+    assert "repro.workflow.policies" in MODULES
+
+
 @pytest.mark.parametrize("module_name", MODULES)
 def test_public_items_documented(module_name):
     module = importlib.import_module(module_name)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Docs lint: every public class/function/method carries a docstring.
+
+Standalone mirror of ``tests/test_docstrings.py`` so CI (and developers)
+can run the lint without invoking pytest:
+
+    PYTHONPATH=src python tools/check_docs.py [module ...]
+
+With no arguments every ``repro.*`` module is checked; passing module
+names (e.g. ``repro.workflow.faults``) restricts the scan.  Exits nonzero
+listing each undocumented public item.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+
+
+def iter_modules(selected: list[str]) -> list[str]:
+    """The module names to lint (all of ``repro`` unless restricted)."""
+    import repro
+
+    names = [
+        name
+        for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    ]
+    if not selected:
+        return names
+    missing = [s for s in selected if s not in names]
+    if missing:
+        raise SystemExit(f"unknown module(s): {', '.join(missing)}")
+    return selected
+
+
+def undocumented_items(module_name: str) -> list[str]:
+    """Public items of one module lacking a docstring (empty = clean)."""
+    module = importlib.import_module(module_name)
+    problems: list[str] = []
+    if not (module.__doc__ or "").strip():
+        problems.append("<module docstring>")
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented at their home
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if not (inspect.getdoc(obj) or "").strip():
+            problems.append(name)
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not callable(meth) and not isinstance(meth, property):
+                    continue
+                bound = getattr(obj, meth_name, meth)
+                doc = inspect.getdoc(
+                    bound.fget if isinstance(bound, property) else bound
+                )
+                if not (doc or "").strip():
+                    problems.append(f"{name}.{meth_name}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Lint the requested modules; returns a process exit code."""
+    failures = 0
+    for module_name in iter_modules(argv):
+        problems = undocumented_items(module_name)
+        for item in problems:
+            print(f"{module_name}: undocumented public item: {item}")
+        failures += len(problems)
+    if failures:
+        print(f"docs lint: {failures} undocumented public item(s)")
+        return 1
+    print("docs lint: all public items documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI check: workflow test suite + docs lint.
+#
+# Run from the repository root:
+#     sh tools/ci.sh          # workflow tests + docs lint
+#     CI_FULL=1 sh tools/ci.sh  # the full tier-1 suite instead
+#
+# The docs lint enforces that every public class/function in the library
+# (including the fault-injection subsystem, repro.workflow.faults and
+# repro.workflow.policies) carries a docstring.
+
+set -e
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+if [ -n "${CI_FULL:-}" ]; then
+    python -m pytest -x -q
+else
+    python -m pytest tests/workflow -q
+fi
+
+python tools/check_docs.py
+python tools/check_docs.py repro.workflow.faults repro.workflow.policies
