@@ -14,7 +14,9 @@ Reproduces the paper's transformation claims:
 import pytest
 
 from conftest import print_table
+from record import output_dir, record_bench
 from repro.core import ESSEConfig, similarity_coefficient
+from repro.telemetry import MetricsRegistry, TraceRecorder, write_jsonl
 from repro.workflow import ParallelESSEWorkflow, SerialESSEWorkflow
 
 
@@ -30,9 +32,17 @@ def test_fig4_parallel_workflow(benchmark, small_esse_setup, tmp_path):
 
     serial = SerialESSEWorkflow(runner, config, tmp_path / "serial").run(background)
 
+    recorder = TraceRecorder()
+    registry = MetricsRegistry()
+
     def run_parallel():
         return ParallelESSEWorkflow(
-            runner, config, tmp_path / "parallel", n_workers=4
+            runner,
+            config,
+            tmp_path / "parallel",
+            n_workers=4,
+            telemetry=recorder,
+            metrics=registry,
         ).run(background)
 
     parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
@@ -52,6 +62,30 @@ def test_fig4_parallel_workflow(benchmark, small_esse_setup, tmp_path):
         f"Fig 4: serial vs many-task ESSE (subspace agreement rho={rho:.4f})",
         ["metric", "serial (Fig 3)", "parallel (Fig 4)"],
         rows,
+    )
+
+    # Machine-readable side: the run log plus a BENCH_*.json summary.
+    trace_path = output_dir() / "fig4_parallel_workflow.jsonl"
+    write_jsonl(
+        trace_path,
+        spans=recorder.spans(),
+        events=recorder.events(),
+        metrics=registry,
+    )
+    record_bench(
+        "fig4_parallel_workflow",
+        {
+            "serial_wall_s": serial.timings.total,
+            "parallel_wall_s": parallel.wall_seconds,
+            "overlap_fraction": parallel.overlap_fraction(),
+            "subspace_rho": rho,
+            "serial_ensemble_size": serial.ensemble_size,
+            "parallel_ensemble_size": parallel.ensemble_size,
+            "n_cancelled": parallel.n_cancelled,
+            "n_failed": parallel.n_failed,
+        },
+        metrics=registry,
+        artifacts={"trace_jsonl": trace_path},
     )
 
     # the differ overlaps the forecast pool

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from conftest import print_table
+from record import record_bench
 from repro.acoustics import extract_section, transmission_loss
 from repro.core import (
     ESSEAnalysis,
@@ -24,6 +25,15 @@ from repro.util.linalg import thin_svd
 
 
 @pytest.fixture(scope="module")
+def kernel_results():
+    """Accumulates per-kernel mean timings; written as BENCH_kernels.json."""
+    results = {}
+    yield results
+    if results:
+        record_bench("kernels", results)
+
+
+@pytest.fixture(scope="module")
 def full_domain():
     model = PEModel()  # the 42x36x10 AOSN-II-like default
     background = model.run(model.rest_state(), 20 * model.config.dt)
@@ -33,7 +43,7 @@ def full_domain():
     return model, background, subspace
 
 
-def test_kernel_model_step(benchmark, full_domain):
+def test_kernel_model_step(benchmark, full_domain, kernel_results):
     """One pemodel time step on the full domain."""
     model, background, _ = full_domain
     state = background
@@ -43,6 +53,7 @@ def test_kernel_model_step(benchmark, full_domain):
 
     benchmark(step)
     per_step = benchmark.stats.stats.mean
+    kernel_results["model_step_s"] = per_step
     steps_per_day = int(86400 / model.config.dt)
     print_table(
         "Kernel: pemodel step (42x36x10 domain)",
@@ -53,16 +64,17 @@ def test_kernel_model_step(benchmark, full_domain):
     assert per_step < 0.1  # a model day stays O(seconds)
 
 
-def test_kernel_perturbation(benchmark, full_domain):
+def test_kernel_perturbation(benchmark, full_domain, kernel_results):
     """One pert singleton: cheap next to the forecast (paper Table 1)."""
     model, background, subspace = full_domain
     gen = PerturbationGenerator(model.layout, subspace, root_seed=0)
     mean = model.to_vector(background)
     benchmark(lambda: gen.member_state(mean, 7))
+    kernel_results["perturbation_s"] = benchmark.stats.stats.mean
     assert benchmark.stats.stats.mean < 0.05
 
 
-def test_kernel_esse_svd(benchmark, full_domain):
+def test_kernel_esse_svd(benchmark, full_domain, kernel_results):
     """The SVD of a 600-member anomaly matrix on the full state."""
     model, _, _ = full_domain
     rng = np.random.default_rng(0)
@@ -72,6 +84,7 @@ def test_kernel_esse_svd(benchmark, full_domain):
         lambda: thin_svd(anomalies), rounds=2, iterations=1
     )
     u, s, _ = result
+    kernel_results["esse_svd_600_s"] = benchmark.stats.stats.mean
     print_table(
         "Kernel: ESSE SVD (n x N thin SVD)",
         ["n", "N", "time"],
@@ -81,7 +94,7 @@ def test_kernel_esse_svd(benchmark, full_domain):
     assert np.all(np.diff(s) <= 1e-12)
 
 
-def test_kernel_acoustic_singleton(benchmark, full_domain):
+def test_kernel_acoustic_singleton(benchmark, full_domain, kernel_results):
     """One acoustic-climate task (section + normal-mode TL)."""
     model, background, _ = full_domain
     grid = model.grid
@@ -95,11 +108,12 @@ def test_kernel_acoustic_singleton(benchmark, full_domain):
         return transmission_loss(section, 200.0, source_depth=30.0)
 
     field = benchmark.pedantic(singleton, rounds=3, iterations=1)
+    kernel_results["acoustic_singleton_s"] = benchmark.stats.stats.mean
     assert np.all(np.isfinite(field.tl))
     assert benchmark.stats.stats.mean < 5.0
 
 
-def test_kernel_analysis_update(benchmark, full_domain):
+def test_kernel_analysis_update(benchmark, full_domain, kernel_results):
     """The Woodbury analysis with a realistic observation batch."""
     model, background, subspace = full_domain
     network = aosn2_network(
@@ -114,6 +128,7 @@ def test_kernel_analysis_update(benchmark, full_domain):
         rounds=3,
         iterations=1,
     )
+    kernel_results["analysis_update_s"] = benchmark.stats.stats.mean
     print_table(
         "Kernel: ESSE analysis (Woodbury, m obs x p modes)",
         ["m", "p", "time"],

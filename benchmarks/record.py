@@ -1,0 +1,85 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json`` writers.
+
+The benches print paper-style tables for humans; this module is the
+machine side, so the perf trajectory of the repo stops being empty.
+Each call writes one ``BENCH_<name>.json`` file containing the measured
+values plus (optionally) a metrics-registry snapshot and a pointer to an
+exported telemetry run log:
+
+    {"bench": "fig4_parallel_workflow",
+     "values": {"serial_wall_s": ..., "parallel_wall_s": ..., ...},
+     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+     "artifacts": {"trace_jsonl": "..."}}
+
+The output directory defaults to ``benchmarks/results/`` next to this
+file and is overridable with the ``BENCH_OUTPUT_DIR`` environment
+variable (CI points it at an artifact store).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+
+def output_dir() -> Path:
+    """The directory receiving ``BENCH_*.json`` files (created on use)."""
+    root = os.environ.get("BENCH_OUTPUT_DIR")
+    path = Path(root) if root else Path(__file__).resolve().parent / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def record_bench(
+    name: str,
+    values: dict,
+    metrics=None,
+    artifacts: dict | None = None,
+) -> Path:
+    """Write one bench's results as ``BENCH_<name>.json``; returns the path.
+
+    Parameters
+    ----------
+    name:
+        Bench identifier (sanitised to ``[A-Za-z0-9_.-]``).
+    values:
+        Flat mapping of measurement name -> number/string.  Non-finite
+        floats are stored as strings so the file stays strict JSON.
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry` (or a
+        prepared snapshot dict) stored under ``"metrics"``.
+    artifacts:
+        Optional mapping of artifact label -> path (e.g. an exported
+        trace) for tooling to pick up alongside the numbers.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+    if not safe:
+        raise ValueError(f"bench name {name!r} sanitises to nothing")
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+
+    def jsonable(value):
+        if isinstance(value, float) and (value != value or value in (
+            float("inf"), float("-inf")
+        )):
+            return str(value)
+        return value
+
+    payload = {
+        "bench": safe,
+        "recorded_unix": time.time(),
+        "values": {k: jsonable(v) for k, v in values.items()},
+    }
+    if snapshot is not None:
+        payload["metrics"] = snapshot
+    if artifacts:
+        payload["artifacts"] = {k: str(v) for k, v in artifacts.items()}
+    path = output_dir() / f"BENCH_{safe}.json"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, default=str))
+    os.replace(tmp, path)
+    return path

@@ -16,7 +16,6 @@ serial (Fig 3) and many-task (Fig 4) file-based workflows.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -30,6 +29,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.perturbation import PerturbationGenerator
 from repro.core.subspace import ErrorSubspace
+from repro.telemetry.spans import NULL_RECORDER
 
 if TYPE_CHECKING:  # avoid core <-> obs/ocean import cycles; hints only
     from repro.obs.operators import ObservationOperator
@@ -131,6 +131,10 @@ class ESSEDriver:
     root_seed:
         Experiment seed (member perturbations and model noise derive from
         it).
+    telemetry:
+        A :class:`~repro.telemetry.spans.TraceRecorder` that receives
+        stage/SVD/assimilation spans and supplies the clock for the Tmax
+        deadline check.  The default records nothing.
     """
 
     def __init__(
@@ -138,10 +142,12 @@ class ESSEDriver:
         model: PEModel,
         config: ESSEConfig | None = None,
         root_seed: int = 0,
+        telemetry=None,
     ):
         self.model = model
         self.config = config if config is not None else ESSEConfig()
         self.root_seed = int(root_seed)
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
         self.analysis = ESSEAnalysis(model.layout, inflation=self.config.inflation)
 
     # -- forecast stage -----------------------------------------------------
@@ -169,7 +175,8 @@ class ESSEDriver:
         stochastic:
             Disable to run a deterministic (no model-error) ensemble.
         """
-        started = time.perf_counter()
+        clock = self.telemetry.clock
+        started = clock()
         cfg = self.config
         perturber = PerturbationGenerator(
             self.model.layout, subspace, root_seed=self.root_seed
@@ -177,45 +184,60 @@ class ESSEDriver:
         runner = EnsembleRunner(
             self.model, perturber, duration, self.root_seed, stochastic=stochastic
         )
-        central = runner.central_forecast(mean_state)
-        accumulator = AnomalyAccumulator(
-            self.model.layout, self.model.to_vector(central)
-        )
-        criterion = ConvergenceCriterion(tolerance=cfg.convergence_tolerance)
-
         failed: list[int] = []
         forecasts: list[np.ndarray] = []
         ids: list[int] = []
         next_index = 0
         current = None
-        for stage_target in cfg.stage_sizes():
-            batch = range(next_index, stage_target)
-            next_index = stage_target
-            results = runner.run_members(mean_state, batch, mapper=mapper)
-            for res in results:
-                if res.ok:
-                    accumulator.add_member(res.member_index, res.forecast)
-                    forecasts.append(res.forecast)
-                    ids.append(res.member_index)
-                else:
-                    failed.append(res.member_index)
-            if accumulator.count < 2:
-                continue
-            current = ErrorSubspace.from_anomalies(
-                accumulator.matrix(),
-                rank=cfg.max_subspace_rank,
-                energy=cfg.svd_energy,
-                method=cfg.svd_method,
-                rng=np.random.default_rng(self.root_seed),
+        with self.telemetry.span("driver.forecast") as forecast_span:
+            with self.telemetry.span("central_forecast"):
+                central = runner.central_forecast(mean_state)
+            accumulator = AnomalyAccumulator(
+                self.model.layout, self.model.to_vector(central)
             )
-            criterion.update(current)
-            if criterion.converged:
-                break
-            if (
-                cfg.deadline_seconds is not None
-                and time.perf_counter() - started > cfg.deadline_seconds
-            ):
-                break
+            criterion = ConvergenceCriterion(tolerance=cfg.convergence_tolerance)
+            for stage_target in cfg.stage_sizes():
+                batch = range(next_index, stage_target)
+                next_index = stage_target
+                with self.telemetry.span("driver.stage", size=len(batch)):
+                    results = runner.run_members(mean_state, batch, mapper=mapper)
+                for res in results:
+                    if res.ok:
+                        accumulator.add_member(res.member_index, res.forecast)
+                        forecasts.append(res.forecast)
+                        ids.append(res.member_index)
+                    else:
+                        failed.append(res.member_index)
+                if accumulator.count < 2:
+                    continue
+                with self.telemetry.span(
+                    "driver.svd", count=accumulator.count
+                ) as svd_span:
+                    current = ErrorSubspace.from_anomalies(
+                        accumulator.matrix(),
+                        rank=cfg.max_subspace_rank,
+                        energy=cfg.svd_energy,
+                        method=cfg.svd_method,
+                        rng=np.random.default_rng(self.root_seed),
+                    )
+                    rho = criterion.update(current)
+                    svd_span.set(rank=current.rank)
+                self.telemetry.event(
+                    "convergence_check",
+                    count=accumulator.count,
+                    rho=rho,
+                    converged=criterion.converged,
+                )
+                if criterion.converged:
+                    break
+                if (
+                    cfg.deadline_seconds is not None
+                    and clock() - started > cfg.deadline_seconds
+                ):
+                    break
+            forecast_span.set(
+                ensemble_size=accumulator.count, converged=criterion.converged
+            )
         if current is None:
             raise RuntimeError(
                 f"too few surviving members ({accumulator.count}) for a subspace"
@@ -229,7 +251,7 @@ class ESSEDriver:
             converged=criterion.converged,
             member_forecasts=np.array(forecasts),
             member_ids=tuple(ids),
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=clock() - started,
         )
 
     # -- analysis stage ----------------------------------------------------
@@ -240,9 +262,10 @@ class ESSEDriver:
         operator: ObservationOperator,
     ) -> AnalysisResult:
         """Fig 2 step (v): assimilate one observation batch."""
-        return self.analysis.update(
-            self.model.to_vector(forecast.central), forecast.subspace, operator
-        )
+        with self.telemetry.span("driver.assimilate", rank=forecast.subspace.rank):
+            return self.analysis.update(
+                self.model.to_vector(forecast.central), forecast.subspace, operator
+            )
 
     def cycle(
         self,

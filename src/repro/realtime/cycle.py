@@ -19,6 +19,7 @@ from repro.core.subspace import ErrorSubspace
 from repro.obs.network import ObservationNetwork
 from repro.ocean.model import ModelState, PEModel
 from repro.realtime.times import ExperimentTimeline
+from repro.telemetry.spans import NULL_RECORDER
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,13 @@ class RealTimeForecastCycle:
         Observation network sampling the truth each period.
     timeline:
         Experiment timeline; each period triggers one cycle.
+    telemetry:
+        A :class:`~repro.telemetry.spans.TraceRecorder` receiving one
+        ``cycle`` span per observation period, with ``truth_run`` /
+        ``observe`` child spans (the driver adds its own forecast and
+        assimilation spans inside when it shares the recorder -- pass the
+        same instance to both to get the full Fig 1 "simulation time"
+        timeline).  The default records nothing.
     """
 
     def __init__(
@@ -63,11 +71,13 @@ class RealTimeForecastCycle:
         truth_model: PEModel,
         network: ObservationNetwork,
         timeline: ExperimentTimeline,
+        telemetry=None,
     ):
         self.driver = driver
         self.truth_model = truth_model
         self.network = network
         self.timeline = timeline
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
 
     def _normalized_error(self, state_vec: np.ndarray, truth: ModelState) -> float:
         layout = self.driver.model.layout
@@ -93,28 +103,35 @@ class RealTimeForecastCycle:
         subspace = initial_subspace
         records: list[CycleRecord] = []
         for period in self.timeline.periods():
-            truth = self.truth_model.run(truth, period.duration)
-            forecast = self.driver.forecast(
-                state, subspace, duration=period.duration, mapper=mapper
-            )
-            batch = self.network.observe(truth)
-            analysis = self.driver.assimilate(forecast, batch.operator)
-            forecast_err = self._normalized_error(
-                model.to_vector(forecast.central), truth
-            )
-            analysis_err = self._normalized_error(analysis.mean, truth)
-            records.append(
-                CycleRecord(
-                    period_index=period.index,
-                    nowcast_time=period.end,
+            with self.telemetry.span("cycle", period=period.index) as cycle_span:
+                with self.telemetry.span("truth_run", period=period.index):
+                    truth = self.truth_model.run(truth, period.duration)
+                forecast = self.driver.forecast(
+                    state, subspace, duration=period.duration, mapper=mapper
+                )
+                with self.telemetry.span("observe", period=period.index):
+                    batch = self.network.observe(truth)
+                analysis = self.driver.assimilate(forecast, batch.operator)
+                forecast_err = self._normalized_error(
+                    model.to_vector(forecast.central), truth
+                )
+                analysis_err = self._normalized_error(analysis.mean, truth)
+                cycle_span.set(
                     ensemble_size=forecast.ensemble_size,
                     converged=forecast.converged,
-                    innovation_rms=analysis.innovation_rms,
-                    analysis_rms=analysis.analysis_rms,
-                    forecast_error=forecast_err,
-                    analysis_error=analysis_err,
                 )
-            )
-            state = model.from_vector(analysis.mean, time=forecast.central.time)
-            subspace = analysis.subspace
+                records.append(
+                    CycleRecord(
+                        period_index=period.index,
+                        nowcast_time=period.end,
+                        ensemble_size=forecast.ensemble_size,
+                        converged=forecast.converged,
+                        innovation_rms=analysis.innovation_rms,
+                        analysis_rms=analysis.analysis_rms,
+                        forecast_error=forecast_err,
+                        analysis_error=analysis_err,
+                    )
+                )
+                state = model.from_vector(analysis.mean, time=forecast.central.time)
+                subspace = analysis.subspace
         return records, state, subspace

@@ -171,6 +171,8 @@ class EnsembleCampaign:
         specs: list[JobSpec],
         failure_rate: float = 0.0,
         failure_seed: int | None = None,
+        telemetry=None,
+        metrics=None,
     ) -> CampaignStats:
         """Simulate the campaign to completion and aggregate statistics.
 
@@ -184,10 +186,27 @@ class EnsembleCampaign:
             jobs and ``failed_count`` reports the losses.
         failure_seed:
             Seed for reproducible failure draws.
+        telemetry:
+            Optional recorder *factory*: a callable taking the virtual
+            clock and returning the recorder the scheduler should use
+            (typically ``TraceRecorder``), or an already-built recorder.
+            The recorded spans are in simulated seconds, exportable with
+            the same Chrome-trace pipeline as a live run; when a factory
+            is passed, the built recorder is kept on ``last_telemetry``.
+        metrics:
+            Optional :class:`~repro.telemetry.metrics.MetricsRegistry`
+            fed per-kind wait/wall histograms and outcome counters.
         """
         import numpy as _np
 
         sim = Simulator()
+        if (
+            telemetry is not None
+            and callable(telemetry)
+            and (isinstance(telemetry, type) or not hasattr(telemetry, "record_span"))
+        ):
+            telemetry = telemetry(sim.clock())
+        self.last_telemetry = telemetry  # factory-built recorders retrievable
         scheduler = ClusterScheduler(
             sim,
             self.cluster,
@@ -200,6 +219,8 @@ class EnsembleCampaign:
                 if failure_rate > 0
                 else None
             ),
+            telemetry=telemetry,
+            metrics=metrics,
         )
         scheduler.submit(specs)
         sim.run()

@@ -32,6 +32,15 @@ class Simulator:
         self._cancelled: set[int] = set()
         self.events_processed = 0
 
+    def clock(self) -> Callable[[], float]:
+        """A zero-argument virtual-time clock for telemetry recorders.
+
+        ``TraceRecorder(clock=sim.clock())`` stamps spans in simulated
+        seconds, so an SGE/Condor/EC2 campaign exports the *same* trace
+        format as a live task-pool run (paper Fig 1 vs Fig 4 timelines).
+        """
+        return lambda: self.now
+
     def schedule(self, delay: float, callback: Callable) -> int:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 

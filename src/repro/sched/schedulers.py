@@ -19,6 +19,8 @@ from repro.sched.engine import Simulator
 from repro.sched.iomodel import IOConfiguration, IOMode, SharedBandwidth
 from repro.sched.jobs import Job, JobSpec, JobState
 from repro.sched.resources import ClusterModel, Node
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NULL_RECORDER
 from repro.workflow.faults import FaultInjector, FaultKind
 from repro.workflow.policies import RetryPolicy
 
@@ -117,6 +119,17 @@ class ClusterScheduler:
         paying the output transfer), STALL attempts occupy the node for
         ``stall_seconds`` extra, and transiently submit-failing jobs reach
         the queue only after their backoff delays elapse.
+    telemetry:
+        A :class:`~repro.telemetry.spans.TraceRecorder` built on this
+        simulator's virtual clock (``TraceRecorder(clock=sim.clock())``).
+        Every finished attempt is recorded as a span named after its job
+        kind -- queue wait as a ``queue`` span, node occupancy as the
+        ``<kind>`` span -- so campaigns export the same Chrome-trace
+        format as the live task pool.  Default: record nothing.
+    metrics:
+        A :class:`~repro.telemetry.metrics.MetricsRegistry` fed per-kind
+        wall/wait histograms and completion/failure/retry counters; None
+        disables metric recording.
     """
 
     #: Bound on transient-submit retries per job (mirrors the workflow).
@@ -133,6 +146,8 @@ class ClusterScheduler:
         failure_rng=None,
         retry_policy: RetryPolicy | None = None,
         fault_injector: FaultInjector | None = None,
+        telemetry=None,
+        metrics: MetricsRegistry | None = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError("failure_rate must be in [0, 1)")
@@ -144,6 +159,8 @@ class ClusterScheduler:
         self.failure_rate = failure_rate
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        self.metrics = metrics
         self.n_retried = 0  # resubmissions performed by the retry policy
         self._failure_rng = failure_rng
         if failure_rate > 0 and failure_rng is None:
@@ -454,14 +471,56 @@ class ClusterScheduler:
         else:
             self._finish_job(job, node)
 
+    def _record_attempt(self, job: Job, status: str) -> None:
+        """Record one node-occupying attempt as telemetry spans + metrics.
+
+        Called with the job's timing fields still describing the attempt
+        (i.e. before :meth:`Job.reset_for_retry` clears them).  Times are
+        virtual seconds from the simulator clock, so the exported trace
+        lines up with the live workflow's format.
+        """
+        if self.telemetry.enabled and job.start_time is not None:
+            if job.start_time > job.submit_time:
+                self.telemetry.record_span(
+                    "queue",
+                    job.submit_time,
+                    job.start_time,
+                    kind=job.spec.kind,
+                    index=job.spec.index,
+                    attempt=job.attempt,
+                )
+            self.telemetry.record_span(
+                job.spec.kind,
+                job.start_time,
+                job.end_time,
+                status=status,
+                index=job.spec.index,
+                attempt=job.attempt,
+                node=job.node_name,
+            )
+        if self.metrics is not None:
+            if job.runtime_seconds is not None:
+                self.metrics.histogram(
+                    "job_wall_seconds", kind=job.spec.kind
+                ).observe(job.runtime_seconds)
+            if job.wait_seconds is not None:
+                self.metrics.histogram(
+                    "job_wait_seconds", kind=job.spec.kind
+                ).observe(job.wait_seconds)
+            outcome = "jobs_completed" if status == "ok" else "jobs_failed"
+            self.metrics.counter(outcome, kind=job.spec.kind).inc()
+
     def _fail_job(self, job: Job, node: Node) -> None:
         """One attempt failed: resubmit under the retry policy or finalize."""
         node.release(job.spec.cores)
         job.end_time = self.sim.now
+        self._record_attempt(job, "error")
         policy = self.retry_policy
         if policy is not None and policy.retries_left(job.attempt):
             delay = policy.backoff_seconds(job.spec.index, job.attempt)
             self.n_retried += 1
+            if self.metrics is not None:
+                self.metrics.counter("job_retries", kind=job.spec.kind).inc()
             job.reset_for_retry(self.sim.now + delay)
             self.sim.schedule(delay, lambda j=job: self._enqueue(j))
             self._request_dispatch()
@@ -487,6 +546,7 @@ class ClusterScheduler:
         node.release(job.spec.cores)
         job.state = JobState.DONE
         job.end_time = self.sim.now
+        self._record_attempt(job, "ok")
         # release dependents
         released = []
         still_waiting = []

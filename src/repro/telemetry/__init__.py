@@ -1,0 +1,77 @@
+"""Telemetry: tracing spans, metrics and timeline export for the pipeline.
+
+The paper's central artifact is a *timeline*: Figs 1 and 4 are Gantt
+pictures of perturbation / PE-model / differ / SVD tasks overlapping in
+the pool-of-tasks workflow, and Sec 5.3.1 notes that remote execution
+"gives no easy way for the user to monitor the progress of one's jobs".
+This package is the instrument for both complaints:
+
+- :mod:`~repro.telemetry.clock` -- injectable monotonic time sources
+  (live, simulated, fake);
+- :mod:`~repro.telemetry.spans` -- nestable thread-safe tracing spans,
+  with a zero-overhead :data:`NULL_RECORDER` as the default everywhere;
+- :mod:`~repro.telemetry.metrics` -- process-local counters, gauges and
+  histograms (task latency, retries, queue depth, differ I/O sweeps);
+- :mod:`~repro.telemetry.events` -- one structured event schema unifying
+  the workflow event log, the sched simulator's job stream and the fault
+  injector;
+- :mod:`~repro.telemetry.export` -- JSONL run logs, Chrome-trace JSON
+  (rendered by Perfetto as the paper's Fig 4 timeline) and a
+  Prometheus-style text snapshot.
+
+See ``docs/OBSERVABILITY.md`` for naming conventions and usage.
+"""
+
+from repro.telemetry.clock import MONOTONIC, FakeClock
+from repro.telemetry.events import (
+    TelemetryEvent,
+    from_fault_events,
+    from_sim_jobs,
+    from_workflow_events,
+    parse_detail,
+)
+from repro.telemetry.export import (
+    RunLog,
+    chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.telemetry.spans import NULL_RECORDER, NullRecorder, Span, TraceRecorder
+
+__all__ = [
+    "MONOTONIC",
+    "FakeClock",
+    "TelemetryEvent",
+    "parse_detail",
+    "from_workflow_events",
+    "from_fault_events",
+    "from_sim_jobs",
+    "RunLog",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "reset_registry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "TraceRecorder",
+]

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.telemetry.metrics import MetricsRegistry
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
 
 
@@ -78,6 +79,13 @@ class ProgressMonitor:
     clock:
         Time source (injectable for tests); defaults to
         :func:`time.monotonic`.
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry`; every
+        :meth:`report` refreshes per-kind progress gauges
+        (``progress_succeeded`` / ``progress_failed`` /
+        ``progress_cancelled`` / ``progress_pending`` /
+        ``progress_throughput_per_minute``) so dashboards read the
+        registry instead of re-parsing status directories.
     """
 
     def __init__(
@@ -85,6 +93,7 @@ class ProgressMonitor:
         status: StatusDirectory,
         expected: dict[str, int],
         clock=time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ):
         if not expected:
             raise ValueError("expected task counts must be non-empty")
@@ -95,6 +104,9 @@ class ProgressMonitor:
         self.expected = dict(expected)
         self._clock = clock
         self._t0 = clock()
+        self.metrics = metrics
+        # Completions already on disk when monitoring began: a restarted
+        # monitor must not count them as *its* throughput, for any kind.
         self._baseline = {
             kind: len(status.completed_indices(kind)) for kind in expected
         }
@@ -119,12 +131,33 @@ class ProgressMonitor:
         )
 
         elapsed = max(self._clock() - self._t0, 1e-9)
-        new_since_start = len(statuses) - self._baseline[kind]
+        # Exclude pre-existing completions from the measured rate; clamp
+        # at zero so a cleaned-up status directory (fewer records than the
+        # baseline) cannot produce a negative throughput.
+        new_since_start = max(len(statuses) - self._baseline[kind], 0)
         rate = 60.0 * new_since_start / elapsed
-        remaining = max(self.expected[kind] - len(statuses), 0)
-        eta = (60.0 * remaining / rate) if rate > 0 and remaining > 0 else (
-            0.0 if remaining == 0 else None
-        )
+        expected = self.expected[kind]
+        remaining = expected - len(statuses)
+        if len(statuses) > expected:
+            # More reports than expected tasks: the expectation is stale,
+            # so any ETA would be fiction (previously this claimed 0.0).
+            eta = None
+        elif remaining == 0:
+            eta = 0.0
+        elif rate > 0:
+            eta = 60.0 * remaining / rate
+        else:
+            eta = None  # no measurable progress yet: no ETA, never inf
+        if self.metrics is not None:
+            self.metrics.gauge("progress_succeeded", kind=kind).set(succeeded)
+            self.metrics.gauge("progress_failed", kind=kind).set(failed)
+            self.metrics.gauge("progress_cancelled", kind=kind).set(cancelled)
+            self.metrics.gauge("progress_pending", kind=kind).set(
+                max(remaining, 0)
+            )
+            self.metrics.gauge("progress_throughput_per_minute", kind=kind).set(
+                rate
+            )
         return ProgressReport(
             kind=kind,
             expected=self.expected[kind],

@@ -48,6 +48,8 @@ from repro.core.covariance import AnomalyAccumulator
 from repro.core.driver import ESSEConfig
 from repro.core.ensemble import EnsembleRunner
 from repro.core.subspace import ErrorSubspace
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NULL_RECORDER
 from repro.workflow.covfile import CovarianceFileSet
 from repro.workflow.faults import FaultInjector, FaultKind
 from repro.workflow.policies import CancellationPolicy, RetryPolicy
@@ -214,6 +216,16 @@ class ParallelESSEWorkflow:
     faults:
         Deterministic fault injector exercised by every member attempt;
         None runs fault-free.
+    telemetry:
+        A :class:`~repro.telemetry.spans.TraceRecorder` to receive spans
+        (per-member attempts, differ folds, SVD computations) and which
+        supplies the workflow's *only* time source via its ``clock``.
+        The default :data:`~repro.telemetry.spans.NULL_RECORDER` records
+        nothing and keeps the seed behaviour/overhead.
+    metrics:
+        A :class:`~repro.telemetry.metrics.MetricsRegistry` fed task
+        latencies, retry/timeout counters, pool-size gauges and differ
+        I/O-retry counts; None disables metric recording.
     """
 
     #: Bound on transient-submit retries per member before the submission
@@ -232,6 +244,8 @@ class ParallelESSEWorkflow:
         pool_margin: float = 1.5,
         retry: RetryPolicy | None = None,
         faults: FaultInjector | None = None,
+        telemetry=None,
+        metrics: MetricsRegistry | None = None,
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -251,10 +265,18 @@ class ParallelESSEWorkflow:
         self.pool_margin = pool_margin
         self.retry = retry
         self.faults = faults
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        self.metrics = metrics
+        # The single time source for the whole workflow: every "now" --
+        # event stamps, retry backoff deadlines, straggler timers, the
+        # Tmax check -- goes through this clock so tests can inject a
+        # fake one end-to-end.
+        self._clock = self.telemetry.clock
 
         self._events: list[WorkflowEvent] = []
         self._events_lock = threading.Lock()
         self._t0 = 0.0
+        self._root_span = None
         # worker -> main-loop signals (guarded by _fault_lock)
         self._fault_lock = threading.Lock()
         self._corrupt_found: list[int] = []
@@ -266,7 +288,7 @@ class ParallelESSEWorkflow:
     def _log(self, kind: str, detail: str = "") -> None:
         with self._events_lock:
             self._events.append(
-                WorkflowEvent(time.perf_counter() - self._t0, kind=kind, detail=detail)
+                WorkflowEvent(self._clock() - self._t0, kind=kind, detail=detail)
             )
 
     # -- worker -> main-loop fault signals -----------------------------------
@@ -281,6 +303,8 @@ class ParallelESSEWorkflow:
         with self._fault_lock:
             sweeps = self._missing_sweeps.get(index, 0) + 1
             self._missing_sweeps[index] = sweeps
+        if self.metrics is not None:
+            self.metrics.counter("differ_io_retries", kind="pemodel").inc()
         if sweeps & (sweeps - 1) == 0:  # powers of two
             self._log("io_retry", f"member={index} sweeps={sweeps}")
 
@@ -305,48 +329,50 @@ class ParallelESSEWorkflow:
         acc_lock: threading.Lock,
     ) -> None:
         """Continuously fold finished members into the covariance files."""
-        while True:
-            new_any = False
-            for index in self.status.successful_indices("pemodel"):
-                with acc_lock:
-                    if accumulator.has_member(index):
-                        continue
-                path = self.members_dir / f"forecast_{index:05d}.npz"
-                try:
-                    with np.load(path) as data:
-                        forecast = data["forecast"].copy()
-                except FileNotFoundError:
-                    # Status visible before file (NFS-style lag).  Not a
-                    # silent spin: each sweep is a structured retry event
-                    # (geometrically thinned) the monitor can see.
-                    self._note_missing(index)
-                    continue
-                except Exception:
-                    if path.exists():
-                        # File present but unreadable: a torn write.  Flag
-                        # for the main loop to fail/resubmit this member.
-                        self._flag_corrupt(index)
-                    else:
+        with self.telemetry.span("differ.loop", parent=self._root_span):
+            while True:
+                new_any = False
+                for index in self.status.successful_indices("pemodel"):
+                    with acc_lock:
+                        if accumulator.has_member(index):
+                            continue
+                    path = self.members_dir / f"forecast_{index:05d}.npz"
+                    try:
+                        with np.load(path) as data:
+                            forecast = data["forecast"].copy()
+                    except FileNotFoundError:
+                        # Status visible before file (NFS-style lag).  Not a
+                        # silent spin: each sweep is a structured retry event
+                        # (geometrically thinned) the monitor can see.
                         self._note_missing(index)
-                    continue
-                self._missing_sweeps.pop(index, None)
-                with acc_lock:
-                    if accumulator.has_member(index):
                         continue
-                    accumulator.add_member(index, forecast)
-                    count = accumulator.count
-                    matrix = accumulator.matrix() if count >= 2 else None
-                    ids = list(accumulator.member_ids)
-                self._log("diff_added", f"member={index} count={count}")
-                if matrix is not None:
-                    self.covset.write_live(matrix, ids)
-                    self.covset.publish()
-                    self._log("publish", f"count={count}")
-                new_any = True
-            if stop.is_set() and not new_any:
-                return
-            if not new_any:
-                time.sleep(self.poll_interval)
+                    except Exception:
+                        if path.exists():
+                            # File present but unreadable: a torn write.  Flag
+                            # for the main loop to fail/resubmit this member.
+                            self._flag_corrupt(index)
+                        else:
+                            self._note_missing(index)
+                        continue
+                    self._missing_sweeps.pop(index, None)
+                    with self.telemetry.span("differ.add", index=index):
+                        with acc_lock:
+                            if accumulator.has_member(index):
+                                continue
+                            accumulator.add_member(index, forecast)
+                            count = accumulator.count
+                            matrix = accumulator.matrix() if count >= 2 else None
+                            ids = list(accumulator.member_ids)
+                        self._log("diff_added", f"member={index} count={count}")
+                        if matrix is not None:
+                            self.covset.write_live(matrix, ids)
+                            self.covset.publish()
+                            self._log("publish", f"count={count}")
+                    new_any = True
+                if stop.is_set() and not new_any:
+                    return
+                if not new_any:
+                    time.sleep(self.poll_interval)
 
     def _svd_loop(
         self,
@@ -359,33 +385,38 @@ class ParallelESSEWorkflow:
         """Continuously SVD the safe snapshot at ensemble-size checkpoints."""
         next_cp = 0
         last_version = -1
-        while not stop.is_set() and not converged.is_set():
-            snap = self.covset.read_safe()
-            if snap is None or snap.version == last_version:
-                time.sleep(self.poll_interval)
-                continue
-            last_version = snap.version
-            if next_cp >= len(checkpoints) or snap.count < checkpoints[next_cp]:
-                continue
-            next_cp += 1
-            self._log("svd_start", f"count={snap.count}")
-            subspace = ErrorSubspace.from_anomalies(
-                snap.anomalies,
-                rank=self.config.max_subspace_rank,
-                energy=self.config.svd_energy,
-            )
-            rho = criterion.update(subspace)
-            out["subspace"] = subspace
-            out["count"] = snap.count
-            self._log(
-                "svd_done",
-                f"count={snap.count} rank={subspace.rank}"
-                + (f" rho={rho:.4f}" if rho is not None else ""),
-            )
-            if criterion.converged:
-                self._log("converged", f"count={snap.count}")
-                converged.set()
-                return
+        with self.telemetry.span("svd.loop", parent=self._root_span):
+            while not stop.is_set() and not converged.is_set():
+                snap = self.covset.read_safe()
+                if snap is None or snap.version == last_version:
+                    time.sleep(self.poll_interval)
+                    continue
+                last_version = snap.version
+                if next_cp >= len(checkpoints) or snap.count < checkpoints[next_cp]:
+                    continue
+                next_cp += 1
+                self._log("svd_start", f"count={snap.count}")
+                with self.telemetry.span("svd.compute", count=snap.count) as sp:
+                    subspace = ErrorSubspace.from_anomalies(
+                        snap.anomalies,
+                        rank=self.config.max_subspace_rank,
+                        energy=self.config.svd_energy,
+                    )
+                    rho = criterion.update(subspace)
+                    sp.set(rank=subspace.rank)
+                if self.metrics is not None:
+                    self.metrics.counter("svd_computations").inc()
+                out["subspace"] = subspace
+                out["count"] = snap.count
+                self._log(
+                    "svd_done",
+                    f"count={snap.count} rank={subspace.rank}"
+                    + (f" rho={rho:.4f}" if rho is not None else ""),
+                )
+                if criterion.converged:
+                    self._log("converged", f"count={snap.count}")
+                    converged.set()
+                    return
 
     # -- main -------------------------------------------------------------------
 
@@ -419,18 +450,28 @@ class ParallelESSEWorkflow:
             return executor.submit(_process_member_task, index, attempt)
 
         def task(idx=index, att=attempt, cancel_event=cancel):
-            self._started_at[(idx, att)] = time.perf_counter()
+            started = self._clock()
+            self._started_at[(idx, att)] = started
             try:
-                return _execute_member(
-                    self.runner,
-                    mean_state,
-                    idx,
-                    att,
-                    self.members_dir,
-                    self.status,
-                    self.faults,
-                    cancel_event,
-                )
+                with self.telemetry.span(
+                    "pemodel", parent=self._root_span, index=idx, attempt=att
+                ) as span:
+                    result = _execute_member(
+                        self.runner,
+                        mean_state,
+                        idx,
+                        att,
+                        self.members_dir,
+                        self.status,
+                        self.faults,
+                        cancel_event,
+                    )
+                    span.set(ok=result[2])
+                if self.metrics is not None:
+                    self.metrics.histogram("task_seconds", kind="pemodel").observe(
+                        self._clock() - started
+                    )
+                return result
             finally:
                 self._started_at.pop((idx, att), None)
 
@@ -438,15 +479,25 @@ class ParallelESSEWorkflow:
 
     def run(self, mean_state) -> WorkflowResult:
         """Execute the many-task pipeline until convergence/Nmax/Tmax."""
+        with self.telemetry.span("workflow.run") as root:
+            self._root_span = root
+            try:
+                return self._run(mean_state)
+            finally:
+                self._root_span = None
+
+    def _run(self, mean_state) -> WorkflowResult:
+        """The pipeline body, running inside the ``workflow.run`` span."""
         cfg = self.config
         self._events = []
         self._corrupt_found = []
         self._started_at = {}
         self._missing_sweeps = {}
-        self._t0 = time.perf_counter()
+        self._t0 = self._clock()
         started = self._t0
 
-        central = self.runner.central_forecast(mean_state)
+        with self.telemetry.span("central_forecast"):
+            central = self.runner.central_forecast(mean_state)
         self._log("central_done")
         accumulator = AnomalyAccumulator(
             self.runner.model.layout, self.runner.model.to_vector(central)
@@ -515,8 +566,10 @@ class ParallelESSEWorkflow:
                         return False
                     attempts[idx] = att + 1
                     delay = retry.backoff_seconds(idx, att)
-                    heapq.heappush(pending, (time.perf_counter() + delay, idx))
+                    heapq.heappush(pending, (self._clock() + delay, idx))
                     n_retried += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("task_retries", kind="pemodel").inc()
                     self._log(
                         "retry",
                         f"member={idx} attempt={att + 1} delay={delay:.3f} why={why}",
@@ -550,7 +603,7 @@ class ParallelESSEWorkflow:
                             if retry is not None
                             else self.poll_interval
                         )
-                        heapq.heappush(pending, (time.perf_counter() + delay, idx))
+                        heapq.heappush(pending, (self._clock() + delay, idx))
                         self._log("submit_retry", f"member={idx} try={tries}")
                         return
                     cancel = threading.Event()
@@ -615,6 +668,8 @@ class ParallelESSEWorkflow:
                             "pemodel", idx, TaskStatus.TIMED_OUT, attempt=att
                         )
                         n_timed_out += 1
+                        if self.metrics is not None:
+                            self.metrics.counter("task_timeouts", kind="pemodel").inc()
                         self._log(
                             "straggler_cancel",
                             f"member={idx} attempt={att} after={now - t_start:.3f}",
@@ -651,9 +706,11 @@ class ParallelESSEWorkflow:
 
                 extend_pool(pool_target)
                 self._log("pool", f"size={pool_target}")
+                if self.metrics is not None:
+                    self.metrics.gauge("pool_size").set(pool_target)
 
                 while not converged.is_set():
-                    now = time.perf_counter()
+                    now = self._clock()
                     process_corrupt()
                     check_stragglers(now)
                     process_pending(now)
@@ -668,6 +725,8 @@ class ParallelESSEWorkflow:
                         if want > next_index:
                             extend_pool(want)
                             self._log("enlarge", f"size={next_index}")
+                            if self.metrics is not None:
+                                self.metrics.gauge("pool_size").set(next_index)
                     if (
                         all(f.done() for f in futures.values())
                         and next_index >= cfg.max_ensemble_size
@@ -675,7 +734,7 @@ class ParallelESSEWorkflow:
                     ):
                         break  # Nmax exhausted without convergence
                     if cfg.deadline_seconds is not None and (
-                        time.perf_counter() - started > cfg.deadline_seconds
+                        self._clock() - started > cfg.deadline_seconds
                     ):
                         self._log("deadline")
                         break
@@ -731,10 +790,11 @@ class ParallelESSEWorkflow:
         ):
             with acc_lock:
                 matrix = accumulator.matrix()
-            subspace = ErrorSubspace.from_anomalies(
-                matrix, rank=cfg.max_subspace_rank, energy=cfg.svd_energy
-            )
-            criterion.update(subspace)
+            with self.telemetry.span("svd.final", count=final_count):
+                subspace = ErrorSubspace.from_anomalies(
+                    matrix, rank=cfg.max_subspace_rank, energy=cfg.svd_energy
+                )
+                criterion.update(subspace)
             svd_out["subspace"] = subspace
             svd_out["count"] = final_count
             self._log("final_svd", f"count={final_count}")
@@ -772,6 +832,10 @@ class ParallelESSEWorkflow:
         )
         with acc_lock:
             member_ids = accumulator.member_ids
+        if self.metrics is not None:
+            self.metrics.gauge("members_completed", kind="pemodel").set(n_completed)
+            self.metrics.gauge("members_failed", kind="pemodel").set(n_failed)
+            self.metrics.gauge("members_cancelled", kind="pemodel").set(n_cancelled)
         return WorkflowResult(
             subspace=svd_out["subspace"],
             ensemble_size=svd_out["count"],
@@ -781,7 +845,7 @@ class ParallelESSEWorkflow:
             n_completed=n_completed,
             n_failed=n_failed,
             n_cancelled=n_cancelled,
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=self._clock() - started,
             member_ids=member_ids,
             n_retried=n_retried,
             n_timed_out=n_timed_out,

@@ -1,0 +1,148 @@
+"""Exporters: JSONL round-trip, Chrome-trace validity, Prometheus text."""
+
+import json
+
+import pytest
+
+from repro.telemetry.clock import FakeClock
+from repro.telemetry.export import (
+    chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import TraceRecorder
+
+
+@pytest.fixture()
+def recorder():
+    clk = FakeClock()
+    rec = TraceRecorder(clock=clk)
+    with rec.span("workflow.run") as root:
+        clk.advance(0.5)
+        with rec.span("pemodel", index=0):
+            clk.advance(2.0)
+        rec.event("publish", count=1)
+        clk.advance(0.5)
+        rec.record_span("differ.add", 2.5, 3.0, parent=root, index=0)
+    return rec
+
+
+class TestJsonlRoundTrip:
+    def test_spans_events_metrics_survive(self, recorder, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("svd_computations").inc(2)
+        registry.histogram("task_seconds", kind="pemodel").observe(2.0)
+        path = write_jsonl(
+            tmp_path / "run.jsonl",
+            spans=recorder.spans(),
+            events=recorder.events(),
+            metrics=registry,
+        )
+        log = read_jsonl(path)
+        assert [s.name for s in log.spans] == [s.name for s in recorder.spans()]
+        original = {s.span_id: s for s in recorder.spans()}
+        for span in log.spans:
+            assert span == original[span.span_id]
+        assert [e.kind for e in log.events] == ["publish"]
+        assert log.metrics["counters"]["svd_computations"] == 2.0
+        assert log.metrics["histograms"]["task_seconds{kind=pemodel}"]["count"] == 1
+
+    def test_every_line_is_valid_json(self, recorder, tmp_path):
+        path = write_jsonl(tmp_path / "run.jsonl", spans=recorder.spans())
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_unknown_line_types_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            json.dumps({"type": "span", "name": "a", "start": 0.0, "end": 1.0,
+                        "span_id": 1})
+            + "\n"
+            + json.dumps({"type": "future_record", "payload": 42})
+            + "\n"
+        )
+        log = read_jsonl(path)
+        assert len(log.spans) == 1
+
+
+class TestChromeTrace:
+    def test_export_validates_clean(self, recorder, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json",
+            spans=recorder.spans(),
+            events=recorder.events(),
+        )
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+
+    def test_span_events_are_complete_phases_in_microseconds(self, recorder):
+        obj = chrome_trace(spans=recorder.spans())
+        complete = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        pemodel = next(e for e in complete if e["name"] == "pemodel")
+        assert pemodel["ts"] == pytest.approx(0.5e6)
+        assert pemodel["dur"] == pytest.approx(2.0e6)
+        assert pemodel["args"]["index"] == 0
+        assert "span_id" in pemodel["args"]
+
+    def test_thread_name_metadata_per_track(self, recorder):
+        obj = chrome_trace(spans=recorder.spans(), events=recorder.events())
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        named = {e["args"]["name"] for e in meta}
+        assert "events" in named  # instants get their own track
+        tids = {e["tid"] for e in meta}
+        assert len(tids) == len(meta)  # one metadata record per distinct tid
+
+    def test_nesting_preserved_on_timeline(self, recorder):
+        """Child complete-events sit within their parents' intervals."""
+        spans = recorder.spans()
+        by_id = {s.span_id: s for s in spans}
+        checked = 0
+        for span in spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.start <= span.start
+            assert span.end <= parent.end
+            checked += 1
+        assert checked >= 2  # pemodel and differ.add under workflow.run
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        bad_phase = {"traceEvents": [{"name": "a", "ph": "Z", "pid": 1}]}
+        assert any("phase" in p for p in validate_chrome_trace(bad_phase))
+        negative_ts = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1, "ts": -5, "dur": 1}
+            ]
+        }
+        assert any("ts" in p for p in validate_chrome_trace(negative_ts))
+        missing_name = {"traceEvents": [{"ph": "X", "pid": 1, "ts": 0, "dur": 1}]}
+        assert any("name" in p for p in validate_chrome_trace(missing_name))
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("task_retries", kind="pemodel").inc(3)
+        registry.gauge("pool_size").set(8)
+        hist = registry.histogram("task_seconds", kind="pemodel")
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        text = prometheus_text(registry)
+        assert "# TYPE task_retries counter" in text
+        assert 'task_retries{kind="pemodel"} 3.0' in text
+        assert "# TYPE pool_size gauge" in text
+        assert "pool_size 8.0" in text
+        assert "# TYPE task_seconds summary" in text
+        assert 'task_seconds{quantile="0.5",kind="pemodel"} 2.0' in text
+        assert 'task_seconds_count{kind="pemodel"} 3' in text
+        assert 'task_seconds_sum{kind="pemodel"} 6.0' in text
+
+    def test_accepts_prepared_snapshot_dict(self):
+        snap = {"counters": {"n": 1.0}, "gauges": {}, "histograms": {}}
+        assert "n 1.0" in prometheus_text(snap)

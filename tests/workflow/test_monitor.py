@@ -74,6 +74,54 @@ class TestProgressMonitor:
         assert report.throughput_per_minute == pytest.approx(1.0)
         assert report.reported == 6
 
+    def test_eta_none_when_reports_exceed_expectation(self, status):
+        """Stale expectations must not claim a finished (or negative) ETA."""
+        clock = FakeClock()
+        monitor = ProgressMonitor(status, {"pemodel": 2}, clock=clock)
+        for idx in range(4):
+            status.write("pemodel", idx, TaskStatus.SUCCESS)
+        clock.t = 60.0
+        report = monitor.report("pemodel")
+        assert report.eta_seconds is None
+        assert report.pending == 0
+        assert report.complete
+
+    def test_eta_zero_only_when_exactly_complete(self, status):
+        clock = FakeClock()
+        monitor = ProgressMonitor(status, {"pemodel": 3}, clock=clock)
+        for idx in range(3):
+            status.write("pemodel", idx, TaskStatus.SUCCESS)
+        clock.t = 30.0
+        assert monitor.report("pemodel").eta_seconds == 0.0
+
+    def test_baseline_excluded_for_every_kind(self, status):
+        """The baseline fix applies per kind, not just the first one."""
+        status.write("pert", 0, TaskStatus.SUCCESS)
+        status.write("pemodel", 0, TaskStatus.SUCCESS)
+        clock = FakeClock()
+        monitor = ProgressMonitor(
+            status, {"pert": 4, "pemodel": 4}, clock=clock
+        )
+        clock.t = 60.0
+        # no *new* completions anywhere: both rates are zero, no fake ETA
+        for kind in ("pert", "pemodel"):
+            report = monitor.report(kind)
+            assert report.throughput_per_minute == 0.0
+            assert report.eta_seconds is None
+
+    def test_gauges_fed_when_metrics_attached(self, status):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        monitor = ProgressMonitor(status, {"pemodel": 4}, metrics=registry)
+        status.write("pemodel", 0, TaskStatus.SUCCESS)
+        status.write("pemodel", 1, TaskStatus.MODEL_FAILURE)
+        monitor.report("pemodel")
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["progress_succeeded{kind=pemodel}"] == 1.0
+        assert gauges["progress_failed{kind=pemodel}"] == 1.0
+        assert gauges["progress_pending{kind=pemodel}"] == 2.0
+
     def test_render_line(self, status):
         monitor = ProgressMonitor(status, {"acoustic": 4})
         status.write("acoustic", 0, TaskStatus.SUCCESS)

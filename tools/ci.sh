@@ -1,13 +1,14 @@
 #!/bin/sh
-# CI check: workflow test suite + docs lint.
+# CI check: workflow + telemetry test suites, docs lint, trace smoke test.
 #
 # Run from the repository root:
-#     sh tools/ci.sh          # workflow tests + docs lint
+#     sh tools/ci.sh          # workflow/telemetry tests + lint + smoke
 #     CI_FULL=1 sh tools/ci.sh  # the full tier-1 suite instead
 #
 # The docs lint enforces that every public class/function in the library
-# (including the fault-injection subsystem, repro.workflow.faults and
-# repro.workflow.policies) carries a docstring.
+# (including the fault-injection subsystem and the telemetry subsystem)
+# carries a docstring.  The smoke test runs a tiny task pool with tracing
+# enabled and verifies the exported Chrome trace parses and validates.
 
 set -e
 
@@ -17,8 +18,62 @@ export PYTHONPATH
 if [ -n "${CI_FULL:-}" ]; then
     python -m pytest -x -q
 else
-    python -m pytest tests/workflow -q
+    python -m pytest tests/workflow tests/telemetry -q
 fi
 
 python tools/check_docs.py
 python tools/check_docs.py repro.workflow.faults repro.workflow.policies
+python tools/check_docs.py \
+    repro.telemetry.clock repro.telemetry.spans repro.telemetry.metrics \
+    repro.telemetry.events repro.telemetry.export
+
+# Smoke: a tiny traced task-pool run must export a valid Chrome trace.
+python - <<'EOF'
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core import ESSEConfig, PerturbationGenerator, synthetic_initial_subspace
+from repro.core.ensemble import EnsembleRunner
+from repro.ocean import PEModel
+from repro.ocean.bathymetry import monterey_grid
+from repro.telemetry import TraceRecorder, validate_chrome_trace, write_chrome_trace
+from repro.workflow import ParallelESSEWorkflow
+
+grid = monterey_grid(nx=12, ny=10, nz=3)
+model = PEModel(grid=grid)
+background = model.run(model.rest_state(), 6 * model.config.dt)
+subspace = synthetic_initial_subspace(
+    model.layout, grid.shape2d, grid.nz, rank=4, seed=0
+)
+runner = EnsembleRunner(
+    model,
+    PerturbationGenerator(model.layout, subspace, root_seed=3),
+    duration=2 * model.config.dt,
+    root_seed=3,
+)
+recorder = TraceRecorder()
+with tempfile.TemporaryDirectory() as tmp:
+    workflow = ParallelESSEWorkflow(
+        runner,
+        ESSEConfig(initial_ensemble_size=3, max_ensemble_size=4,
+                   convergence_tolerance=1.0, max_subspace_rank=4),
+        Path(tmp) / "wf",
+        n_workers=2,
+        telemetry=recorder,
+    )
+    workflow.run(background)
+    trace_path = write_chrome_trace(Path(tmp) / "trace.json",
+                                    spans=recorder.spans(),
+                                    events=recorder.events())
+    obj = json.loads(trace_path.read_text())
+problems = validate_chrome_trace(obj)
+if problems:
+    raise SystemExit("trace smoke test failed: " + "; ".join(problems))
+names = {e["name"] for e in obj["traceEvents"]}
+for required in ("workflow.run", "pemodel"):
+    if required not in names:
+        raise SystemExit(f"trace smoke test: missing {required!r} span")
+print(f"trace smoke test: valid Chrome trace "
+      f"({len(obj['traceEvents'])} events)")
+EOF

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Summarise a JSONL telemetry run log as per-kind latency tables.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_summary.py RUN.jsonl [--events] [--top N]
+
+Reads a run log written by :func:`repro.telemetry.export.write_jsonl`
+(e.g. by a benchmark or a task-pool run) and prints one row per span
+name: count, total seconds, mean, p50/p90/p99 and max -- the quick
+answer to the paper's Sec 5.3.1 monitoring complaint without opening a
+trace viewer.  ``--events`` appends a per-kind event count table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Exact linear-interpolation percentile of a non-empty list."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width table rendering (matches the bench table style)."""
+    widths = [
+        max(len(headers[c]), max((len(r[c]) for r in rows), default=0))
+        for c in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def span_rows(spans) -> list[list[str]]:
+    """Aggregate spans by name into latency-table rows (by total desc)."""
+    by_name: dict[str, list[float]] = defaultdict(list)
+    for span in spans:
+        by_name[span.name].append(span.duration)
+    rows = []
+    for name, durations in sorted(
+        by_name.items(), key=lambda item: -sum(item[1])
+    ):
+        rows.append(
+            [
+                name,
+                str(len(durations)),
+                f"{sum(durations):.3f}",
+                f"{sum(durations) / len(durations):.4f}",
+                f"{percentile(durations, 50):.4f}",
+                f"{percentile(durations, 90):.4f}",
+                f"{percentile(durations, 99):.4f}",
+                f"{max(durations):.4f}",
+            ]
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("logfile", help="JSONL run log (write_jsonl output)")
+    parser.add_argument(
+        "--events", action="store_true", help="also print per-kind event counts"
+    )
+    parser.add_argument(
+        "--top", type=int, default=None, help="only the top N span kinds by total"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.telemetry.export import read_jsonl
+
+    log = read_jsonl(args.logfile)
+    if not log.spans and not log.events:
+        print(f"{args.logfile}: no spans or events found", file=sys.stderr)
+        return 1
+
+    if log.spans:
+        rows = span_rows(log.spans)
+        if args.top is not None:
+            rows = rows[: args.top]
+        print(f"Span latency summary ({len(log.spans)} spans)")
+        print(
+            format_table(
+                ["kind", "count", "total_s", "mean_s", "p50_s", "p90_s",
+                 "p99_s", "max_s"],
+                rows,
+            )
+        )
+    if args.events and log.events:
+        counts: dict[str, int] = defaultdict(int)
+        for event in log.events:
+            counts[event.kind] += 1
+        print(f"\nEvent counts ({len(log.events)} events)")
+        print(
+            format_table(
+                ["kind", "count"],
+                [[k, str(n)] for k, n in sorted(counts.items(), key=lambda i: -i[1])],
+            )
+        )
+    if log.metrics:
+        counters = log.metrics.get("counters", {})
+        if counters:
+            print("\nCounters")
+            print(
+                format_table(
+                    ["name", "value"],
+                    [[k, str(v)] for k, v in sorted(counters.items())],
+                )
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
