@@ -23,13 +23,12 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-import numpy as np
-
 from repro.core.driver import ESSEConfig, ESSEDriver
 from repro.obs.network import ObservationNetwork, aosn2_network
 from repro.ocean.bathymetry import monterey_grid
 from repro.ocean.model import ModelConfig, PEModel
 from repro.realtime.times import ExperimentTimeline
+from repro.util.rng import SeedSequenceStream
 
 
 class ConfigError(ValueError):
@@ -222,11 +221,18 @@ class ExperimentConfig:
         )
 
     def build_network(self, model: PEModel) -> ObservationNetwork:
-        """The configured observation network."""
+        """The configured observation network.
+
+        The noise generator is a keyed
+        :class:`~repro.util.rng.SeedSequenceStream` stream rather than
+        ``default_rng(seed)`` directly, so config-driven runs and
+        driver-driven runs (which key member streams off the same root
+        seed) draw from non-overlapping streams.
+        """
         return aosn2_network(
             model.grid,
             model.layout,
-            rng=np.random.default_rng(self.observations.seed),
+            rng=SeedSequenceStream(self.observations.seed).rng("obs", "network"),
         )
 
     def build_timeline(self, t0: float = 0.0) -> ExperimentTimeline:

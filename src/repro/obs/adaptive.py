@@ -146,7 +146,9 @@ class AdaptiveSampler(Instrument):
         self._noise_std = float(noise_std)
 
     def sample_points(self, grid: OceanGrid) -> list[tuple[str, int, int, int]]:
+        """The suggested high-uncertainty points, verbatim."""
         return [(s.field, s.level, s.j, s.i) for s in self.suggestions]
 
     def noise_std_for(self, fieldname: str) -> float:
+        """Uniform noise std-dev for all adaptive samples."""
         return self._noise_std

@@ -77,6 +77,7 @@ class CTDStation(Instrument):
     name: str = "ctd"
 
     def sample_points(self, grid: OceanGrid) -> list[tuple[str, int, int, int]]:
+        """Full-depth (T, S) sample points at the station's grid cell."""
         j, i = grid.nearest_point(self.x, self.y)
         pts = []
         for k in range(grid.nz):
@@ -85,7 +86,7 @@ class CTDStation(Instrument):
         return pts
 
     def noise_std_for(self, fieldname: str) -> float:
-        # CTDs are the most accurate instrument in the suite.
+        """Measurement noise std-dev; CTDs are the suite's most accurate."""
         return {"temp": 0.02, "salt": 0.01}[fieldname]
 
 
@@ -102,6 +103,7 @@ class AUVTrack(Instrument):
     name: str = "auv"
 
     def sample_points(self, grid: OceanGrid) -> list[tuple[str, int, int, int]]:
+        """Temperature points along the legs at the AUV's running depth."""
         if len(self.waypoints) < 2:
             raise ValueError("AUV track needs at least two waypoints")
         level = grid.level_index(self.depth)
@@ -118,6 +120,7 @@ class AUVTrack(Instrument):
         return pts
 
     def noise_std_for(self, fieldname: str) -> float:
+        """Measurement noise std-dev for AUV temperature samples."""
         return 0.05
 
 
@@ -136,6 +139,7 @@ class GliderTransect(Instrument):
     name: str = "glider"
 
     def sample_points(self, grid: OceanGrid) -> list[tuple[str, int, int, int]]:
+        """(T, S) profile points at the transect's surfacing stations."""
         if self.n_profiles < 1:
             raise ValueError("glider needs at least one profile")
         levels = [k for k, z in enumerate(grid.z_levels) if z <= self.max_depth]
@@ -150,6 +154,7 @@ class GliderTransect(Instrument):
         return pts
 
     def noise_std_for(self, fieldname: str) -> float:
+        """Measurement noise std-dev for glider (T, S) profiles."""
         return {"temp": 0.05, "salt": 0.02}[fieldname]
 
 
@@ -178,6 +183,7 @@ class SSTSwath(Instrument):
             raise ValueError("coverage must be in (0, 1]")
 
     def sample_points(self, grid: OceanGrid) -> list[tuple[str, int, int, int]]:
+        """Decimated surface-temperature points minus the cloud mask."""
         pts: list[tuple[str, int, int, int]] = []
         for j in range(0, grid.ny, self.decimation):
             for i in range(0, grid.nx, self.decimation):
@@ -188,5 +194,5 @@ class SSTSwath(Instrument):
         return pts
 
     def noise_std_for(self, fieldname: str) -> float:
-        # Satellite SST is noisier than in-situ sensors.
+        """Measurement noise std-dev; satellite SST is the noisiest."""
         return 0.3

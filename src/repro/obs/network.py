@@ -24,6 +24,7 @@ from repro.obs.instruments import (
 from repro.obs.operators import Observation, ObservationOperator
 from repro.ocean.grid import OceanGrid
 from repro.ocean.model import ModelState
+from repro.util.rng import SeedSequenceStream
 
 
 @dataclass(frozen=True)
@@ -52,7 +53,10 @@ class ObservationNetwork:
     instruments:
         The instrument suite; must be non-empty.
     rng:
-        Generator for measurement noise (reproducible twin experiments).
+        Generator for measurement noise; thread one from your
+        experiment's root seed (see :mod:`repro.util.rng`).  The default
+        is a deterministic keyed stream off the zero root seed, so twin
+        experiments repeat bit-identically even when no rng is passed.
     """
 
     def __init__(
@@ -67,7 +71,11 @@ class ObservationNetwork:
         self.grid = grid
         self.layout = layout
         self.instruments = tuple(instruments)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = (
+            rng
+            if rng is not None
+            else SeedSequenceStream(0).rng("obs", "network-noise")
+        )
         self._period_count = 0
 
     def observe(self, truth: ModelState, time: float | None = None) -> ObservationBatch:

@@ -19,6 +19,12 @@ import numpy as np
 
 from repro.ocean.grid import OceanGrid
 from repro.util.randomfields import GaussianRandomField2D
+from repro.util.rng import SeedSequenceStream
+
+
+def _default_forcing_rng() -> np.random.Generator:
+    """Deterministic fallback stream for forcing built without an rng."""
+    return SeedSequenceStream(0).rng("ocean", "stochastic-forcing")
 
 
 @dataclass
@@ -40,7 +46,8 @@ class StochasticForcing:
     length_scale_cells:
         Spatial correlation length of the noise in grid cells.
     rng:
-        Member-specific generator; defaults to a fresh unseeded one.
+        Member-specific generator (key it by perturbation index via
+        :mod:`repro.util.rng`); defaults to a deterministic stream.
     """
 
     grid: OceanGrid
@@ -48,7 +55,7 @@ class StochasticForcing:
     eta_amplitude: float = 2.0e-5
     tracer_amplitude: float = 2.0e-6
     length_scale_cells: float = 4.0
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=_default_forcing_rng)
 
     def __post_init__(self):
         for name in ("momentum_amplitude", "eta_amplitude", "tracer_amplitude"):

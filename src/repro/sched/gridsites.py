@@ -19,6 +19,7 @@ from repro.sched.cluster import (
     REFERENCE_PERT_SECONDS,
 )
 from repro.sched.resources import ClusterModel, Node, NodeSpec
+from repro.util.rng import SeedSequenceStream
 
 
 @dataclass(frozen=True)
@@ -131,6 +132,7 @@ def run_reserved_campaign(
     n_members: int,
     window_seconds: float | None,
     rng: np.random.Generator | None = None,
+    seed: int | None = None,
 ) -> dict[str, float | int]:
     """An ESSE slice on a Grid site, with or without an advance reservation.
 
@@ -145,6 +147,11 @@ def run_reserved_campaign(
     are cancelled (ESSE tolerates the holes).  Without one, the whole
     campaign waits out a stochastic queue delay first.
 
+    The queue-wait draw comes from ``rng`` when given, else from a
+    :class:`~repro.util.rng.SeedSequenceStream` stream keyed by ``seed``
+    (default 0) and the site name -- repeat calls with the same arguments
+    reproduce the same wait.
+
     Returns
     -------
     dict with ``queue_wait_s``, ``completed``, ``cancelled`` and
@@ -157,7 +164,10 @@ def run_reserved_campaign(
 
     if n_members < 1:
         raise ValueError("n_members must be >= 1")
-    rng = rng if rng is not None else np.random.default_rng()
+    if rng is None:
+        rng = SeedSequenceStream(seed if seed is not None else 0).rng(
+            "gridsites", site.name, "queue-wait"
+        )
     reserved = window_seconds is not None
     queue_wait = 0.0 if reserved else site.sample_queue_wait(rng)
 

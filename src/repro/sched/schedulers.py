@@ -21,6 +21,7 @@ from repro.sched.jobs import Job, JobSpec, JobState
 from repro.sched.resources import ClusterModel, Node
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import NULL_RECORDER
+from repro.util.rng import SeedSequenceStream
 from repro.workflow.faults import FaultInjector, FaultKind
 from repro.workflow.policies import RetryPolicy
 
@@ -106,7 +107,10 @@ class ClusterScheduler:
         catastrophic" (Sec 4 point 3) -- so campaigns can quantify the
         statistical coverage surviving a flaky substrate.
     failure_rng:
-        Generator for failure draws (seeded for reproducible campaigns).
+        Generator for failure draws; thread one from your experiment's
+        root seed for stream independence.  The default is a
+        deterministic :class:`~repro.util.rng.SeedSequenceStream` stream,
+        so repeat runs reproduce the same failures either way.
     retry_policy:
         When set, FAILED jobs are resubmitted with deterministic
         exponential backoff until ``max_attempts`` is exhausted -- the
@@ -164,9 +168,9 @@ class ClusterScheduler:
         self.n_retried = 0  # resubmissions performed by the retry policy
         self._failure_rng = failure_rng
         if failure_rate > 0 and failure_rng is None:
-            import numpy as _np
-
-            self._failure_rng = _np.random.default_rng()
+            # Deterministic fallback: a keyed stream off the zero root seed,
+            # so two otherwise-identical campaigns draw identical failures.
+            self._failure_rng = SeedSequenceStream(0).rng("sched", "node-failures")
         self.nfs = SharedBandwidth(sim, cluster.nfs_bandwidth_mbps)
         # OpenDAP input reads go through a central WAN server, not the
         # cluster file server (Sec 5.3.2).

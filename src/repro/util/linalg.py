@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg
 
+from repro.util.rng import SeedSequenceStream
+
 
 def thin_svd(a: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Economy-size SVD ``a = u @ diag(s) @ vt``.
@@ -113,7 +115,10 @@ def randomized_svd(
     n_iter:
         Power iterations (each sharpens decaying spectra).
     rng:
-        Generator for the sketch; default unseeded.
+        Generator for the sketch; thread one from your experiment's root
+        seed for stream independence.  The default is a deterministic
+        keyed stream, so repeated sketches of the same matrix agree
+        bit-for-bit.
 
     Returns
     -------
@@ -126,7 +131,8 @@ def randomized_svd(
         raise ValueError("rank must be >= 1")
     if oversample < 0 or n_iter < 0:
         raise ValueError("oversample and n_iter must be >= 0")
-    rng = rng if rng is not None else np.random.default_rng()
+    if rng is None:
+        rng = SeedSequenceStream(0).rng("linalg", "randomized-svd")
     n, m = a.shape
     sketch = min(rank + oversample, m)
     omega = rng.standard_normal((m, sketch))

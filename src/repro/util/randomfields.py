@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.util.rng import SeedSequenceStream
+
 
 class GaussianRandomField2D:
     """Homogeneous Gaussian random fields on a periodic 2-D grid.
@@ -30,7 +32,10 @@ class GaussianRandomField2D:
         Correlation length in *grid cells*; the spectral filter is
         ``exp(-(k * L)^2 / 2)``.  ``0`` yields white noise.
     seed / rng:
-        Either a seed for an internal generator or an external generator.
+        Either a seed for an internal generator or an external generator
+        (pass at most one).  With neither, the field uses a deterministic
+        :class:`~repro.util.rng.SeedSequenceStream` stream so repeat runs
+        draw identical fields.
 
     Notes
     -----
@@ -56,7 +61,12 @@ class GaussianRandomField2D:
             raise ValueError("pass at most one of rng= and seed=")
         self.shape = (int(ny), int(nx))
         self.length_scale = float(length_scale)
-        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        if rng is not None:
+            self._rng = rng
+        elif seed is not None:
+            self._rng = np.random.default_rng(seed)
+        else:
+            self._rng = SeedSequenceStream(0).rng("util", "randomfields")
         self._filter = self._build_filter()
 
     def _build_filter(self) -> np.ndarray:

@@ -11,9 +11,9 @@ which is the point for jobs scattered across Grid sites.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
+from repro.telemetry.clock import MONOTONIC
 from repro.telemetry.metrics import MetricsRegistry
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
 
@@ -78,7 +78,7 @@ class ProgressMonitor:
         Mapping of task kind -> expected count (e.g. ``{"pemodel": 600}``).
     clock:
         Time source (injectable for tests); defaults to
-        :func:`time.monotonic`.
+        :data:`repro.telemetry.clock.MONOTONIC`.
     metrics:
         Optional :class:`~repro.telemetry.metrics.MetricsRegistry`; every
         :meth:`report` refreshes per-kind progress gauges
@@ -92,7 +92,7 @@ class ProgressMonitor:
         self,
         status: StatusDirectory,
         expected: dict[str, int],
-        clock=time.monotonic,
+        clock=MONOTONIC,
         metrics: MetricsRegistry | None = None,
     ):
         if not expected:

@@ -354,7 +354,8 @@ class ParallelESSEWorkflow:
                         else:
                             self._note_missing(index)
                         continue
-                    self._missing_sweeps.pop(index, None)
+                    with self._fault_lock:
+                        self._missing_sweeps.pop(index, None)
                     with self.telemetry.span("differ.add", index=index):
                         with acc_lock:
                             if accumulator.has_member(index):
@@ -451,7 +452,8 @@ class ParallelESSEWorkflow:
 
         def task(idx=index, att=attempt, cancel_event=cancel):
             started = self._clock()
-            self._started_at[(idx, att)] = started
+            with self._fault_lock:
+                self._started_at[(idx, att)] = started
             try:
                 with self.telemetry.span(
                     "pemodel", parent=self._root_span, index=idx, attempt=att
@@ -473,7 +475,8 @@ class ParallelESSEWorkflow:
                     )
                 return result
             finally:
-                self._started_at.pop((idx, att), None)
+                with self._fault_lock:
+                    self._started_at.pop((idx, att), None)
 
         return executor.submit(task)
 
@@ -489,11 +492,13 @@ class ParallelESSEWorkflow:
     def _run(self, mean_state) -> WorkflowResult:
         """The pipeline body, running inside the ``workflow.run`` span."""
         cfg = self.config
-        self._events = []
-        self._corrupt_found = []
-        self._started_at = {}
-        self._missing_sweeps = {}
-        self._t0 = self._clock()
+        with self._events_lock:
+            self._events = []
+            self._t0 = self._clock()
+        with self._fault_lock:
+            self._corrupt_found = []
+            self._started_at = {}
+            self._missing_sweeps = {}
         started = self._t0
 
         with self.telemetry.span("central_forecast"):
@@ -657,7 +662,8 @@ class ParallelESSEWorkflow:
                         att = attempts[idx]
                         if (idx, att) in abandoned:
                             continue
-                        t_start = self._started_at.get((idx, att))
+                        with self._fault_lock:
+                            t_start = self._started_at.get((idx, att))
                         if t_start is None or now - t_start <= retry.timeout_seconds:
                             continue
                         abandoned.add((idx, att))

@@ -1,0 +1,118 @@
+"""The ``python -m tools.lint`` command line, driven through ``main()``."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from tools.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _bad_repo(tmp_path):
+    """A scratch repo with one REP001 violation."""
+    mod = tmp_path / "src/repro/sched/mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text(
+        textwrap.dedent(
+            """\
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """
+        )
+    )
+    return tmp_path
+
+
+class TestRealTree:
+    def test_repo_lints_clean_against_committed_baseline(self):
+        """Acceptance: `python -m tools.lint src/repro tests` exits 0."""
+        assert main(["src/repro", "tests", "--root", str(REPO_ROOT)]) == 0
+
+    def test_repo_lints_clean_in_json_format(self, capsys):
+        code = main(
+            ["src/repro", "tests", "--root", str(REPO_ROOT), "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"] == []
+        assert doc["stale_baseline"] == []
+        assert doc["files"] > 100
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, tmp_path, capsys):
+        root = _bad_repo(tmp_path)
+        code = main(["src/repro", "--root", str(root), "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_baselined_findings_exit_0(self, tmp_path, capsys):
+        root = _bad_repo(tmp_path)
+        assert main(["src/repro", "--root", str(root), "--write-baseline"]) == 0
+        capsys.readouterr()
+        code = main(["src/repro", "--root", str(root), "--select", "REP001"])
+        assert code == 0
+        assert "(1 baselined" in capsys.readouterr().out
+
+    def test_fixed_debt_reported_stale(self, tmp_path, capsys):
+        root = _bad_repo(tmp_path)
+        assert main(["src/repro", "--root", str(root), "--write-baseline"]) == 0
+        (root / "src/repro/sched/mod.py").write_text(
+            "import numpy as np\n\nrng = np.random.default_rng(42)\n"
+        )
+        capsys.readouterr()
+        code = main(["src/repro", "--root", str(root), "--select", "REP001"])
+        assert code == 0  # stale entries warn, they don't fail
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_bad_path_exit_2(self, tmp_path):
+        assert main(["no/such/path", "--root", str(tmp_path)]) == 2
+
+    def test_unknown_select_exit_2(self, tmp_path):
+        _bad_repo(tmp_path)
+        code = main(["src/repro", "--root", str(tmp_path), "--select", "REP999"])
+        assert code == 2
+
+
+class TestJsonFormat:
+    def test_findings_carry_fingerprints(self, tmp_path, capsys):
+        root = _bad_repo(tmp_path)
+        code = main(
+            [
+                "src/repro",
+                "--root",
+                str(root),
+                "--no-baseline",
+                "--select",
+                "REP001",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["fingerprint"].startswith("src/repro/sched/mod.py::REP001::")
+
+
+class TestDeveloperHelp:
+    def test_explain_every_rule(self, capsys):
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert main(["--explain", rule_id]) == 0
+            out = capsys.readouterr().out
+            assert rule_id in out
+            assert "Bad" in out and "Good" in out
+
+    def test_explain_unknown_rule_exit_2(self, capsys):
+        assert main(["--explain", "REP999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out

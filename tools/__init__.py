@@ -1,0 +1,1 @@
+"""Developer tooling for the repro project (lint, docs checks, trace CLIs)."""

@@ -1,32 +1,55 @@
 #!/usr/bin/env python
 """Docs lint: every public class/function/method carries a docstring.
 
-Standalone mirror of ``tests/test_docstrings.py`` so CI (and developers)
-can run the lint without invoking pytest:
+Thin CLI over the repro-lint REP004 rule (see
+:mod:`tools.lint.rules.docstrings`), kept because CI scripts and muscle
+memory already invoke it:
 
-    PYTHONPATH=src python tools/check_docs.py [module ...]
+    python tools/check_docs.py [module ...]
 
 With no arguments every ``repro.*`` module is checked; passing module
 names (e.g. ``repro.workflow.faults``) restricts the scan.  Exits nonzero
 listing each undocumented public item.
+
+Unlike the original runtime version this parses source files instead of
+importing them, so it needs no ``PYTHONPATH=src`` and cannot be fooled by
+docstrings inherited through the MRO.
 """
 
 from __future__ import annotations
 
-import importlib
-import inspect
-import pkgutil
+import ast
 import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if str(REPO_ROOT) not in sys.path:  # direct-script runs lack the repo root
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint.rules.docstrings import undocumented_in_tree  # noqa: E402
+
+
+def module_files() -> dict[str, Path]:
+    """Mapping of ``repro.*`` module name -> source file under src/."""
+    src = REPO_ROOT / "src"
+    mapping: dict[str, Path] = {}
+    for path in sorted((src / "repro").rglob("*.py")):
+        parts = list(path.relative_to(src).with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        name = ".".join(parts)
+        if name == "repro":
+            # Match the runtime lint, which walked with prefix="repro."
+            # and so never reported the top-level package itself.
+            continue
+        mapping[name] = path
+    return mapping
 
 
 def iter_modules(selected: list[str]) -> list[str]:
     """The module names to lint (all of ``repro`` unless restricted)."""
-    import repro
-
-    names = [
-        name
-        for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
-    ]
+    names = list(module_files())
     if not selected:
         return names
     missing = [s for s in selected if s not in names]
@@ -37,42 +60,18 @@ def iter_modules(selected: list[str]) -> list[str]:
 
 def undocumented_items(module_name: str) -> list[str]:
     """Public items of one module lacking a docstring (empty = clean)."""
-    module = importlib.import_module(module_name)
-    problems: list[str] = []
-    if not (module.__doc__ or "").strip():
-        problems.append("<module docstring>")
-    for name, obj in vars(module).items():
-        if name.startswith("_"):
-            continue
-        if getattr(obj, "__module__", None) != module.__name__:
-            continue  # re-exports are documented at their home
-        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
-            continue
-        if not (inspect.getdoc(obj) or "").strip():
-            problems.append(name)
-        if inspect.isclass(obj):
-            for meth_name, meth in vars(obj).items():
-                if meth_name.startswith("_"):
-                    continue
-                if not callable(meth) and not isinstance(meth, property):
-                    continue
-                bound = getattr(obj, meth_name, meth)
-                doc = inspect.getdoc(
-                    bound.fget if isinstance(bound, property) else bound
-                )
-                if not (doc or "").strip():
-                    problems.append(f"{name}.{meth_name}")
-    return problems
+    path = module_files()[module_name]
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [item for _, item in undocumented_in_tree(tree)]
 
 
 def main(argv: list[str]) -> int:
     """Lint the requested modules; returns a process exit code."""
     failures = 0
     for module_name in iter_modules(argv):
-        problems = undocumented_items(module_name)
-        for item in problems:
+        for item in undocumented_items(module_name):
             print(f"{module_name}: undocumented public item: {item}")
-        failures += len(problems)
+            failures += 1
     if failures:
         print(f"docs lint: {failures} undocumented public item(s)")
         return 1

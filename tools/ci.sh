@@ -1,14 +1,16 @@
 #!/bin/sh
-# CI check: workflow + telemetry test suites, docs lint, trace smoke test.
+# CI check: workflow + telemetry test suites, static analysis, trace smoke.
 #
 # Run from the repository root:
 #     sh tools/ci.sh          # workflow/telemetry tests + lint + smoke
 #     CI_FULL=1 sh tools/ci.sh  # the full tier-1 suite instead
 #
-# The docs lint enforces that every public class/function in the library
-# (including the fault-injection subsystem and the telemetry subsystem)
-# carries a docstring.  The smoke test runs a tiny task pool with tracing
-# enabled and verifies the exported Chrome trace parses and validates.
+# Static analysis is repro-lint (tools/lint): determinism, clock, lock,
+# docstring and import-layering contracts, checked against the committed
+# baseline (see docs/STATIC_ANALYSIS.md).  The docs lint is the standalone
+# entry point of the same REP004 rule.  The smoke test runs a tiny task
+# pool with tracing enabled and verifies the exported Chrome trace parses
+# and validates.
 
 set -e
 
@@ -18,8 +20,11 @@ export PYTHONPATH
 if [ -n "${CI_FULL:-}" ]; then
     python -m pytest -x -q
 else
-    python -m pytest tests/workflow tests/telemetry -q
+    python -m pytest tests/workflow tests/telemetry tests/lint -q
 fi
+
+python -m tools.lint src/repro tests --format json > /dev/null
+echo "repro-lint: clean"
 
 python tools/check_docs.py
 python tools/check_docs.py repro.workflow.faults repro.workflow.policies

@@ -1,0 +1,39 @@
+"""repro-lint: AST-based static analysis enforcing the repo's contracts.
+
+A self-contained, stdlib-only framework (see ``docs/STATIC_ANALYSIS.md``):
+
+- **REP001** determinism -- no unseeded/global-state numpy randomness,
+- **REP002** clock discipline -- "now" flows through ``telemetry.clock``,
+- **REP003** lock discipline -- guarded state is mutated under its lock,
+- **REP004** docstring coverage -- public library surface is documented,
+- **REP005** import layering -- the package DAG is a checked contract.
+
+Run it with ``python -m tools.lint`` (see ``tools.lint.cli``).
+"""
+
+from tools.lint.baseline import Baseline, BaselineResult
+from tools.lint.core import (
+    FileContext,
+    Finding,
+    LintError,
+    LintReport,
+    Rule,
+    Suppressions,
+    all_rules,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "FileContext",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "Suppressions",
+    "all_rules",
+    "register",
+    "run_lint",
+]

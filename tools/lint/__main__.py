@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m tools.lint``."""
+
+import sys
+
+from tools.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,97 @@
+"""Checked-in baseline: pre-existing debt fails only on regression.
+
+The baseline is a JSON document mapping finding *fingerprints* (see
+:class:`tools.lint.core.Finding`) to an allowed count.  A lint run then
+
+- drops up to ``count`` findings per baselined fingerprint ("known debt"),
+- reports any excess occurrences as regressions, and
+- reports baseline entries that no longer match anything as *stale*, so
+  fixed debt is pruned from the file instead of rotting there.
+
+Fingerprints are line-number-free (file + rule + enclosing symbol), so
+edits elsewhere in a file do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.lint.core import Finding, LintError
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE = Path("tools/lint/baseline.json")
+
+
+@dataclass
+class BaselineResult:
+    """Split of a lint run against the baseline."""
+
+    new: list[Finding] = field(default_factory=list)  # fail CI
+    known: list[Finding] = field(default_factory=list)  # baselined debt
+    stale: list[str] = field(default_factory=list)  # entries to prune
+
+
+class Baseline:
+    """Load / apply / write the known-debt baseline file."""
+
+    def __init__(self, entries: dict[str, int] | None = None):
+        self.entries: dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline document; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise LintError(f"{path}: invalid baseline JSON: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"{path}: unsupported baseline (want version={BASELINE_VERSION})"
+            )
+        entries = doc.get("entries", {})
+        if not isinstance(entries, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in entries.items()
+        ):
+            raise LintError(f"{path}: baseline entries must map fingerprints to counts")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline accepting exactly the given findings."""
+        entries: dict[str, int] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = entries.get(finding.fingerprint, 0) + 1
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        """Persist as deterministic, diff-friendly JSON."""
+        doc = {
+            "version": BASELINE_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    def apply(self, findings: list[Finding]) -> BaselineResult:
+        """Split findings into new-vs-known and detect stale entries."""
+        result = BaselineResult()
+        used: dict[str, int] = {}
+        for finding in findings:
+            fp = finding.fingerprint
+            if used.get(fp, 0) < self.entries.get(fp, 0):
+                used[fp] = used.get(fp, 0) + 1
+                result.known.append(finding)
+            else:
+                result.new.append(finding)
+        for fp, allowed in sorted(self.entries.items()):
+            missing = allowed - used.get(fp, 0)
+            if missing > 0:
+                result.stale.extend([fp] * missing)
+        return result

@@ -1,0 +1,183 @@
+"""``python -m tools.lint``: the repro-lint command line.
+
+Examples
+--------
+Lint the default targets against the checked-in baseline::
+
+    python -m tools.lint
+
+Lint specific paths, machine-readable::
+
+    python -m tools.lint src/repro tests --format json
+
+Accept the current findings as known debt::
+
+    python -m tools.lint --write-baseline
+
+Developer help for one rule::
+
+    python -m tools.lint --explain REP003
+
+Exit codes: 0 clean (modulo baseline), 1 non-baselined findings,
+2 usage / framework error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from tools.lint.baseline import DEFAULT_BASELINE, Baseline
+from tools.lint.core import LintError, all_rules, run_lint
+
+#: Linted when no paths are given (matches tools/ci.sh).
+DEFAULT_PATHS = ("src/repro", "tests")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.lint",
+        description="repro-lint: AST-based determinism/clock/lock/docs/"
+        "layering contracts for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root for relative paths/baseline (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="REP001,REP002",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="REP00N",
+        help="print the rationale and bad/good examples for one rule",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules"
+    )
+    return parser
+
+
+def _explain(rule_id: str) -> int:
+    rules = all_rules()
+    rule = rules.get(rule_id)
+    if rule is None:
+        print(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(rules))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{rule.id} ({rule.name})")
+    print(f"  {rule.summary}\n")
+    print(rule.explanation.rstrip())
+    return 0
+
+
+def _list_rules() -> int:
+    for rule in all_rules().values():
+        print(f"{rule.id}  {rule.name:20s} {rule.summary}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.explain:
+        return _explain(args.explain)
+    if args.list_rules:
+        return _list_rules()
+
+    root = (args.root or Path.cwd()).resolve()
+    baseline_path = args.baseline if args.baseline is not None else root / DEFAULT_BASELINE
+    select = args.select.split(",") if args.select else None
+
+    try:
+        report = run_lint(args.paths, root=root, select=select)
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).write(baseline_path)
+        print(
+            f"repro-lint: baseline written to {baseline_path} "
+            f"({len(report.findings)} finding(s) accepted)"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except LintError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+    split = baseline.apply(report.findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": report.n_files,
+                    "findings": [f.to_dict() for f in split.new],
+                    "baselined": [f.to_dict() for f in split.known],
+                    "stale_baseline": split.stale,
+                    "suppressed": report.n_suppressed,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in split.new:
+            print(finding.render())
+        for fp in split.stale:
+            print(f"repro-lint: stale baseline entry (fixed? prune it): {fp}")
+        print(
+            f"repro-lint: {len(split.new)} finding(s) in {report.n_files} "
+            f"file(s) ({len(split.known)} baselined, "
+            f"{report.n_suppressed} suppressed, {len(split.stale)} stale "
+            "baseline entr(y/ies))"
+        )
+    return 1 if split.new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""REP004: docstring coverage for public library items.
+
+The AST twin of the original ``tools/check_docs.py`` runtime lint (whose
+CLI now delegates to this rule): every ``repro.*`` module, public
+top-level class/function and public method must carry a docstring.  Test
+files and tooling are exempt -- the contract protects the library surface
+other sessions build on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.lint.core import FileContext, Finding, Rule, register
+
+
+def _docstring(node: ast.AST) -> str:
+    return (ast.get_docstring(node, clean=False) or "").strip()
+
+
+def undocumented_in_tree(tree: ast.Module) -> list[tuple[int, str]]:
+    """(line, item) pairs for every undocumented public item of a module.
+
+    Items mirror the runtime docs lint: ``<module docstring>`` for the
+    module itself, ``Name`` for top-level defs/classes and ``Class.meth``
+    for public methods (including properties and nested public classes).
+    """
+    problems: list[tuple[int, str]] = []
+    if not _docstring(tree):
+        problems.append((1, "<module docstring>"))
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if not _docstring(node):
+            problems.append((node.lineno, node.name))
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if not isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if member.name.startswith("_"):
+                    continue
+                if not _docstring(member):
+                    problems.append((member.lineno, f"{node.name}.{member.name}"))
+    return problems
+
+
+@register
+class DocstringRule(Rule):
+    """Flag undocumented public classes, functions and methods."""
+
+    id = "REP004"
+    name = "docstring-coverage"
+    summary = (
+        "every repro.* module, public class/function and public method "
+        "carries a docstring"
+    )
+    explanation = """\
+Public library surface must be self-describing: module docstring, class
+docstrings, and one per public function/method.  Names starting with an
+underscore are exempt, as are test files and tools (only src/repro is in
+scope).
+
+Bad:
+    def stage_sizes(self):
+        return [...]
+
+Good:
+    def stage_sizes(self):
+        \"\"\"Ensemble-size checkpoints for staged enlargement.\"\"\"
+        return [...]
+
+The standalone `python tools/check_docs.py [module ...]` entry point runs
+exactly this rule and keeps its original output format.
+"""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Require docstrings on the public surface of repro modules."""
+        if ctx.module_name is None or not ctx.module_name.startswith("repro"):
+            return
+        for line, item in undocumented_in_tree(ctx.tree):
+            yield Finding(
+                rule=self.id,
+                path=ctx.relpath,
+                line=line,
+                message=f"undocumented public item: {item}",
+                symbol=item,
+            )
