@@ -71,7 +71,7 @@ def record_bench(
 
     payload = {
         "bench": safe,
-        "recorded_unix": time.time(),
+        "recorded_unix": time.time(),  # repro-lint: disable=REP002 -- wall-clock date of the record itself
         "values": {k: jsonable(v) for k, v in values.items()},
     }
     if snapshot is not None:

@@ -1,0 +1,28 @@
+"""Measured reference task times shared by the execution layers.
+
+Table 1 of the paper gives the single-task CPU times on the local
+cluster's Opteron 250 reference node; both execution layers consume
+them -- the sched simulator to calibrate its clusters and Grid/EC2
+site models, and the workflow DAG analysis as default task durations.
+They live in ``core`` (not ``sched``) so that ``workflow`` and ``sched``
+can both read them without importing each other: this module replaced
+the last ``workflow -> sched`` edge, making the package DAG (REP005)
+cycle-free.
+"""
+
+from __future__ import annotations
+
+#: Measured single-task reference times on the local Opteron 250 (Table 1).
+REFERENCE_PERT_SECONDS = 6.21
+REFERENCE_PEMODEL_SECONDS = 1531.33
+#: Acoustic singletons executed "for approximately 3 minutes" (Sec 5.2.1).
+REFERENCE_ACOUSTIC_SECONDS = 180.0
+
+
+def reference_task_times() -> dict[str, float]:
+    """Reference CPU seconds per task kind on the local cluster."""
+    return {
+        "pert": REFERENCE_PERT_SECONDS,
+        "pemodel": REFERENCE_PEMODEL_SECONDS,
+        "acoustic": REFERENCE_ACOUSTIC_SECONDS,
+    }

@@ -10,23 +10,17 @@ were available."
 
 from __future__ import annotations
 
+# The Table 1 reference times live in repro.core.taskmodel (shared with
+# the workflow DAG analysis without a workflow -> sched edge); they are
+# re-exported here because this is where sched code historically found
+# them.
+from repro.core.taskmodel import (  # noqa: F401  -- re-exported
+    REFERENCE_ACOUSTIC_SECONDS,
+    REFERENCE_PEMODEL_SECONDS,
+    REFERENCE_PERT_SECONDS,
+    reference_task_times,
+)
 from repro.sched.resources import ClusterModel, Node, NodeSpec
-
-
-#: Measured single-task reference times on the local Opteron 250 (Table 1).
-REFERENCE_PERT_SECONDS = 6.21
-REFERENCE_PEMODEL_SECONDS = 1531.33
-#: Acoustic singletons executed "for approximately 3 minutes" (Sec 5.2.1).
-REFERENCE_ACOUSTIC_SECONDS = 180.0
-
-
-def reference_task_times() -> dict[str, float]:
-    """Reference CPU seconds per task kind on the local cluster."""
-    return {
-        "pert": REFERENCE_PERT_SECONDS,
-        "pemodel": REFERENCE_PEMODEL_SECONDS,
-        "acoustic": REFERENCE_ACOUSTIC_SECONDS,
-    }
 
 
 def mseas_cluster(

@@ -16,7 +16,8 @@ either build their own :class:`MetricsRegistry` or call
 from __future__ import annotations
 
 import math
-import threading
+
+from repro.util.sanitizer import new_lock
 
 
 def _labels_key(name: str, labels: dict) -> str:
@@ -34,7 +35,7 @@ class Counter:
         self.name = name
         self.labels = dict(labels or {})
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = new_lock(f"Counter({name})._lock")
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0: counters never go down)."""
@@ -56,7 +57,7 @@ class Gauge:
         self.name = name
         self.labels = dict(labels or {})
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = new_lock(f"Gauge({name})._lock")
 
     def set(self, value: float) -> None:
         """Replace the current value."""
@@ -85,7 +86,7 @@ class Histogram:
         self.name = name
         self.labels = dict(labels or {})
         self._values: list[float] = []
-        self._lock = threading.Lock()
+        self._lock = new_lock(f"Histogram({name})._lock")
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -134,7 +135,7 @@ class MetricsRegistry:
     """Get-or-create home for all instruments of one process/run."""
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = new_lock("MetricsRegistry._lock")
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}

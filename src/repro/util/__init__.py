@@ -1,4 +1,4 @@
-"""Shared numerical utilities: thin SVDs, RNG streams, random fields."""
+"""Shared utilities: thin SVDs, RNG streams, random fields, sanitizer."""
 
 from repro.util.linalg import (
     thin_svd,
@@ -8,6 +8,14 @@ from repro.util.linalg import (
 )
 from repro.util.rng import SeedSequenceStream, member_rng
 from repro.util.randomfields import GaussianRandomField2D
+from repro.util.sanitizer import (
+    SanitizedLock,
+    SanitizedRLock,
+    new_lock,
+    new_rlock,
+    sanitized,
+    track,
+)
 
 __all__ = [
     "thin_svd",
@@ -17,4 +25,10 @@ __all__ = [
     "SeedSequenceStream",
     "member_rng",
     "GaussianRandomField2D",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "new_lock",
+    "new_rlock",
+    "sanitized",
+    "track",
 ]

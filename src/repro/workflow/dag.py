@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.sched.cluster import reference_task_times
+from repro.core.taskmodel import reference_task_times
 
 
 @dataclass(frozen=True)

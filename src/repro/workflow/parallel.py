@@ -50,6 +50,7 @@ from repro.core.ensemble import EnsembleRunner
 from repro.core.subspace import ErrorSubspace
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import NULL_RECORDER
+from repro.util.sanitizer import new_lock, track
 from repro.workflow.covfile import CovarianceFileSet
 from repro.workflow.faults import FaultInjector, FaultKind
 from repro.workflow.policies import CancellationPolicy, RetryPolicy
@@ -274,14 +275,17 @@ class ParallelESSEWorkflow:
         self._clock = self.telemetry.clock
 
         self._events: list[WorkflowEvent] = []
-        self._events_lock = threading.Lock()
+        self._events_lock = new_lock("ParallelESSEWorkflow._events_lock")
         self._t0 = 0.0
         self._root_span = None
         # worker -> main-loop signals (guarded by _fault_lock)
-        self._fault_lock = threading.Lock()
+        self._fault_lock = new_lock("ParallelESSEWorkflow._fault_lock")
         self._corrupt_found: list[int] = []
         self._started_at: dict[tuple[int, int], float] = {}  # (index, attempt)
         self._missing_sweeps: dict[int, int] = {}
+        # Under REPRO_SANITIZE=1 the lockset detector watches the shared
+        # worker <-> main-loop state; a no-op otherwise.
+        track(self, "_events", "_corrupt_found", "_started_at", "_missing_sweeps")
 
     # -- event log ---------------------------------------------------------
 
@@ -308,14 +312,22 @@ class ParallelESSEWorkflow:
         if sweeps & (sweeps - 1) == 0:  # powers of two
             self._log("io_retry", f"member={index} sweeps={sweeps}")
 
-    def _flag_corrupt(self, index: int) -> None:
-        """Report an unreadable member file (consumed by the main loop)."""
-        with self._fault_lock:
-            if index not in self._corrupt_found:
-                self._corrupt_found.append(index)
+    def _flag_corrupt(self, index: int, attempt: int) -> None:
+        """Report an unreadable member file (consumed by the main loop).
 
-    def _drain_corrupt(self) -> list[int]:
-        """Hand corrupt-member reports to the main loop exactly once."""
+        ``attempt`` identifies which successful attempt's output was read:
+        the differ may sweep a torn file again after the main loop has
+        already failed/resubmitted that attempt (its success snapshot is
+        taken before the IO_FAILURE status lands), so the flag must carry
+        the attempt it observed.  Attributing stale re-flags to the
+        *current* attempt would burn a retry the new attempt never earned.
+        """
+        with self._fault_lock:
+            if (index, attempt) not in self._corrupt_found:
+                self._corrupt_found.append((index, attempt))
+
+    def _drain_corrupt(self) -> list[tuple[int, int]]:
+        """Hand (index, attempt) corrupt reports to the main loop once."""
         with self._fault_lock:
             found, self._corrupt_found = self._corrupt_found, []
         return found
@@ -337,6 +349,20 @@ class ParallelESSEWorkflow:
                         if accumulator.has_member(index):
                             continue
                     path = self.members_dir / f"forecast_{index:05d}.npz"
+                    # Snapshot which attempt's output we are about to read
+                    # *before* opening the file: workers replace the file
+                    # before writing SUCCESS, so the bytes on disk are at
+                    # least as new as this snapshot.  If the read then fails,
+                    # the flag names an attempt no newer than the real writer
+                    # -- a stale guess dedups harmlessly and the next sweep
+                    # re-flags with the right one.
+                    ok_attempts = [
+                        a
+                        for a, s in self.status.attempt_history(
+                            "pemodel", index
+                        ).items()
+                        if s == TaskStatus.SUCCESS
+                    ]
                     try:
                         with np.load(path) as data:
                             forecast = data["forecast"].copy()
@@ -349,8 +375,11 @@ class ParallelESSEWorkflow:
                     except Exception:
                         if path.exists():
                             # File present but unreadable: a torn write.  Flag
-                            # for the main loop to fail/resubmit this member.
-                            self._flag_corrupt(index)
+                            # for the main loop to fail/resubmit this member,
+                            # naming the attempt whose output was read.
+                            self._flag_corrupt(
+                                index, max(ok_attempts, default=1)
+                            )
                         else:
                             self._note_missing(index)
                         continue
@@ -512,7 +541,7 @@ class ParallelESSEWorkflow:
 
         stop = threading.Event()
         converged = threading.Event()
-        acc_lock = threading.Lock()
+        acc_lock = new_lock("ParallelESSEWorkflow.acc_lock")
         svd_out: dict = {}
 
         thread_errors: list[BaseException] = []
@@ -639,6 +668,12 @@ class ParallelESSEWorkflow:
                         processed.add(key)
                         if key in abandoned:
                             continue  # straggler-cancelled; retry path owns it
+                        if key in corrupt_handled:
+                            # The differ beat us to this attempt's (torn)
+                            # output: it is already failed and resubmitted.
+                            # Re-adding it to seen_done here would make
+                            # process_pending drop the queued retry.
+                            continue
                         if ok:
                             seen_done.add(r_idx)
                             self._log("member_done", f"member={r_idx}")
@@ -685,9 +720,13 @@ class ParallelESSEWorkflow:
 
                 def process_corrupt() -> None:
                     """Fail/resubmit members whose output file is unreadable."""
-                    for idx in self._drain_corrupt():
-                        att = attempts.get(idx, 1)
+                    for idx, att in self._drain_corrupt():
                         if (idx, att) in corrupt_handled:
+                            continue  # stale re-flag of an already-failed file
+                        if att != attempts.get(idx, 1):
+                            # The flagged attempt is no longer current (a
+                            # newer attempt is already in flight); its own
+                            # result will be judged when it lands.
                             continue
                         corrupt_handled.add((idx, att))
                         seen_done.discard(idx)
@@ -807,8 +846,9 @@ class ParallelESSEWorkflow:
 
         # Corruption discovered during the final drain is terminal: record
         # it so restart/monitoring see an IO_FAILURE, not a phantom success.
-        for idx in self._drain_corrupt():
-            att = attempts.get(idx, 1)
+        for idx, att in self._drain_corrupt():
+            if (idx, att) in corrupt_handled:
+                continue  # stale re-flag; the retry path already owns it
             self.status.write("pemodel", idx, TaskStatus.IO_FAILURE, attempt=att)
             terminal_failed.add(idx)
             self._log("member_corrupt", f"member={idx} attempt={att} terminal=1")
@@ -838,6 +878,8 @@ class ParallelESSEWorkflow:
         )
         with acc_lock:
             member_ids = accumulator.member_ids
+        with self._events_lock:
+            events = tuple(self._events)
         if self.metrics is not None:
             self.metrics.gauge("members_completed", kind="pemodel").set(n_completed)
             self.metrics.gauge("members_failed", kind="pemodel").set(n_failed)
@@ -847,7 +889,7 @@ class ParallelESSEWorkflow:
             ensemble_size=svd_out["count"],
             converged=converged.is_set() or criterion.converged,
             convergence_history=tuple(criterion.history),
-            events=tuple(self._events),
+            events=events,
             n_completed=n_completed,
             n_failed=n_failed,
             n_cancelled=n_cancelled,

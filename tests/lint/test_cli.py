@@ -116,3 +116,73 @@ class TestDeveloperHelp:
         out = capsys.readouterr().out
         for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
             assert rule_id in out
+
+
+class TestChangedOnly:
+    """``--changed-only`` narrows the lint run to git-modified files."""
+
+    def _two_file_repo(self, tmp_path):
+        root = _bad_repo(tmp_path)
+        clean = root / "src/repro/sched/clean.py"
+        clean.write_text('"""Nothing to see."""\n\nVALUE = 1\n')
+        return root, root / "src/repro/sched/mod.py", clean
+
+    def test_only_changed_files_are_linted(self, tmp_path, capsys, monkeypatch):
+        root, bad, clean = self._two_file_repo(tmp_path)
+        monkeypatch.setattr(
+            "tools.lint.cli._git_changed_files",
+            lambda r: {clean.resolve()},
+        )
+        code = main(
+            [
+                "src/repro",
+                "--root",
+                str(root),
+                "--no-baseline",
+                "--changed-only",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["files"] == 1
+        assert doc["findings"] == []
+
+    def test_changed_bad_file_still_fires(self, tmp_path, capsys, monkeypatch):
+        root, bad, clean = self._two_file_repo(tmp_path)
+        monkeypatch.setattr(
+            "tools.lint.cli._git_changed_files",
+            lambda r: {bad.resolve()},
+        )
+        code = main(
+            ["src/repro", "--root", str(root), "--no-baseline", "--changed-only"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "1 file(s)" in out
+
+    def test_empty_changed_set_exits_0(self, tmp_path, capsys, monkeypatch):
+        root, _, _ = self._two_file_repo(tmp_path)
+        monkeypatch.setattr(
+            "tools.lint.cli._git_changed_files", lambda r: set()
+        )
+        code = main(
+            ["src/repro", "--root", str(root), "--no-baseline", "--changed-only"]
+        )
+        assert code == 0
+        assert "0 file(s)" in capsys.readouterr().out
+
+    def test_git_failure_is_a_usage_error(self, tmp_path, capsys, monkeypatch):
+        from tools.lint.core import LintError
+
+        root, _, _ = self._two_file_repo(tmp_path)
+
+        def boom(r):
+            raise LintError("--changed-only needs git")
+
+        monkeypatch.setattr("tools.lint.cli._git_changed_files", boom)
+        code = main(["src/repro", "--root", str(root), "--changed-only"])
+        assert code == 2
+        assert "needs git" in capsys.readouterr().err

@@ -6,11 +6,14 @@
 #     CI_FULL=1 sh tools/ci.sh  # the full tier-1 suite instead
 #
 # Static analysis is repro-lint (tools/lint): determinism, clock, lock,
-# docstring and import-layering contracts, checked against the committed
-# baseline (see docs/STATIC_ANALYSIS.md).  The docs lint is the standalone
-# entry point of the same REP004 rule.  The smoke test runs a tiny task
-# pool with tracing enabled and verifies the exported Chrome trace parses
-# and validates.
+# concurrency, docstring and import-layering contracts, checked against
+# the committed baseline (see docs/STATIC_ANALYSIS.md).  The docs lint is
+# the standalone entry point of the same REP004 rule.  The sanitized pass
+# re-runs the threaded suites under the runtime concurrency sanitizer
+# (docs/CONCURRENCY.md): lockset race detection plus lock-order
+# witnessing, failing any test that produces a report.  The smoke test
+# runs a tiny task pool with tracing enabled and verifies the exported
+# Chrome trace parses and validates.
 
 set -e
 
@@ -23,7 +26,12 @@ else
     python -m pytest tests/workflow tests/telemetry tests/lint -q
 fi
 
-python -m tools.lint src/repro tests --format json > /dev/null
+# Sanitized pass: the threaded suites again, with the lockset race
+# detector and lock-order witness live on every lock in the system.
+REPRO_SANITIZE=1 python -m pytest tests/workflow tests/telemetry -q
+echo "sanitizer: clean"
+
+python -m tools.lint src/repro tests benchmarks tools --format json > /dev/null
 echo "repro-lint: clean"
 
 python tools/check_docs.py
@@ -31,6 +39,7 @@ python tools/check_docs.py repro.workflow.faults repro.workflow.policies
 python tools/check_docs.py \
     repro.telemetry.clock repro.telemetry.spans repro.telemetry.metrics \
     repro.telemetry.events repro.telemetry.export
+python tools/check_docs.py repro.util.sanitizer repro.core.taskmodel
 
 # Smoke: a tiny traced task-pool run must export a valid Chrome trace.
 python - <<'EOF'

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
 from tools.lint.baseline import DEFAULT_BASELINE, Baseline
-from tools.lint.core import LintError, all_rules, run_lint
+from tools.lint.core import LintError, all_rules, iter_python_files, run_lint
 
 #: Linted when no paths are given (matches tools/ci.sh).
 DEFAULT_PATHS = ("src/repro", "tests")
@@ -78,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept the current findings: rewrite the baseline and exit 0",
     )
     parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed vs git HEAD (plus untracked files)",
+    )
+    parser.add_argument(
         "--select",
         default=None,
         metavar="REP001,REP002",
@@ -93,6 +99,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="list registered rules"
     )
     return parser
+
+
+def _git_changed_files(root: Path) -> set[Path]:
+    """Files changed vs HEAD plus untracked files, as resolved paths.
+
+    Raises :class:`LintError` when git is unavailable or the root is not
+    a repository (tests monkeypatch this function instead of arranging
+    a scratch repo).
+    """
+    changed: set[Path] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise LintError(f"--changed-only needs git at {root}: {exc}") from exc
+        for line in proc.stdout.splitlines():
+            if line.strip():
+                changed.add((root / line.strip()).resolve())
+    return changed
 
 
 def _explain(rule_id: str) -> int:
@@ -129,7 +159,14 @@ def main(argv: list[str] | None = None) -> int:
     select = args.select.split(",") if args.select else None
 
     try:
-        report = run_lint(args.paths, root=root, select=select)
+        paths: list = list(args.paths)
+        if args.changed_only:
+            changed = _git_changed_files(root)
+            paths = [
+                p for p in iter_python_files(paths, root)
+                if p.resolve() in changed
+            ]
+        report = run_lint(paths, root=root, select=select)
     except LintError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2

@@ -153,11 +153,13 @@ def all_rules() -> dict[str, Rule]:
 
 # -- suppressions -------------------------------------------------------------
 
+# A directive may carry a human justification after ``--``:
+#   x = f()  # repro-lint: disable=REP003 -- differ-thread only
 _DISABLE_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:#|$)"
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:--|#|$)"
 )
 _DISABLE_FILE_RE = re.compile(
-    r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+?)\s*(?:#|$)"
+    r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+?)\s*(?:--|#|$)"
 )
 
 

@@ -7,6 +7,7 @@ Add a new rule by creating a module here with a ``@register``-decorated
 
 from tools.lint.rules import (  # noqa: F401  -- imported for registration
     clocks,
+    concurrency,
     determinism,
     docstrings,
     layering,

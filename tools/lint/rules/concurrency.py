@@ -1,0 +1,909 @@
+"""REP006-REP008: static concurrency contracts for threaded classes.
+
+Three rules over the same lexical model of lock usage:
+
+- **REP006 lock-ordering**: per class, a lock-acquisition graph is built
+  from ``with self._lock:`` nesting and ``self._lock.acquire()`` regions
+  (including one level of indirection through calls to the class's own
+  methods); any cycle is a potential deadlock, and nested re-acquisition
+  of a non-reentrant lock is a guaranteed one.
+- **REP007 exception-safe locking**: a bare ``.acquire()`` must be paired
+  with a ``.release()`` in a ``try/finally`` (or be replaced by a
+  ``with`` statement), otherwise an exception between the two leaves the
+  lock held forever.
+- **REP008 no-blocking-under-lock**: no sleeping, file/socket I/O,
+  subprocesses, ``Thread.join`` or blocking queue operations while a
+  lock is held -- a blocked lock-holder stalls every other thread that
+  needs the lock (and can deadlock outright if the awaited party needs
+  it too).
+
+The lock vocabulary (which constructors make an attribute or local a
+lock, and which are reentrant) is shared with REP003 via
+:data:`tools.lint.rules.locks.LOCK_FACTORY_KINDS`, so code migrated to
+the runtime sanitizer's ``new_lock()`` factories stays covered.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from tools.lint.core import (
+    FileContext,
+    Finding,
+    ImportAliases,
+    Rule,
+    register,
+    resolve_dotted,
+)
+from tools.lint.rules.locks import LOCK_FACTORY_KINDS, _self_attr
+
+#: Statement fields holding nested statement blocks.
+_BLOCK_FIELDS = ("body", "orelse", "finalbody")
+
+
+def _lock_attribute_kinds(
+    cls: ast.ClassDef, aliases: dict[str, str]
+) -> dict[str, bool]:
+    """``self.X`` lock attributes of a class, mapped to reentrancy."""
+    kinds: dict[str, bool] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        factory = resolve_dotted(node.value.func, aliases)
+        if factory not in LOCK_FACTORY_KINDS:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                kinds[attr] = LOCK_FACTORY_KINDS[factory]
+    return kinds
+
+
+def _local_lock_names(
+    func: ast.AST, aliases: dict[str, str]
+) -> dict[str, bool]:
+    """Local names bound to a lock factory inside one function."""
+    kinds: dict[str, bool] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        factory = resolve_dotted(node.value.func, aliases)
+        if factory not in LOCK_FACTORY_KINDS:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                kinds[target.id] = LOCK_FACTORY_KINDS[factory]
+    return kinds
+
+
+def _lock_param_names(func: ast.AST) -> set[str]:
+    """Parameters whose name marks them as a lock handed in by the caller."""
+    out: set[str] = set()
+    args = getattr(func, "args", None)
+    if args is None:
+        return out
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        for arg in group:
+            if arg.arg == "lock" or arg.arg.endswith("_lock"):
+                out.add(arg.arg)
+    return out
+
+
+def _acquire_receiver(stmt: ast.stmt) -> ast.expr | None:
+    """The ``X`` of a statement-level ``X.acquire(...)`` call, else None."""
+    value = None
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+    elif isinstance(stmt, ast.Assign):
+        value = stmt.value
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "acquire"
+    ):
+        return value.func.value
+    return None
+
+
+def _release_receiver(stmt: ast.stmt) -> ast.expr | None:
+    """The ``X`` of a statement-level ``X.release()`` call, else None."""
+    if (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Attribute)
+        and stmt.value.func.attr == "release"
+    ):
+        return stmt.value.func.value
+    return None
+
+
+def _file_lock_tokens(tree: ast.Module, aliases: dict[str, str]) -> set[str]:
+    """Every ``self.X`` / bare-name token assigned a lock factory result."""
+    tokens: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        if resolve_dotted(node.value.func, aliases) not in LOCK_FACTORY_KINDS:
+            continue
+        for target in node.targets:
+            token = _lock_token(target)
+            if token is not None:
+                tokens.add(token)
+    return tokens
+
+
+def _lock_token(node: ast.expr) -> str | None:
+    """Canonical token for a lock expression: ``self.X`` or a bare name."""
+    attr = _self_attr(node)
+    if attr is not None:
+        return f"self.{attr}"
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# -- REP006: per-class lock-ordering graph ------------------------------------
+
+
+@dataclass
+class _MethodLocks:
+    """Lock facts collected from one method body."""
+
+    #: Direct ordering edges (held -> acquired) with their witness node.
+    edges: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    #: Nested re-acquisitions of a non-reentrant lock.
+    self_deadlocks: list[tuple[str, ast.AST]] = field(default_factory=list)
+    #: Locks this method acquires anywhere (for call propagation).
+    acquires: set[str] = field(default_factory=set)
+    #: ``self.m()`` call sites with the lock tokens held at the call.
+    calls: list[tuple[frozenset, str, ast.AST]] = field(default_factory=list)
+
+
+class _LockGraphBuilder:
+    """Walk one method, tracking the lexically held locks in order."""
+
+    def __init__(self, lock_kinds: dict[str, bool], method_names: set[str]):
+        self.lock_kinds = lock_kinds  # token -> reentrant
+        self.method_names = method_names
+        self.info = _MethodLocks()
+
+    def walk(self, body: list[ast.stmt]) -> _MethodLocks:
+        """Entry point: analyze a method body with nothing held."""
+        self._block(body, [])
+        return self.info
+
+    # -- helpers -----------------------------------------------------------
+
+    def _acquire(self, token: str, held: list[str], node: ast.AST) -> None:
+        self.info.acquires.add(token)
+        if token in held:
+            if not self.lock_kinds.get(token, False):
+                self.info.self_deadlocks.append((token, node))
+            return
+        for h in held:
+            self.info.edges.append((h, token, node))
+
+    def _note_calls(self, root: ast.AST, held: list[str]) -> None:
+        """Record ``self.method(...)`` calls under the current held set."""
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in self.method_names
+            ):
+                self.info.calls.append((frozenset(held), node.func.attr, node))
+
+    def _with_tokens(self, stmt: ast.With | ast.AsyncWith) -> list[tuple[str, ast.AST]]:
+        out: list[tuple[str, ast.AST]] = []
+        for item in stmt.items:
+            token = _lock_token(item.context_expr)
+            if token is not None and token in self.lock_kinds:
+                out.append((token, item.context_expr))
+        return out
+
+    # -- statement walk ----------------------------------------------------
+
+    def _block(self, body: list[ast.stmt], held: list[str]) -> None:
+        held = list(held)
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                tokens = self._with_tokens(stmt)
+                inner = list(held)
+                for token, node in tokens:
+                    self._acquire(token, inner, node)
+                    if token not in inner:
+                        inner.append(token)
+                self._note_calls_header(stmt, held)
+                self._block(stmt.body, inner)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested function may run later / on another thread; its
+                # body starts with nothing held.
+                self._block(stmt.body, [])
+                continue
+            receiver = _acquire_receiver(stmt)
+            if receiver is not None:
+                token = _lock_token(receiver)
+                if token is not None and token in self.lock_kinds:
+                    self._acquire(token, held, stmt)
+                    if token not in held:
+                        held.append(token)
+                    continue
+            receiver = _release_receiver(stmt)
+            if receiver is not None:
+                token = _lock_token(receiver)
+                if token is not None and token in held:
+                    held.remove(token)
+                    continue
+            if any(getattr(stmt, f, None) for f in _BLOCK_FIELDS) or getattr(
+                stmt, "handlers", None
+            ):
+                self._note_calls_header(stmt, held)
+                for field_name in _BLOCK_FIELDS:
+                    block = getattr(stmt, field_name, None)
+                    if block:
+                        self._block(block, held)
+                for handler in getattr(stmt, "handlers", []):
+                    self._block(handler.body, held)
+            else:
+                self._note_calls(stmt, held)
+
+    def _note_calls_header(self, stmt: ast.stmt, held: list[str]) -> None:
+        """Calls in a compound statement's header expressions."""
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in _BLOCK_FIELDS or field_name == "handlers":
+                continue
+            values = value if isinstance(value, list) else [value]
+            for v in values:
+                if isinstance(v, ast.expr):
+                    self._note_calls(v, held)
+            if field_name == "items":  # with-items: header expressions too
+                for item in values:
+                    if isinstance(item, ast.withitem):
+                        self._note_calls(item.context_expr, held)
+
+
+def _strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's SCC over a small adjacency dict (deterministic order)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph.get(v, ())):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            component: list[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            sccs.append(sorted(component))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return sccs
+
+
+@register
+class LockOrderingRule(Rule):
+    """Flag cyclic lock-acquisition orders inside one class."""
+
+    id = "REP006"
+    name = "lock-ordering"
+    summary = (
+        "a class must acquire its locks in one global order; cyclic "
+        "with/acquire nesting (even through its own method calls) can deadlock"
+    )
+    explanation = """\
+If method A takes lock1 then lock2 while method B takes lock2 then lock1,
+two threads running A and B concurrently can each hold one lock and wait
+forever for the other.  The rule builds each class's lock-acquisition
+graph from `with self._lock:` nesting and `.acquire()` regions, follows
+calls to the class's own methods one level deep, and flags every cycle.
+Re-acquiring a held non-reentrant Lock is reported as a guaranteed
+self-deadlock.
+
+Bad:
+    def fold(self):
+        with self._acc_lock:
+            with self._events_lock: ...
+    def log(self):
+        with self._events_lock:
+            with self._acc_lock: ...      # opposite order: cycle
+
+Good: pick one order (document it in docs/CONCURRENCY.md) and keep both
+paths on it -- or restructure so no path holds both locks at once:
+    def log(self):
+        with self._events_lock: ...
+        with self._acc_lock: ...          # sequential, never nested
+"""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Analyze every class owning two or more recognized locks."""
+        aliases = ImportAliases()
+        aliases.visit(ctx.tree)
+        if not aliases.aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node, aliases.aliases)
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef, aliases: dict[str, str]
+    ) -> Iterator[Finding]:
+        attr_kinds = _lock_attribute_kinds(cls, aliases)
+        methods = [
+            m for m in cls.body if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        method_names = {m.name for m in methods}
+        infos: dict[str, _MethodLocks] = {}
+        for method in methods:
+            lock_kinds = {f"self.{k}": v for k, v in attr_kinds.items()}
+            lock_kinds.update(_local_lock_names(method, aliases))
+            lock_kinds.update({p: False for p in _lock_param_names(method)})
+            if not lock_kinds:
+                continue
+            builder = _LockGraphBuilder(lock_kinds, method_names)
+            infos[method.name] = builder.walk(method.body)
+
+        # Guaranteed self-deadlocks first (independent of other methods).
+        for name, info in infos.items():
+            for token, node in info.self_deadlocks:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"nested re-acquisition of non-reentrant lock {token} in "
+                    f"{cls.name}.{name} is a guaranteed self-deadlock",
+                    symbol=f"{cls.name}.{name}:self-deadlock:{token}",
+                )
+
+        # Propagate acquisitions through the class's own method calls
+        # (fixpoint over the call graph, self.X tokens only -- locals do
+        # not escape their function).
+        trans: dict[str, set[str]] = {
+            name: {t for t in info.acquires if t.startswith("self.")}
+            for name, info in infos.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, info in infos.items():
+                for _, callee, _ in info.calls:
+                    extra = trans.get(callee, set()) - trans[name]
+                    if extra:
+                        trans[name] |= extra
+                        changed = True
+
+        edges: dict[tuple[str, str], ast.AST] = {}
+        reported_call_deadlocks: set[str] = set()
+        for info in infos.values():
+            for a, b, node in info.edges:
+                edges.setdefault((a, b), node)
+            for held, callee, node in info.calls:
+                callee_locks = trans.get(callee, set())
+                for a in held:
+                    for b in callee_locks:
+                        if a != b:
+                            edges.setdefault((a, b), node)
+                    reentrant = a.startswith("self.") and attr_kinds.get(
+                        a[len("self."):], False
+                    )
+                    if a in callee_locks and not reentrant and (
+                        a not in reported_call_deadlocks
+                    ):
+                        reported_call_deadlocks.add(a)
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"{cls.name} method call re-acquires held "
+                            f"non-reentrant lock {a} (self-deadlock)",
+                            symbol=f"{cls.name}:call-self-deadlock:{a}",
+                        )
+
+        graph: dict[str, set[str]] = {}
+        for (a, b), _node in edges.items():
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        for component in _strongly_connected(graph):
+            if len(component) < 2:
+                continue
+            witness = min(
+                (
+                    edges[(a, b)]
+                    for (a, b) in edges
+                    if a in component and b in component
+                ),
+                key=lambda n: getattr(n, "lineno", 1),
+            )
+            cycle = " <-> ".join(component)
+            yield ctx.finding(
+                self,
+                witness,
+                f"lock-ordering cycle in {cls.name}: {cycle}; two threads "
+                "taking these locks in opposite orders can deadlock",
+                symbol=f"{cls.name}:cycle:{'+'.join(component)}",
+            )
+
+
+# -- REP007: exception-safe acquire/release -----------------------------------
+
+
+@register
+class ExceptionSafeLockRule(Rule):
+    """Flag ``.acquire()`` calls without a try/finally ``release()``."""
+
+    id = "REP007"
+    name = "exception-safe-locking"
+    summary = (
+        "every .acquire() must release in a try/finally (or use a with "
+        "statement); an exception in between leaks the lock forever"
+    )
+    explanation = """\
+If code raises between `lock.acquire()` and `lock.release()`, the lock
+stays held and every other thread that needs it hangs.  The `with`
+statement is the correct spelling; where acquire/release must be
+explicit, the release belongs in a `finally`.
+
+Bad:
+    self._lock.acquire()
+    self._items.append(x)       # raises -> lock leaked
+    self._lock.release()
+
+Good:
+    with self._lock:
+        self._items.append(x)
+
+    # or, when with is impossible:
+    self._lock.acquire()
+    try:
+        self._items.append(x)
+    finally:
+        self._lock.release()
+
+Delegating wrappers (`return self._inner.acquire(...)`) are exempt: the
+caller owns the pairing.  Genuine hand-over-hand locking patterns carry
+an explicit `# repro-lint: disable=REP007` with a justification.
+"""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Scan every statement block for unpaired lock ``.acquire()``s."""
+        from tools.lint.core import enclosing_symbols
+
+        aliases = ImportAliases()
+        aliases.visit(ctx.tree)
+        lock_tokens = _file_lock_tokens(ctx.tree, aliases.aliases)
+        symbols = enclosing_symbols(ctx.tree)
+        guarded = _acquire_guarded_by_enclosing_try(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            blocks = [
+                block
+                for f in _BLOCK_FIELDS
+                if isinstance(block := getattr(node, f, None), list)
+            ]
+            blocks.extend(h.body for h in getattr(node, "handlers", []))
+            for body in blocks:
+                yield from self._check_block(ctx, body, symbols, guarded, lock_tokens)
+
+    def _check_block(
+        self,
+        ctx,
+        body: list[ast.stmt],
+        symbols,
+        guarded: set[int],
+        lock_tokens: set[str],
+    ) -> Iterator[Finding]:
+        for i, stmt in enumerate(body):
+            receiver = _acquire_receiver(stmt)
+            if receiver is None:
+                continue
+            token = _lock_token(receiver)
+            if token is None:
+                continue
+            # Only receivers known (or named) to be locks: Node.acquire()
+            # in the scheduler is core accounting, not a lock.
+            if token not in lock_tokens and not token.lower().endswith("lock"):
+                continue
+            if id(stmt) in guarded:
+                continue
+            if self._followed_by_guarded_release(body, i, receiver):
+                continue
+            qual = symbols.get(id(stmt), "<module>")
+            yield ctx.finding(
+                self,
+                stmt,
+                f"{token}.acquire() is not released in a try/finally; "
+                "use a with statement or release in finally",
+                symbol=f"{qual}:{token}",
+            )
+
+    @staticmethod
+    def _releases(body: list[ast.stmt], receiver: ast.expr) -> bool:
+        want = ast.dump(receiver)
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"
+                    and ast.dump(node.func.value) == want
+                ):
+                    return True
+        return False
+
+    def _followed_by_guarded_release(
+        self, body: list[ast.stmt], i: int, receiver: ast.expr
+    ) -> bool:
+        """``X.acquire()`` directly followed by ``try: ... finally: X.release()``."""
+        if i + 1 >= len(body):
+            return False
+        nxt = body[i + 1]
+        return (
+            isinstance(nxt, ast.Try)
+            and bool(nxt.finalbody)
+            and self._releases(nxt.finalbody, receiver)
+        )
+
+
+def _acquire_guarded_by_enclosing_try(tree: ast.Module) -> set[int]:
+    """ids of acquire-call statements covered by an enclosing try/finally."""
+    guarded: set[int] = set()
+
+    def visit(node: ast.AST, finallies: list[list[ast.stmt]]) -> None:
+        if isinstance(node, ast.Try):
+            inner = finallies + ([node.finalbody] if node.finalbody else [])
+            for child in node.body:
+                visit(child, inner)
+            for handler in node.handlers:
+                for child in handler.body:
+                    visit(child, inner)
+            for child in node.orelse:
+                visit(child, inner)
+            for child in node.finalbody:
+                visit(child, finallies)
+            return
+        receiver = _acquire_receiver(node) if isinstance(node, ast.stmt) else None
+        if receiver is not None:
+            want = ast.dump(receiver)
+            for finalbody in finallies:
+                for stmt in finalbody:
+                    for sub in ast.walk(stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "release"
+                            and ast.dump(sub.func.value) == want
+                        ):
+                            guarded.add(id(node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, finallies)
+
+    visit(tree, [])
+    return guarded
+
+
+# -- REP008: no blocking operations under a held lock -------------------------
+
+#: Resolved dotted names (or prefixes ending in ".") that block.
+_BLOCKING_RESOLVED = (
+    "time.sleep",
+    "subprocess.",
+    "socket.",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+)
+
+#: pathlib-style I/O method names that hit the filesystem.
+_IO_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+#: numpy file I/O, resolved through import aliases.
+_NUMPY_IO = {
+    "numpy.load",
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.loadtxt",
+    "numpy.savetxt",
+}
+
+#: Constructors marking a local/attribute as a blocking queue.
+_QUEUE_FACTORIES = {
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "queue.SimpleQueue",
+    "multiprocessing.Queue",
+    "multiprocessing.JoinableQueue",
+}
+
+
+@register
+class NoBlockingUnderLockRule(Rule):
+    """Flag blocking calls (sleep/io/join/subprocess/queue) under a lock."""
+
+    id = "REP008"
+    name = "no-blocking-under-lock"
+    summary = (
+        "no time.sleep, file/socket I/O, subprocess, Thread.join or "
+        "blocking queue ops while holding a lock"
+    )
+    explanation = """\
+A lock-holder that sleeps, waits on I/O, joins a thread or blocks on a
+queue stalls every thread contending for that lock -- and deadlocks
+outright if the awaited party needs the lock to make progress (e.g.
+joining a thread that is blocked acquiring the lock you hold).
+
+Bad:
+    with self._events_lock:
+        time.sleep(self.poll_interval)      # every logger now waits
+        self._events.append(event)
+
+Good: compute under the lock, block outside it:
+    with self._events_lock:
+        self._events.append(event)
+    time.sleep(self.poll_interval)
+
+Flagged while a recognized lock is held: time.sleep, subprocess.*,
+socket.*, os.system/popen/waitpid, open(), Path read/write helpers,
+numpy file I/O, .join() on threads created in the same scope, and
+queue get()/put() without block=False (the *_nowait variants are fine).
+"""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Scan functions that take recognized locks for blocking calls."""
+        from tools.lint.core import enclosing_symbols
+
+        aliases = ImportAliases()
+        aliases.visit(ctx.tree)
+        symbols = enclosing_symbols(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                attr_kinds = _lock_attribute_kinds(node, aliases.aliases)
+                for method in node.body:
+                    if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield from self._check_function(
+                            ctx, method, attr_kinds, aliases.aliases, symbols
+                        )
+        # Module-level functions (no self locks, but locals/params count).
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node, {}, aliases.aliases, symbols)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.AST,
+        attr_kinds: dict[str, bool],
+        aliases: dict[str, str],
+        symbols: dict[int, str],
+    ) -> Iterator[Finding]:
+        lock_tokens = {f"self.{k}" for k in attr_kinds}
+        lock_tokens.update(_local_lock_names(func, aliases))
+        lock_tokens.update(_lock_param_names(func))
+        if not lock_tokens:
+            return
+        thread_names = self._thread_locals(func, aliases)
+        queue_names = self._queue_locals(func, aliases)
+        yield from self._block(
+            ctx, func, func.body, False, lock_tokens, thread_names,
+            queue_names, aliases, symbols,
+        )
+
+    @staticmethod
+    def _thread_locals(func: ast.AST, aliases: dict[str, str]) -> set[str]:
+        """Names bound to ``threading.Thread(...)`` in this function."""
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and resolve_dotted(node.value.func, aliases) == "threading.Thread"
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _queue_locals(func: ast.AST, aliases: dict[str, str]) -> set[str]:
+        """Names bound to a queue constructor in this function."""
+        names: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and resolve_dotted(node.value.func, aliases) in _QUEUE_FACTORIES
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _block(
+        self,
+        ctx: FileContext,
+        func: ast.AST,
+        body: list[ast.stmt],
+        locked: bool,
+        lock_tokens: set[str],
+        thread_names: set[str],
+        queue_names: set[str],
+        aliases: dict[str, str],
+        symbols: dict[int, str],
+    ) -> Iterator[Finding]:
+        held = locked
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                if held:
+                    # `with open(...)` under a held lock blocks in the header.
+                    yield from self._flag_exprs(
+                        ctx, [item.context_expr for item in stmt.items],
+                        thread_names, queue_names, aliases, symbols,
+                    )
+                inner = held or any(
+                    (_lock_token(item.context_expr) or "") in lock_tokens
+                    for item in stmt.items
+                )
+                yield from self._block(
+                    ctx, func, stmt.body, inner, lock_tokens, thread_names,
+                    queue_names, aliases, symbols,
+                )
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._block(
+                    ctx, func, stmt.body, False, lock_tokens, thread_names,
+                    queue_names, aliases, symbols,
+                )
+                continue
+            receiver = _acquire_receiver(stmt)
+            if receiver is not None and (_lock_token(receiver) or "") in lock_tokens:
+                held = True
+                continue
+            receiver = _release_receiver(stmt)
+            if receiver is not None and (_lock_token(receiver) or "") in lock_tokens:
+                held = False
+                continue
+            if any(getattr(stmt, f, None) for f in _BLOCK_FIELDS) or getattr(
+                stmt, "handlers", None
+            ):
+                if held:
+                    yield from self._flag_exprs(
+                        ctx, self._header_exprs(stmt), thread_names, queue_names,
+                        aliases, symbols,
+                    )
+                for field_name in _BLOCK_FIELDS:
+                    block = getattr(stmt, field_name, None)
+                    if block:
+                        yield from self._block(
+                            ctx, func, block, held, lock_tokens, thread_names,
+                            queue_names, aliases, symbols,
+                        )
+                for handler in getattr(stmt, "handlers", []):
+                    yield from self._block(
+                        ctx, func, handler.body, held, lock_tokens, thread_names,
+                        queue_names, aliases, symbols,
+                    )
+                # acquire(); try: ... finally: release() -- the release
+                # buried in the compound ends the held region.
+                if held and self._releases_within(stmt, lock_tokens):
+                    held = False
+            elif held:
+                yield from self._flag_exprs(
+                    ctx, [stmt], thread_names, queue_names, aliases, symbols
+                )
+
+    @staticmethod
+    def _releases_within(stmt: ast.stmt, lock_tokens: set[str]) -> bool:
+        """A statement-level ``X.release()`` on a known lock inside stmt."""
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.stmt):
+                receiver = _release_receiver(node)
+                if receiver is not None and (
+                    (_lock_token(receiver) or "") in lock_tokens
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+        out: list[ast.AST] = []
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in _BLOCK_FIELDS or field_name == "handlers":
+                continue
+            values = value if isinstance(value, list) else [value]
+            out.extend(v for v in values if isinstance(v, (ast.expr, ast.withitem)))
+        return out
+
+    def _flag_exprs(
+        self,
+        ctx: FileContext,
+        roots: list[ast.AST],
+        thread_names: set[str],
+        queue_names: set[str],
+        aliases: dict[str, str],
+        symbols: dict[int, str],
+    ) -> Iterator[Finding]:
+        for root in roots:
+            for node in ast.walk(root):
+                if not isinstance(node, ast.Call):
+                    continue
+                why = self._blocking_reason(node, thread_names, queue_names, aliases)
+                if why is None:
+                    continue
+                qual = symbols.get(id(node)) or symbols.get(id(root), "<module>")
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{why} while holding a lock; move the blocking call "
+                    "outside the locked region",
+                    symbol=f"{qual}:{why.split(' ')[0]}",
+                )
+
+    @staticmethod
+    def _blocking_reason(
+        node: ast.Call,
+        thread_names: set[str],
+        queue_names: set[str],
+        aliases: dict[str, str],
+    ) -> str | None:
+        """Why this call blocks, or None if it does not."""
+        resolved = resolve_dotted(node.func, aliases)
+        if resolved is not None:
+            for pattern in _BLOCKING_RESOLVED:
+                if (
+                    resolved == pattern
+                    or (pattern.endswith(".") and resolved.startswith(pattern))
+                ):
+                    return f"{resolved} blocks"
+            if resolved in _NUMPY_IO:
+                return f"{resolved} does file I/O"
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            if "open" not in aliases:  # not shadowed by an import
+                return "open() does file I/O"
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in _IO_METHODS:
+                return f".{attr}() does file I/O"
+            if (
+                attr == "join"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in thread_names
+            ):
+                return f"{node.func.value.id}.join() waits on a thread"
+            if attr in ("get", "put"):
+                receiver_is_queue = (
+                    isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in queue_names
+                )
+                if receiver_is_queue and not any(
+                    kw.arg == "block"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    for kw in node.keywords
+                ):
+                    return f"queue .{attr}() blocks"
+        return None

@@ -7,10 +7,11 @@ be pulled in), and ``core`` -- the ESSE algorithm -- must never import the
 execution layers (``workflow``/``sched``/``realtime``), so the algorithm
 stays runnable under any execution substrate.
 
-The single acknowledged cycle is ``workflow <-> sched``: the scheduler
-simulator reuses the workflow's fault/retry vocabulary while the workflow
-DAG module reads the scheduler's calibrated task times.  Both edges are
-explicit below; new edges between them still fail.
+The graph is acyclic.  The scheduler simulator reuses the workflow's
+fault/retry vocabulary (``sched -> workflow``); the reverse edge -- the
+workflow DAG module reading the scheduler's calibrated task times -- was
+broken by moving the Table 1 reference times into
+``repro.core.taskmodel``, which both layers may import.
 """
 
 from __future__ import annotations
@@ -30,7 +31,7 @@ ALLOWED_IMPORTS: dict[str, set[str]] = {
     "core": {"util", "telemetry", "ocean", "obs"},
     "obs": {"util", "core", "ocean"},
     "acoustics": {"util", "core", "ocean"},
-    "workflow": {"util", "telemetry", "core", "sched"},
+    "workflow": {"util", "telemetry", "core"},
     "sched": {"util", "telemetry", "core", "workflow"},
     "realtime": {
         "util",

@@ -26,8 +26,27 @@ from tools.lint.core import (
     resolve_dotted,
 )
 
+#: Constructors whose result makes an attribute a class-owned lock, mapped
+#: to whether the resulting lock is reentrant (REP006 allows nested
+#: re-acquisition of reentrant locks only).  The sanitizer factories are
+#: here so swapping ``threading.Lock()`` for ``new_lock()`` keeps every
+#: lock rule engaged.
+LOCK_FACTORY_KINDS: dict[str, bool] = {
+    "threading.Lock": False,
+    "threading.RLock": True,
+    "threading.Condition": True,
+    "repro.util.sanitizer.SanitizedLock": False,
+    "repro.util.sanitizer.SanitizedRLock": True,
+    "repro.util.sanitizer.new_lock": False,
+    "repro.util.sanitizer.new_rlock": True,
+    "repro.util.SanitizedLock": False,
+    "repro.util.SanitizedRLock": True,
+    "repro.util.new_lock": False,
+    "repro.util.new_rlock": True,
+}
+
 #: Constructors whose result makes an attribute a class-owned lock.
-LOCK_FACTORIES = {"threading.Lock", "threading.RLock", "threading.Condition"}
+LOCK_FACTORIES = set(LOCK_FACTORY_KINDS)
 
 #: Method calls that mutate their receiver in place.
 MUTATORS = {
@@ -120,7 +139,10 @@ blocks entirely, or annotate the mutation site:
         """Scan each threaded class for unlocked guarded-state mutations."""
         aliases = ImportAliases()
         aliases.visit(ctx.tree)
-        if not any(v.split(".")[0] == "threading" for v in aliases.aliases.values()):
+        if not any(
+            v.split(".")[0] == "threading" or v.startswith("repro.util")
+            for v in aliases.aliases.values()
+        ):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ClassDef):
