@@ -1,0 +1,177 @@
+"""The differ->SVD hot path: npz full-rewrite vs memmap + incremental SVD.
+
+Paper Sec 4.1's three-file protocol decouples the differ from the SVD,
+but the seed implementation paid O(n N) bytes per member arrival (the
+full scaled matrix rewritten into a live npz) and O(n N^2) per SVD
+checkpoint (a from-scratch factorization).  This bench measures both
+replacements on the AOSN-II-scale hot path:
+
+- the append-only :class:`~repro.workflow.covfile.MemmapCovarianceStore`
+  writes O(n) bytes per member (new columns + a ~60-byte header);
+- the warm-started
+  :class:`~repro.core.subspace.IncrementalSubspaceEstimator` folds only
+  the columns that arrived since the previous checkpoint.
+
+Checkpoints follow the paper's cadence -- an SVD "whenever a multiple of
+a set number of realizations has finished" -- so the sequence has
+N / stride entries, the regime where from-scratch recomputation hurts.
+
+``BENCH_SMOKE=1`` shrinks the problem for CI; the committed
+``BENCH_covfile_pipeline.json`` comes from a full-size run
+(n=20000, N=256).
+"""
+
+import os
+
+import numpy as np
+
+from conftest import print_table
+from record import record_bench
+from repro.core.subspace import IncrementalSubspaceEstimator
+from repro.telemetry.clock import MONOTONIC
+from repro.util.linalg import truncated_svd
+from repro.workflow.covfile import CovarianceFileSet, MemmapCovarianceStore
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+STATE_DIM = 4_000 if SMOKE else 20_000
+N_MEMBERS = 64 if SMOKE else 256
+CHECK_STRIDE = 8 if SMOKE else 16  # SVD every stride finished members
+RANK = 60  # the default ESSE truncation
+RANK_BUFFER = 16
+
+
+def esse_like_columns(rng, n, count):
+    """Raw anomaly columns: low-rank decaying signal + noise floor."""
+    signal_rank = min(120, count)
+    u, _ = np.linalg.qr(rng.standard_normal((n, signal_rank)))
+    sig = np.geomspace(5.0, 0.3, signal_rank)
+    coeffs = rng.standard_normal((signal_rank, count))
+    return (u * sig) @ coeffs + 0.1 * rng.standard_normal((n, count))
+
+
+def measure_npz_differ(workdir, columns, clock):
+    """The seed differ: full scaled matrix rewritten per member arrival."""
+    covset = CovarianceFileSet(workdir)
+    total = 0
+    t0 = clock()
+    for k in range(2, N_MEMBERS + 1):
+        scale = 1.0 / np.sqrt(k - 1)
+        target = covset.write_live(columns[:, :k] * scale, list(range(k)))
+        covset.publish()
+        total += target.stat().st_size
+    elapsed = clock() - t0
+    covset.cleanup()
+    return total, elapsed
+
+
+def measure_memmap_differ(workdir, columns, clock):
+    """The column store: only the newly arrived columns hit the disk."""
+    store = MemmapCovarianceStore(workdir)
+    total = 0
+    t0 = clock()
+    for k in range(2, N_MEMBERS + 1):
+        new = 2 if k == 2 else 1
+        total += store.append(columns[:, k - new : k], list(range(k - new, k)))
+        store.publish()
+        total += store.header_path.stat().st_size
+    elapsed = clock() - t0
+    store.cleanup()
+    return total, elapsed
+
+
+def measure_svd_sequences(columns, clock):
+    """From-scratch vs warm-started SVD over the checkpoint cadence."""
+    checkpoints = list(range(CHECK_STRIDE, N_MEMBERS + 1, CHECK_STRIDE))
+
+    t0 = clock()
+    for k in checkpoints:
+        u_exact, s_exact, _ = truncated_svd(
+            columns[:, :k] / np.sqrt(k - 1), rank=RANK
+        )
+    t_exact = clock() - t0
+
+    estimator = IncrementalSubspaceEstimator(rank=RANK, rank_buffer=RANK_BUFFER)
+    t0 = clock()
+    for k in checkpoints:
+        sub = estimator.update(columns, count=k, scale=1.0 / np.sqrt(k - 1))
+    t_incremental = clock() - t0
+
+    keep = min(s_exact.size, sub.sigmas.size)
+    sigma_err = float(
+        np.max(np.abs(sub.sigmas[:keep] - s_exact[:keep])) / s_exact[0]
+    )
+    return t_exact, t_incremental, sigma_err, len(checkpoints)
+
+
+def run_pipeline(workdir, clock=MONOTONIC):
+    rng = np.random.default_rng(0)
+    columns = esse_like_columns(rng, STATE_DIM, N_MEMBERS)
+    npz_bytes, npz_s = measure_npz_differ(workdir / "npz", columns, clock)
+    mm_bytes, mm_s = measure_memmap_differ(workdir / "memmap", columns, clock)
+    t_exact, t_incremental, sigma_err, n_checkpoints = measure_svd_sequences(
+        columns, clock
+    )
+    return {
+        "state_dim": STATE_DIM,
+        "n_members": N_MEMBERS,
+        "checkpoint_stride": CHECK_STRIDE,
+        "n_checkpoints": n_checkpoints,
+        "npz_bytes_per_member": npz_bytes / N_MEMBERS,
+        "memmap_bytes_per_member": mm_bytes / N_MEMBERS,
+        "bytes_reduction": npz_bytes / mm_bytes,
+        "npz_differ_s": npz_s,
+        "memmap_differ_s": mm_s,
+        "exact_svd_sequence_s": t_exact,
+        "incremental_svd_sequence_s": t_incremental,
+        "svd_speedup": t_exact / t_incremental,
+        "sigma_rel_err": sigma_err,
+        "smoke": SMOKE,
+    }
+
+
+def test_covfile_pipeline(benchmark, tmp_path):
+    values = benchmark.pedantic(run_pipeline, args=(tmp_path,), rounds=1, iterations=1)
+
+    print_table(
+        f"Differ->SVD hot path (n={values['state_dim']}, "
+        f"N={values['n_members']}, SVD every {values['checkpoint_stride']})",
+        ["metric", "npz / exact", "memmap / incremental", "gain"],
+        [
+            [
+                "differ bytes/member",
+                f"{values['npz_bytes_per_member'] / 1e6:.1f} MB",
+                f"{values['memmap_bytes_per_member'] / 1e3:.1f} kB",
+                f"{values['bytes_reduction']:.0f}x",
+            ],
+            [
+                "differ wall",
+                f"{values['npz_differ_s']:.2f} s",
+                f"{values['memmap_differ_s']:.2f} s",
+                f"{values['npz_differ_s'] / values['memmap_differ_s']:.1f}x",
+            ],
+            [
+                f"SVD sequence ({values['n_checkpoints']} checkpoints)",
+                f"{values['exact_svd_sequence_s']:.2f} s",
+                f"{values['incremental_svd_sequence_s']:.2f} s",
+                f"{values['svd_speedup']:.1f}x",
+            ],
+            [
+                "sigma rel err",
+                "0 (reference)",
+                f"{values['sigma_rel_err']:.2e}",
+                "",
+            ],
+        ],
+    )
+    record_bench("covfile_pipeline", values)
+
+    # The PR's acceptance floors (smoke mode only sanity-checks direction:
+    # tiny matrices spend their time in fixed overheads, not in the O(n N)
+    # work the full-size run measures).
+    assert values["bytes_reduction"] >= 5.0
+    assert values["svd_speedup"] >= (1.0 if SMOKE else 2.0)
+    # The documented noise-floor tolerance (docs/COVFILE_PROTOCOL.md):
+    # retained sigmas within 1e-2 of the exact recompute, relative to
+    # the leading sigma (typically ~2e-3 at rank_buffer=16; decaying
+    # spectra hit 1e-6, enforced in tests/core/test_incremental_svd.py).
+    assert values["sigma_rel_err"] < 1e-2

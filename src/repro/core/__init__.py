@@ -1,8 +1,8 @@
 """ESSE core: error subspaces, ensembles, convergence and assimilation."""
 
 from repro.core.state import FieldLayout, FieldSpec
-from repro.core.subspace import ErrorSubspace
-from repro.core.covariance import AnomalyAccumulator
+from repro.core.subspace import ErrorSubspace, IncrementalSubspaceEstimator
+from repro.core.covariance import AnomalyAccumulator, AnomalyView
 from repro.core.convergence import ConvergenceCriterion, similarity_coefficient
 from repro.core.perturbation import (
     PerturbationGenerator,
@@ -27,7 +27,9 @@ __all__ = [
     "FieldLayout",
     "FieldSpec",
     "ErrorSubspace",
+    "IncrementalSubspaceEstimator",
     "AnomalyAccumulator",
+    "AnomalyView",
     "ConvergenceCriterion",
     "similarity_coefficient",
     "PerturbationGenerator",

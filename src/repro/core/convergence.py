@@ -82,12 +82,28 @@ class ConvergenceCriterion:
             rho >= self.tolerance for _, rho in self.history[-self.min_checks :]
         )
 
-    def update(self, subspace: ErrorSubspace) -> float | None:
-        """Compare against the previous estimate; returns rho (None first time)."""
+    def update(
+        self, subspace: ErrorSubspace, count: int | None = None
+    ) -> float | None:
+        """Compare against the previous estimate; returns rho (None first time).
+
+        Parameters
+        ----------
+        subspace:
+            The new estimate.
+        count:
+            Ensemble size to record in the history (defaults to
+            ``subspace.n_samples``).  The parallel SVD worker passes the
+            snapshot count explicitly so that history entries name the
+            published ensemble size even when one snapshot satisfies
+            several growth checkpoints at once.
+        """
         rho = None
         if self._previous is not None:
             rho = similarity_coefficient(self._previous, subspace)
-            self.history.append((subspace.n_samples, rho))
+            self.history.append(
+                (subspace.n_samples if count is None else int(count), rho)
+            )
         self._previous = subspace
         return rho
 

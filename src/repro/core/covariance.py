@@ -12,10 +12,58 @@ for the concurrently running SVD.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.state import FieldLayout
 from repro.core.subspace import ErrorSubspace
+
+
+@dataclass(frozen=True)
+class AnomalyView:
+    """A zero-copy, version-stamped view of the accumulated columns.
+
+    The columns are the *raw* normalized anomalies ``x_j - x_central``
+    (no ``1/sqrt(N-1)`` factor): the accumulator is append-only, so the
+    raw prefix of any older view is a prefix of every newer view, which
+    is what lets the differ ship only the new columns to disk and the
+    SVD worker warm-start from its previous factorization.  Apply
+    :attr:`scale` to singular values (or the matrix) to recover the
+    covariance normalization.
+
+    Attributes
+    ----------
+    columns:
+        Read-only ``(n, count)`` view into the accumulator's storage.
+        Valid forever: written columns are never mutated, and a storage
+        reallocation (capacity growth) leaves this view on the old
+        buffer.
+    member_ids:
+        Perturbation index of each column, arrival order.
+    version:
+        Monotone counter, bumped on every accumulated member.
+    """
+
+    columns: np.ndarray
+    member_ids: tuple[int, ...]
+    version: int
+
+    @property
+    def count(self) -> int:
+        """Number of member columns in the view."""
+        return int(self.columns.shape[1])
+
+    @property
+    def scale(self) -> float:
+        """The ``1/sqrt(count - 1)`` covariance factor for this view."""
+        if self.count < 2:
+            raise RuntimeError(f"need >= 2 members for a scale, have {self.count}")
+        return 1.0 / np.sqrt(self.count - 1)
+
+    def matrix(self) -> np.ndarray:
+        """The scaled anomaly matrix (materializes a copy)."""
+        return self.columns * self.scale
 
 
 class AnomalyAccumulator:
@@ -51,6 +99,7 @@ class AnomalyAccumulator:
         self._columns = np.empty((layout.size, capacity))
         self._member_ids: list[int] = []
         self._index_of: dict[int, int] = {}
+        self._version = 0
 
     # -- accumulation -------------------------------------------------------
 
@@ -80,6 +129,7 @@ class AnomalyAccumulator:
         self._columns[:, col] = self.layout.normalize(forecast - self.central)
         self._index_of[member_index] = col
         self._member_ids.append(member_index)
+        self._version += 1
 
     @property
     def count(self) -> int:
@@ -96,6 +146,29 @@ class AnomalyAccumulator:
         return member_index in self._index_of
 
     # -- snapshots ------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone counter, bumped on every accumulated member."""
+        return self._version
+
+    def view(self) -> AnomalyView:
+        """A zero-copy :class:`AnomalyView` of the current columns.
+
+        No data is copied or scaled: the view aliases the accumulator's
+        storage, which is safe because written columns are immutable and
+        capacity growth rebinds (never resizes in place) the backing
+        array.  Callers sharing the accumulator across threads must take
+        the view under the same lock that guards :meth:`add_member`; the
+        returned view itself may then be read without the lock.
+        """
+        cols = self._columns[:, : self.count]
+        cols.flags.writeable = False
+        return AnomalyView(
+            columns=cols,
+            member_ids=tuple(self._member_ids),
+            version=self._version,
+        )
 
     def matrix(self) -> np.ndarray:
         """The scaled anomaly matrix ``M`` with ``M M^T ≈ P`` (copy).

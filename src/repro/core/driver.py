@@ -63,6 +63,19 @@ class ESSEConfig:
     svd_method:
         ``"lapack"`` (exact) or ``"randomized"`` (sketching; scales to the
         paper's 1000-10000-member ensembles).
+    svd_warm_start:
+        Reuse the previous checkpoint's factorization for each new SVD
+        (:class:`~repro.core.subspace.IncrementalSubspaceEstimator`):
+        each checkpoint costs ``O(n N k_new)`` instead of a full
+        recompute.  Drift is backstopped by ``svd_guard_tol``.
+    svd_rank_buffer:
+        Extra modes the incremental estimator carries beyond
+        ``max_subspace_rank`` to keep truncation error small between
+        exact refreshes.
+    svd_guard_tol:
+        Discarded-to-retained energy ratio that triggers the estimator's
+        exact recompute fallback (a drift backstop; see
+        ``docs/COVFILE_PROTOCOL.md`` for the accuracy contract).
     """
 
     initial_ensemble_size: int = 16
@@ -74,6 +87,9 @@ class ESSEConfig:
     deadline_seconds: float | None = None
     inflation: float = 1.0
     svd_method: str = "lapack"
+    svd_warm_start: bool = True
+    svd_rank_buffer: int = 16
+    svd_guard_tol: float = 1.0
 
     def __post_init__(self):
         if self.initial_ensemble_size < 2:
@@ -86,6 +102,31 @@ class ESSEConfig:
             raise ValueError("max_subspace_rank must be >= 1")
         if self.svd_method not in ("lapack", "randomized"):
             raise ValueError(f"unknown svd_method {self.svd_method!r}")
+        if self.svd_rank_buffer < 0:
+            raise ValueError("svd_rank_buffer must be >= 0")
+        if self.svd_guard_tol < 0.0:
+            raise ValueError("svd_guard_tol must be >= 0")
+
+    def subspace_estimator(self, rng: np.random.Generator | None = None):
+        """Build the warm-started estimator this config describes.
+
+        Returns None when ``svd_warm_start`` is off, or when
+        ``svd_method="randomized"`` was explicitly requested (a cold
+        sketch per checkpoint is its own documented trade-off; warm
+        starting accelerates the exact path).  Callers fall back to the
+        from-scratch :meth:`ErrorSubspace.from_anomalies` path.
+        """
+        if not self.svd_warm_start or self.svd_method == "randomized":
+            return None
+        from repro.core.subspace import IncrementalSubspaceEstimator
+
+        return IncrementalSubspaceEstimator(
+            rank=self.max_subspace_rank,
+            energy=self.svd_energy,
+            rank_buffer=self.svd_rank_buffer,
+            guard_tol=self.svd_guard_tol,
+            rng=rng,
+        )
 
     def stage_sizes(self) -> list[int]:
         """Cumulative ensemble sizes of the growth stages (N, N2, ..., Nmax)."""
@@ -196,6 +237,9 @@ class ESSEDriver:
                 self.model.layout, self.model.to_vector(central)
             )
             criterion = ConvergenceCriterion(tolerance=cfg.convergence_tolerance)
+            estimator = cfg.subspace_estimator(
+                rng=np.random.default_rng(self.root_seed)
+            )
             for stage_target in cfg.stage_sizes():
                 batch = range(next_index, stage_target)
                 next_index = stage_target
@@ -213,13 +257,20 @@ class ESSEDriver:
                 with self.telemetry.span(
                     "driver.svd", count=accumulator.count
                 ) as svd_span:
-                    current = ErrorSubspace.from_anomalies(
-                        accumulator.matrix(),
-                        rank=cfg.max_subspace_rank,
-                        energy=cfg.svd_energy,
-                        method=cfg.svd_method,
-                        rng=np.random.default_rng(self.root_seed),
-                    )
+                    if estimator is not None:
+                        view = accumulator.view()
+                        current = estimator.update(
+                            view.columns, view.count, view.scale
+                        )
+                        svd_span.set(path=estimator.last_path)
+                    else:
+                        current = ErrorSubspace.from_anomalies(
+                            accumulator.matrix(),
+                            rank=cfg.max_subspace_rank,
+                            energy=cfg.svd_energy,
+                            method=cfg.svd_method,
+                            rng=np.random.default_rng(self.root_seed),
+                        )
                     rho = criterion.update(current)
                     svd_span.set(rank=current.rank)
                 self.telemetry.event(

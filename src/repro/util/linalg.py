@@ -148,6 +148,144 @@ def randomized_svd(
     return u[:, :keep], s[:keep], vt[:keep, :]
 
 
+def svd_rank_update(
+    u: np.ndarray,
+    s: np.ndarray,
+    new_columns: np.ndarray,
+    rank: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Incremental SVD update: append columns to a known factorization.
+
+    Given a (possibly truncated) left factorization ``A approx
+    U diag(s)`` and ``k`` newly arrived columns ``C``, returns the left
+    singular vectors and values of the augmented matrix
+    ``[U diag(s), C]`` -- the Brand (2002) update specialized to the
+    left factor, which is all ESSE needs (error modes and std-devs; the
+    right factor is bookkeeping we never use).
+
+    Cost is ``O(n (p + k)^2)`` for state dimension ``n``, carried rank
+    ``p`` and batch size ``k`` -- independent of how many columns were
+    already folded in, which is the whole point: each differ->SVD
+    checkpoint pays for its *new* members only, not for the full
+    ensemble from scratch.
+
+    The update is exact (to roundoff) when ``U diag(s)`` is an exact
+    factorization of the previous columns; with a truncated ``U`` the
+    error is bounded by the discarded singular values (the caller's
+    accuracy guard -- see
+    :class:`repro.core.subspace.IncrementalSubspaceEstimator`).
+
+    Parameters
+    ----------
+    u:
+        Orthonormal columns ``(n, p)``.
+    s:
+        Singular values ``(p,)``, descending.
+    new_columns:
+        New columns ``(n, k)`` (a 1-D vector is treated as ``k = 1``).
+    rank:
+        Truncate the result to at most this many modes.
+
+    Returns
+    -------
+    (u2, s2) with ``u2`` of shape ``(n, min(p + k, rank))``.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    s = np.asarray(s, dtype=np.float64)
+    c = np.asarray(new_columns, dtype=np.float64)
+    if c.ndim == 1:
+        c = c[:, None]
+    if u.ndim != 2 or c.ndim != 2 or u.shape[0] != c.shape[0]:
+        raise ValueError(
+            f"incompatible shapes: u {u.shape}, new_columns {c.shape}"
+        )
+    if s.shape != (u.shape[1],):
+        raise ValueError(f"s shape {s.shape} does not match {u.shape[1]} modes")
+    p, k = u.shape[1], c.shape[1]
+    # Project the new columns onto the carried subspace and orthogonalize
+    # the residual (one re-orthogonalization pass guards against the
+    # classical Gram-Schmidt cancellation when C nearly lies in span(U)).
+    m = u.T @ c
+    resid = c - u @ m
+    m2 = u.T @ resid
+    resid -= u @ m2
+    m += m2
+    q, r = np.linalg.qr(resid)
+    # SVD of the small core [[diag(s), M], [0, R]] of size (p+k, p+k).
+    core = np.zeros((p + k, p + k))
+    core[:p, :p] = np.diag(s)
+    core[:p, p:] = m
+    core[p:, p:] = r
+    uc, s2, _ = scipy.linalg.svd(core, full_matrices=False)
+    u2 = np.hstack([u, q]) @ uc
+    if rank is not None:
+        keep = min(max(int(rank), 1), s2.size)
+        u2, s2 = u2[:, :keep], s2[:keep]
+    return u2, s2
+
+
+def warm_randomized_svd(
+    a: np.ndarray,
+    rank: int,
+    basis: np.ndarray | None = None,
+    oversample: int = 10,
+    n_iter: int = 1,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized SVD warm-started from a previous dominant subspace.
+
+    Identical to :func:`randomized_svd` except the range sketch is
+    seeded with ``basis`` -- the previous checkpoint's error modes.
+    Because consecutive ESSE checkpoints share most of their dominant
+    subspace, the seeded sketch already spans nearly the whole range and
+    a single power iteration suffices where a cold sketch needs several;
+    the random oversample columns catch whatever directions the new
+    members introduced.
+
+    Parameters
+    ----------
+    a:
+        Matrix ``(n, m)``.
+    rank:
+        Number of singular triplets wanted.
+    basis:
+        Orthonormal warm-start columns ``(n, p)`` (``None`` falls back
+        to the cold sketch of :func:`randomized_svd`).
+    oversample, n_iter, rng:
+        As for :func:`randomized_svd`.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"warm_randomized_svd expects a 2-D array, got {a.shape}")
+    if basis is None:
+        return randomized_svd(a, rank, oversample=oversample, n_iter=n_iter, rng=rng)
+    basis = np.asarray(basis, dtype=np.float64)
+    if basis.ndim != 2 or basis.shape[0] != a.shape[0]:
+        raise ValueError(
+            f"basis {basis.shape} incompatible with matrix {a.shape}"
+        )
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    if oversample < 0 or n_iter < 0:
+        raise ValueError("oversample and n_iter must be >= 0")
+    if rng is None:
+        rng = SeedSequenceStream(0).rng("linalg", "warm-randomized-svd")
+    n, m = a.shape
+    sketch = min(rank + oversample, m)
+    fresh = max(sketch - basis.shape[1], 1)
+    omega = rng.standard_normal((m, fresh))
+    y = np.hstack([basis, a @ omega])
+    for _ in range(n_iter):
+        y, _ = np.linalg.qr(y)
+        y = a @ (a.T @ y)
+    q, _ = np.linalg.qr(y)
+    b = q.T @ a
+    ub, s, vt = scipy.linalg.svd(b, full_matrices=False)
+    u = q @ ub
+    keep = min(rank, s.size)
+    return u[:, :keep], s[:keep], vt[:keep, :]
+
+
 def orthonormal_columns(a: np.ndarray, atol: float = 1e-8) -> bool:
     """Return True when the columns of ``a`` are orthonormal within ``atol``."""
     a = np.asarray(a)

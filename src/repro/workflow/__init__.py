@@ -7,8 +7,9 @@ serial ESSE job shepherd (Fig 3) into a decoupled many-task pipeline
 - :mod:`~repro.workflow.statefiles` -- per-perturbation-index status files
   carrying singleton exit codes (Sec 4.2 dependency tracking),
 - :mod:`~repro.workflow.covfile` -- the three-file covariance protocol
-  (safe file + alternating live pair) that decouples the differ from the
-  SVD without a race,
+  that decouples the differ from the SVD without a race, in two
+  implementations: the paper-faithful npz safe/live pair and the
+  append-only memmap column store (``docs/COVFILE_PROTOCOL.md``),
 - :mod:`~repro.workflow.serial` -- the serial implementation with its four
   bottlenecks, instrumented so the benches can show them,
 - :mod:`~repro.workflow.parallel` -- the MTC implementation: a task pool of
@@ -23,7 +24,13 @@ serial ESSE job shepherd (Fig 3) into a decoupled many-task pipeline
 """
 
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
-from repro.workflow.covfile import CovarianceFileSet
+from repro.workflow.covfile import (
+    ColumnSnapshot,
+    CovarianceFileSet,
+    CovarianceReadError,
+    CovarianceSnapshot,
+    MemmapCovarianceStore,
+)
 from repro.workflow.policies import CancellationPolicy, DeadlinePolicy, RetryPolicy
 from repro.workflow.faults import FaultEvent, FaultInjector, FaultKind
 from repro.workflow.serial import SerialESSEWorkflow, SerialTimings
@@ -38,7 +45,11 @@ from repro.workflow.monitor import ProgressMonitor, ProgressReport
 __all__ = [
     "StatusDirectory",
     "TaskStatus",
+    "ColumnSnapshot",
     "CovarianceFileSet",
+    "CovarianceReadError",
+    "CovarianceSnapshot",
+    "MemmapCovarianceStore",
     "CancellationPolicy",
     "DeadlinePolicy",
     "RetryPolicy",

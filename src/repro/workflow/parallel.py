@@ -44,14 +44,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
-from repro.core.covariance import AnomalyAccumulator
+from repro.core.covariance import AnomalyAccumulator, AnomalyView
 from repro.core.driver import ESSEConfig
 from repro.core.ensemble import EnsembleRunner
 from repro.core.subspace import ErrorSubspace
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import NULL_RECORDER
 from repro.util.sanitizer import new_lock, track
-from repro.workflow.covfile import CovarianceFileSet
+from repro.workflow.covfile import CovarianceFileSet, MemmapCovarianceStore
 from repro.workflow.faults import FaultInjector, FaultKind
 from repro.workflow.policies import CancellationPolicy, RetryPolicy
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
@@ -225,8 +225,17 @@ class ParallelESSEWorkflow:
         nothing and keeps the seed behaviour/overhead.
     metrics:
         A :class:`~repro.telemetry.metrics.MetricsRegistry` fed task
-        latencies, retry/timeout counters, pool-size gauges and differ
-        I/O-retry counts; None disables metric recording.
+        latencies, retry/timeout counters, pool-size gauges, differ
+        I/O-retry counts, covariance bytes written (``cov.bytes_written``)
+        and warm-start SVD path counters (``svd.warm_start``,
+        ``svd.exact_fallback``); None disables metric recording.
+    covfile_backend:
+        ``"memmap"`` (default) publishes snapshots through the
+        append-only :class:`~repro.workflow.covfile.MemmapCovarianceStore`
+        -- ``O(n)`` bytes per member and zero-copy reads; ``"npz"`` keeps
+        the paper-faithful safe/live npz pair, rewriting the full
+        ``(n, N)`` matrix per arrival.  Both present identical
+        publish/read-safe semantics (``docs/COVFILE_PROTOCOL.md``).
     """
 
     #: Bound on transient-submit retries per member before the submission
@@ -247,18 +256,25 @@ class ParallelESSEWorkflow:
         faults: FaultInjector | None = None,
         telemetry=None,
         metrics: MetricsRegistry | None = None,
+        covfile_backend: str = "memmap",
     ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         if pool_margin < 1.0:
             raise ValueError("pool_margin must be >= 1")
+        if covfile_backend not in ("memmap", "npz"):
+            raise ValueError(f"unknown covfile_backend {covfile_backend!r}")
         self.runner = runner
         self.config = config
         self.workdir = Path(workdir)
         self.members_dir = self.workdir / "members"
         self.members_dir.mkdir(parents=True, exist_ok=True)
         self.status = StatusDirectory(self.workdir / "status")
-        self.covset = CovarianceFileSet(self.workdir)
+        self.covfile_backend = covfile_backend
+        if covfile_backend == "memmap":
+            self.covset = MemmapCovarianceStore(self.workdir)
+        else:
+            self.covset = CovarianceFileSet(self.workdir)
         self.n_workers = n_workers
         self.cancellation = cancellation
         self.use_processes = use_processes
@@ -332,6 +348,44 @@ class ParallelESSEWorkflow:
             found, self._corrupt_found = self._corrupt_found, []
         return found
 
+    # -- covariance protocol plumbing ------------------------------------------
+
+    def _publish_snapshot(self, view: AnomalyView) -> int:
+        """Ship the view through the configured backend; returns bytes written.
+
+        The memmap store appends only the columns that arrived since the
+        last publish (``O(n)`` per member); the npz backend rewrites the
+        full scaled matrix (the paper-faithful ``O(n N)`` cost).
+        """
+        if self.covfile_backend == "memmap":
+            nbytes = self.covset.sync_from(view)
+            self.covset.publish()
+            return nbytes + self.covset.header_path.stat().st_size
+        target = self.covset.write_live(view.matrix(), list(view.member_ids))
+        self.covset.publish()
+        return target.stat().st_size
+
+    def _read_snapshot(self):
+        """``read_safe`` with the structured-retry accounting of PR 1.
+
+        An unreadable safe snapshot (torn copy, truncated zip, lagged
+        header) reads as None; each consecutive failure is a structured
+        ``io_retry`` event (geometrically thinned, same shape as the
+        differ's status-before-file sweeps) plus a metrics counter, and
+        the backend raises
+        :class:`~repro.workflow.covfile.CovarianceReadError` past its
+        bound -- surfaced through the guarded-thread machinery instead
+        of silently spinning forever.
+        """
+        snap = self.covset.read_safe()
+        failures = self.covset.consecutive_unreadable
+        if snap is None and failures:
+            if self.metrics is not None:
+                self.metrics.counter("differ_io_retries", kind="cov_safe").inc()
+            if failures & (failures - 1) == 0:  # powers of two
+                self._log("io_retry", f"target=cov_safe sweeps={failures}")
+        return snap
+
     # -- component threads ----------------------------------------------------
 
     def _differ_loop(
@@ -391,13 +445,18 @@ class ParallelESSEWorkflow:
                                 continue
                             accumulator.add_member(index, forecast)
                             count = accumulator.count
-                            matrix = accumulator.matrix() if count >= 2 else None
-                            ids = list(accumulator.member_ids)
+                            # Zero-copy: written columns are immutable,
+                            # so the view is safe to read after the lock
+                            # is dropped.
+                            view = accumulator.view() if count >= 2 else None
                         self._log("diff_added", f"member={index} count={count}")
-                        if matrix is not None:
-                            self.covset.write_live(matrix, ids)
-                            self.covset.publish()
+                        if view is not None:
+                            nbytes = self._publish_snapshot(view)
                             self._log("publish", f"count={count}")
+                            if self.metrics is not None:
+                                self.metrics.counter("cov.bytes_written").inc(
+                                    nbytes
+                                )
                     new_any = True
                 if stop.is_set() and not new_any:
                     return
@@ -412,41 +471,91 @@ class ParallelESSEWorkflow:
         stop: threading.Event,
         out: dict,
     ) -> None:
-        """Continuously SVD the safe snapshot at ensemble-size checkpoints."""
+        """Continuously SVD the safe snapshot at ensemble-size checkpoints.
+
+        Two accounting rules keep the convergence test honest against a
+        differ running at any speed:
+
+        - a snapshot whose count jumped past *several* checkpoints
+          satisfies all of them at once (one SVD, all checkpoints
+          advanced) instead of leaving them pending to fire spuriously
+          on later same-count snapshots;
+        - on shutdown, the last published snapshot always gets a final
+          SVD if it holds members the loop has not factored yet -- the
+          completed ensemble is never silently exempted from the
+          convergence test just because it landed below the next
+          checkpoint.
+        """
         next_cp = 0
         last_version = -1
+        estimator = self.config.subspace_estimator()
+
+        def compute(snap, final: bool) -> None:
+            self._log("svd_start", f"count={snap.count}")
+            warm = estimator is not None and hasattr(snap, "columns")
+            span_name = "svd.warm_start" if warm else "svd.compute"
+            with self.telemetry.span(span_name, count=snap.count) as sp:
+                if warm:
+                    subspace = estimator.update(
+                        snap.columns, snap.count, snap.scale
+                    )
+                    sp.set(path=estimator.last_path)
+                    if self.metrics is not None:
+                        if estimator.last_path in ("update", "warm"):
+                            self.metrics.counter("svd.warm_start").inc()
+                        else:
+                            self.metrics.counter("svd.exact_fallback").inc()
+                else:
+                    subspace = ErrorSubspace.from_anomalies(
+                        snap.anomalies,
+                        rank=self.config.max_subspace_rank,
+                        energy=self.config.svd_energy,
+                    )
+                rho = criterion.update(subspace, count=snap.count)
+                sp.set(rank=subspace.rank)
+            if self.metrics is not None:
+                self.metrics.counter("svd_computations").inc()
+            out["subspace"] = subspace
+            out["count"] = snap.count
+            self._log(
+                "svd_done",
+                f"count={snap.count} rank={subspace.rank}"
+                + (f" rho={rho:.4f}" if rho is not None else "")
+                + (" final=1" if final else ""),
+            )
+            if criterion.converged:
+                self._log("converged", f"count={snap.count}")
+                converged.set()
+
         with self.telemetry.span("svd.loop", parent=self._root_span):
             while not stop.is_set() and not converged.is_set():
-                snap = self.covset.read_safe()
+                snap = self._read_snapshot()
                 if snap is None or snap.version == last_version:
                     time.sleep(self.poll_interval)
                     continue
                 last_version = snap.version
                 if next_cp >= len(checkpoints) or snap.count < checkpoints[next_cp]:
                     continue
-                next_cp += 1
-                self._log("svd_start", f"count={snap.count}")
-                with self.telemetry.span("svd.compute", count=snap.count) as sp:
-                    subspace = ErrorSubspace.from_anomalies(
-                        snap.anomalies,
-                        rank=self.config.max_subspace_rank,
-                        energy=self.config.svd_energy,
-                    )
-                    rho = criterion.update(subspace)
-                    sp.set(rank=subspace.rank)
-                if self.metrics is not None:
-                    self.metrics.counter("svd_computations").inc()
-                out["subspace"] = subspace
-                out["count"] = snap.count
-                self._log(
-                    "svd_done",
-                    f"count={snap.count} rank={subspace.rank}"
-                    + (f" rho={rho:.4f}" if rho is not None else ""),
-                )
-                if criterion.converged:
-                    self._log("converged", f"count={snap.count}")
-                    converged.set()
+                # One snapshot can satisfy several growth checkpoints at
+                # once (fast differ / slow poll): advance past all of
+                # them -- they are all answered by this one SVD.
+                while next_cp < len(checkpoints) and checkpoints[next_cp] <= snap.count:
+                    next_cp += 1
+                compute(snap, final=False)
+                if converged.is_set():
                     return
+            if not converged.is_set():
+                # Shutdown drain: the completed ensemble's last snapshot
+                # must be factored even when it sits below the next
+                # checkpoint, or the convergence test silently skips the
+                # final members.
+                snap = self._read_snapshot()
+                if (
+                    snap is not None
+                    and snap.count >= 2
+                    and snap.count > out.get("count", 0)
+                ):
+                    compute(snap, final=True)
 
     # -- main -------------------------------------------------------------------
 

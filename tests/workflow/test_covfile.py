@@ -1,16 +1,29 @@
-"""Unit tests for the three-file covariance protocol."""
+"""Unit tests for the three-file covariance protocol (npz and memmap)."""
 
 import threading
 
 import numpy as np
 import pytest
 
-from repro.workflow.covfile import CovarianceFileSet
+from repro.core.covariance import AnomalyAccumulator
+from repro.core.state import FieldLayout, FieldSpec
+from repro.workflow.covfile import (
+    CovarianceFileSet,
+    CovarianceReadError,
+    MemmapCovarianceStore,
+)
 
 
 @pytest.fixture()
 def covset(tmp_path):
     return CovarianceFileSet(tmp_path)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    store = MemmapCovarianceStore(tmp_path)
+    yield store
+    store.close()
 
 
 class TestProtocol:
@@ -94,3 +107,278 @@ class TestProtocol:
         stop.set()
         t.join()
         assert errors == []
+
+
+class TestReadResilience:
+    """A torn/corrupt safe file must read as "no snapshot yet", boundedly."""
+
+    def _publish(self, covset, count=3):
+        ids = list(range(count))
+        covset.write_live(np.ones((4, count)), ids)
+        covset.publish()
+
+    def test_truncated_safe_file_reads_as_none(self, covset):
+        self._publish(covset)
+        payload = covset.safe_path.read_bytes()
+        covset.safe_path.write_bytes(payload[: len(payload) // 2])
+        assert covset.read_safe() is None
+        assert covset.consecutive_unreadable == 1
+        assert covset.last_read_error is not None
+
+    def test_garbage_safe_file_reads_as_none(self, covset):
+        covset.safe_path.write_bytes(b"not a zip archive at all")
+        assert covset.read_safe() is None
+
+    def test_missing_keys_read_as_none(self, covset):
+        np.savez(covset.safe_path, wrong_key=np.ones(3))
+        assert covset.read_safe() is None
+
+    def test_counter_resets_on_success(self, covset):
+        covset.safe_path.write_bytes(b"garbage")
+        assert covset.read_safe() is None
+        assert covset.read_safe() is None
+        assert covset.consecutive_unreadable == 2
+        self._publish(covset)
+        assert covset.read_safe() is not None
+        assert covset.consecutive_unreadable == 0
+        assert covset.last_read_error is None
+
+    def test_bounded_retry_raises(self, tmp_path):
+        covset = CovarianceFileSet(tmp_path, max_unreadable_reads=5)
+        covset.safe_path.write_bytes(b"garbage")
+        for _ in range(4):
+            assert covset.read_safe() is None
+        with pytest.raises(CovarianceReadError, match="5 consecutive"):
+            covset.read_safe()
+
+    def test_bound_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_unreadable_reads"):
+            CovarianceFileSet(tmp_path, max_unreadable_reads=0)
+
+
+class TestWriteLiveFaultInjection:
+    """A failed live write must not advance the protocol state."""
+
+    def test_failed_replace_leaves_state_unchanged(self, covset, monkeypatch):
+        covset.write_live(np.full((4, 2), 1.0), [0, 1])
+        covset.publish()
+        before = covset.read_safe()
+        state = (covset._version, covset._next_live, covset._last_complete)
+
+        import repro.workflow.covfile as covfile_mod
+
+        real_replace = covfile_mod.os.replace
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(covfile_mod.os, "replace", failing_replace)
+        with pytest.raises(OSError, match="disk full"):
+            covset.write_live(np.full((4, 3), 2.0), [0, 1, 2])
+        assert (covset._version, covset._next_live, covset._last_complete) == state
+
+        # publish keeps serving the previous complete generation
+        monkeypatch.setattr(covfile_mod.os, "replace", real_replace)
+        covset.publish()
+        snap = covset.read_safe()
+        assert snap.version == before.version
+        assert snap.count == 2
+        assert np.allclose(snap.anomalies, 1.0)
+
+    def test_retry_after_failure_reuses_slot_and_version(self, covset, monkeypatch):
+        covset.write_live(np.ones((4, 2)), [0, 1])
+        import repro.workflow.covfile as covfile_mod
+
+        real_replace = covfile_mod.os.replace
+        fail_once = {"left": 1}
+
+        def flaky_replace(src, dst):
+            if fail_once["left"]:
+                fail_once["left"] -= 1
+                raise OSError("transient")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(covfile_mod.os, "replace", flaky_replace)
+        with pytest.raises(OSError):
+            covset.write_live(np.ones((4, 3)), [0, 1, 2])
+        target = covset.write_live(np.ones((4, 3)), [0, 1, 2])  # retried in place
+        assert target == covset.live_paths[1]  # same slot as the failed attempt
+        covset.publish()
+        snap = covset.read_safe()
+        assert snap.version == 2  # no version burned by the failure
+        assert snap.count == 3
+
+
+class TestMemmapStore:
+    """The append-only memmap column store: same protocol, O(n) writes."""
+
+    def test_no_snapshot_before_publish(self, store):
+        assert store.read_safe() is None
+        store.append(np.ones((4, 2)), [0, 1])
+        assert store.read_safe() is None  # appended, not published
+
+    def test_publish_exposes_snapshot(self, store):
+        cols = np.arange(8.0).reshape(4, 2)
+        store.append(cols, [0, 1])
+        assert store.publish()
+        snap = store.read_safe()
+        assert snap is not None
+        assert snap.count == 2
+        assert np.array_equal(np.asarray(snap.columns), cols)
+        assert list(snap.member_ids) == [0, 1]
+        assert snap.scale == pytest.approx(1.0)
+        assert np.allclose(snap.anomalies, cols * snap.scale)
+
+    def test_snapshot_columns_are_read_only(self, store):
+        store.append(np.ones((4, 2)), [0, 1])
+        store.publish()
+        snap = store.read_safe()
+        with pytest.raises((ValueError, RuntimeError)):
+            snap.columns[0, 0] = 5.0
+
+    def test_publish_without_append_is_false(self, store):
+        assert not store.publish()
+
+    def test_version_monotone(self, store):
+        store.append(np.ones((4, 2)), [0, 1])
+        store.publish()
+        v1 = store.read_safe().version
+        store.append(np.ones((4, 1)), [2])
+        store.publish()
+        v2 = store.read_safe().version
+        assert v2 > v1
+
+    def test_safe_stable_until_publish(self, store):
+        store.append(np.full((4, 2), 1.0), [0, 1])
+        store.publish()
+        before = store.read_safe()
+        store.append(np.full((4, 1), 2.0), [2])  # no publish
+        after = store.read_safe()
+        assert after.version == before.version
+        assert after.count == 2
+
+    def test_append_returns_bytes_written(self, store):
+        nbytes = store.append(np.ones((4, 3)), [0, 1, 2])
+        assert nbytes == 3 * 4 * 8 + 3 * 8  # columns + member ids
+
+    def test_shape_validation(self, store):
+        with pytest.raises(ValueError, match="inconsistent"):
+            store.append(np.ones((4, 2)), [0, 1, 2])
+        store.append(np.ones((4, 1)), [0])
+        with pytest.raises(ValueError, match="state dim"):
+            store.append(np.ones((5, 1)), [1])
+
+    def test_sync_from_accumulator_view(self, store):
+        layout = FieldLayout([FieldSpec("x", (6,))])
+        acc = AnomalyAccumulator(layout, np.zeros(6))
+        acc.add_member(0, np.full(6, 1.0))
+        acc.add_member(1, np.full(6, 2.0))
+        store.sync_from(acc.view())
+        store.publish()
+        acc.add_member(2, np.full(6, 3.0))
+        nbytes = store.sync_from(acc.view())  # ships only the new column
+        assert nbytes == 6 * 8 + 8
+        store.publish()
+        snap = store.read_safe()
+        assert snap.count == 3
+        assert np.array_equal(np.asarray(snap.columns), acc.view().columns)
+        assert list(snap.member_ids) == [0, 1, 2]
+
+    def test_sync_from_rejects_shrinking_view(self, store):
+        layout = FieldLayout([FieldSpec("x", (6,))])
+        acc = AnomalyAccumulator(layout, np.zeros(6))
+        acc.add_member(0, np.ones(6))
+        acc.add_member(1, np.full(6, 2.0))
+        store.sync_from(acc.view())
+        fresh = AnomalyAccumulator(layout, np.zeros(6))
+        fresh.add_member(0, np.ones(6))
+        with pytest.raises(ValueError, match="already stored"):
+            store.sync_from(fresh.view())
+
+    def test_torn_header_reads_as_none(self, store):
+        store.append(np.ones((4, 2)), [0, 1])
+        store.publish()
+        store.header_path.write_text('{"version": 2, "cou')  # torn write
+        assert store.read_safe() is None
+        assert store.consecutive_unreadable == 1
+
+    def test_header_ahead_of_data_reads_as_none(self, store):
+        """NFS-style lag: header visible before the flushed data."""
+        store.append(np.ones((4, 2)), [0, 1])
+        store.publish()
+        header = store.header_path.read_text()
+        store.header_path.write_text(header.replace('"count": 2', '"count": 9'))
+        assert store.read_safe() is None
+        assert "shorter than header" in str(store.last_read_error)
+
+    def test_counter_resets_on_success(self, store):
+        store.header_path.write_text("garbage")
+        assert store.read_safe() is None
+        store.append(np.ones((4, 2)), [0, 1])
+        store.publish()
+        assert store.read_safe() is not None
+        assert store.consecutive_unreadable == 0
+
+    def test_bounded_retry_raises(self, tmp_path):
+        store = MemmapCovarianceStore(tmp_path / "s", max_unreadable_reads=3)
+        store.header_path.parent.mkdir(parents=True, exist_ok=True)
+        store.header_path.write_text("garbage")
+        assert store.read_safe() is None
+        assert store.read_safe() is None
+        with pytest.raises(CovarianceReadError, match="3 consecutive"):
+            store.read_safe()
+
+    def test_failed_header_replace_leaves_state_unchanged(
+        self, store, monkeypatch
+    ):
+        store.append(np.ones((4, 2)), [0, 1])
+        store.publish()
+        store.append(np.ones((4, 1)), [2])
+
+        import repro.workflow.covfile as covfile_mod
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(covfile_mod.os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            store.publish()
+        assert store.version == 1  # commit only after a successful replace
+        monkeypatch.undo()
+        snap = store.read_safe()  # old generation still served
+        assert snap.version == 1
+        assert snap.count == 2
+        assert store.publish()
+        assert store.read_safe().count == 3
+
+    def test_concurrent_reader_never_sees_torn_snapshot(self, store):
+        """Hammer the store: reader snapshots are always consistent."""
+        errors = []
+        stop = threading.Event()
+        reader_store = MemmapCovarianceStore(store.workdir)
+
+        def reader():
+            while not stop.is_set():
+                snap = reader_store.read_safe()
+                if snap is None:
+                    continue
+                for col, mid in enumerate(snap.member_ids):
+                    if not np.all(snap.columns[:, col] == mid):
+                        errors.append(f"torn snapshot at version {snap.version}")
+                        return
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for k in range(60):
+            store.append(np.full((8, 1), float(k)), [k])
+            store.publish()
+        stop.set()
+        t.join()
+        assert errors == []
+
+    def test_cleanup(self, store):
+        store.append(np.ones((4, 2)), [0, 1])
+        store.publish()
+        store.cleanup()
+        assert store.read_safe() is None
+        assert not store.columns_path.exists()

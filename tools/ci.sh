@@ -41,6 +41,17 @@ python tools/check_docs.py \
     repro.telemetry.events repro.telemetry.export
 python tools/check_docs.py repro.util.sanitizer repro.core.taskmodel
 
+# Smoke: the differ->SVD hot-path bench at CI scale (BENCH_SMOKE shrinks
+# the matrices; the committed full-size numbers live in
+# benchmarks/results/BENCH_covfile_pipeline.json).  BENCH_OUTPUT_DIR
+# keeps the smoke run from overwriting them.
+covfile_tmp="$(mktemp -d)"
+BENCH_SMOKE=1 BENCH_OUTPUT_DIR="$covfile_tmp" \
+    python -m pytest benchmarks/bench_covfile_pipeline.py -q \
+    --rootdir=benchmarks -p no:cacheprovider
+rm -rf "$covfile_tmp"
+echo "covfile pipeline smoke: ok"
+
 # Smoke: a tiny traced task-pool run must export a valid Chrome trace.
 python - <<'EOF'
 import json
