@@ -93,6 +93,36 @@ class ESSESection:
 
 
 @dataclass(frozen=True)
+class EngineSection:
+    """Ensemble-engine backend selection (``docs/ENSEMBLE_ENGINE.md``).
+
+    Parameters
+    ----------
+    backend:
+        One of ``serial`` / ``threads`` / ``batched`` / ``processes``.
+    n_workers:
+        Pool width for the ``threads`` and ``processes`` backends.
+    batch_size:
+        Members per vectorized batch for the ``batched`` backend.
+    """
+
+    backend: str = "batched"
+    n_workers: int = 4
+    batch_size: int = 8
+
+    def __post_init__(self):
+        if self.backend not in ("serial", "threads", "batched", "processes"):
+            raise ConfigError(
+                f"engine: unknown backend {self.backend!r} "
+                "(have: serial, threads, batched, processes)"
+            )
+        if self.n_workers < 1:
+            raise ConfigError("engine: n_workers must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigError("engine: batch_size must be >= 1")
+
+
+@dataclass(frozen=True)
 class ObservationsSection:
     """Observation-network parameters."""
 
@@ -125,6 +155,7 @@ _SECTIONS = {
     "domain": DomainSection,
     "model": ModelSection,
     "esse": ESSESection,
+    "engine": EngineSection,
     "observations": ObservationsSection,
     "timeline": TimelineSection,
 }
@@ -137,6 +168,7 @@ class ExperimentConfig:
     domain: DomainSection = field(default_factory=DomainSection)
     model: ModelSection = field(default_factory=ModelSection)
     esse: ESSESection = field(default_factory=ESSESection)
+    engine: EngineSection = field(default_factory=EngineSection)
     observations: ObservationsSection = field(default_factory=ObservationsSection)
     timeline: TimelineSection = field(default_factory=TimelineSection)
 
@@ -233,6 +265,34 @@ class ExperimentConfig:
             model.grid,
             model.layout,
             rng=SeedSequenceStream(self.observations.seed).rng("obs", "network"),
+        )
+
+    def build_engine(self, runner, workdir, **kwargs):
+        """The configured :class:`~repro.workflow.ensemble.EnsembleEngine`.
+
+        ``runner`` is an :class:`~repro.core.ensemble.EnsembleRunner` and
+        ``workdir`` the engine's working directory; extra keyword
+        arguments (telemetry, metrics, retry, faults) pass through.
+        """
+        from repro.workflow.ensemble import EnsembleEngine, make_backend
+
+        backend = make_backend(
+            self.engine.backend,
+            n_workers=self.engine.n_workers,
+            batch_size=self.engine.batch_size,
+        )
+        return EnsembleEngine(
+            runner,
+            ESSEConfig(
+                initial_ensemble_size=self.esse.initial_ensemble_size,
+                max_ensemble_size=self.esse.max_ensemble_size,
+                growth_factor=self.esse.growth_factor,
+                convergence_tolerance=self.esse.convergence_tolerance,
+                max_subspace_rank=self.esse.max_subspace_rank,
+            ),
+            workdir,
+            backend=backend,
+            **kwargs,
         )
 
     def build_timeline(self, t0: float = 0.0) -> ExperimentTimeline:

@@ -116,6 +116,59 @@ class FieldLayout:
             out[lo:hi] = arr.ravel()
         return out
 
+    def pack_many(self, fields: dict[str, np.ndarray]) -> np.ndarray:
+        """Pack a batch of named arrays into an ``(size, N)`` column matrix.
+
+        Each array carries a leading member axis: ``(N, *spec.shape)``.
+        Column ``j`` of the result is bit-identical to
+        ``pack({name: arr[j] for ...})`` -- the vectorized ensemble engine
+        relies on this to hand the same columns to the covariance
+        accumulator as the per-member path.
+        """
+        extra = set(fields) - set(self.names)
+        if extra:
+            raise KeyError(f"unexpected fields {sorted(extra)}")
+        counts = {
+            name: np.asarray(arr).shape[0] if np.asarray(arr).ndim else -1
+            for name, arr in fields.items()
+        }
+        if len(set(counts.values())) > 1:
+            raise ValueError(f"inconsistent member counts per field: {counts}")
+        n_members = next(iter(counts.values()), 0)
+        out = np.empty((self.size, n_members))
+        for spec in self.specs:
+            if spec.name not in fields:
+                raise KeyError(f"missing field {spec.name!r}")
+            arr = np.asarray(fields[spec.name], dtype=np.float64)
+            if arr.shape[1:] != spec.shape:
+                raise ValueError(
+                    f"field {spec.name!r}: expected per-member shape "
+                    f"{spec.shape}, got {arr.shape[1:]}"
+                )
+            lo, hi = self._offsets[spec.name]
+            out[lo:hi, :] = arr.reshape(n_members, -1).T
+        return out
+
+    def unpack_many(self, matrix: np.ndarray) -> dict[str, np.ndarray]:
+        """Split an ``(size, N)`` column matrix into batched named arrays.
+
+        Inverse of :meth:`pack_many`: each returned array has shape
+        ``(N, *spec.shape)`` (contiguous copies).
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != self.size:
+            raise ValueError(
+                f"expected matrix of shape ({self.size}, N), got {matrix.shape}"
+            )
+        n_members = matrix.shape[1]
+        out = {}
+        for spec in self.specs:
+            lo, hi = self._offsets[spec.name]
+            out[spec.name] = np.ascontiguousarray(
+                matrix[lo:hi, :].T
+            ).reshape(n_members, *spec.shape)
+        return out
+
     def unpack(self, vector: np.ndarray) -> dict[str, np.ndarray]:
         """Split a packed vector back into named, shaped arrays (copies)."""
         vector = np.asarray(vector)

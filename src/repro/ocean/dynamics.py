@@ -112,27 +112,35 @@ class ShallowWaterDynamics:
         model shares this property; it matters for multi-week ESSE runs).
         """
         dx, dy = self.grid.dx, self.grid.dy
-        flux_x = 0.5 * (h[:, :-1] * u[:, :-1] + h[:, 1:] * u[:, 1:])
+        flux_x = 0.5 * (
+            h[..., :, :-1] * u[..., :, :-1] + h[..., :, 1:] * u[..., :, 1:]
+        )
         flux_x = np.where(self._face_x, flux_x, 0.0)
-        flux_y = 0.5 * (h[:-1, :] * v[:-1, :] + h[1:, :] * v[1:, :])
+        flux_y = 0.5 * (
+            h[..., :-1, :] * v[..., :-1, :] + h[..., 1:, :] * v[..., 1:, :]
+        )
         flux_y = np.where(self._face_y, flux_y, 0.0)
         # Conservative interface-height diffusion on the same faces.
         if self.eta_diffusivity > 0.0:
             flux_x = flux_x - np.where(
                 self._face_x,
-                self.eta_diffusivity * (eta_filled[:, 1:] - eta_filled[:, :-1]) / dx,
+                self.eta_diffusivity
+                * (eta_filled[..., :, 1:] - eta_filled[..., :, :-1])
+                / dx,
                 0.0,
             )
             flux_y = flux_y - np.where(
                 self._face_y,
-                self.eta_diffusivity * (eta_filled[1:, :] - eta_filled[:-1, :]) / dy,
+                self.eta_diffusivity
+                * (eta_filled[..., 1:, :] - eta_filled[..., :-1, :])
+                / dy,
                 0.0,
             )
         deta = np.zeros_like(h)
-        deta[:, :-1] -= flux_x / dx
-        deta[:, 1:] += flux_x / dx
-        deta[:-1, :] -= flux_y / dy
-        deta[1:, :] += flux_y / dy
+        deta[..., :, :-1] -= flux_x / dx
+        deta[..., :, 1:] += flux_x / dx
+        deta[..., :-1, :] -= flux_y / dy
+        deta[..., 1:, :] += flux_y / dy
         return deta
 
     @property
@@ -155,6 +163,12 @@ class ShallowWaterDynamics:
         dt: float,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Advance (u, v, eta) one step of ``dt`` seconds.
+
+        All fields may carry arbitrary leading batch dimensions ahead of
+        the trailing ``(ny, nx)`` axes -- a whole ``(N, ny, nx)`` ensemble
+        steps in one call, and every operator (stencils, masks, sponge)
+        broadcasts over the batch axis bit-identically to stepping the
+        members one at a time (the vectorized engine relies on this).
 
         The scheme is the standard stable combination for shallow-water
         dynamics on a collocated grid:

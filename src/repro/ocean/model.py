@@ -72,6 +72,77 @@ class ModelState:
                 raise ValueError(f"{name}: non-finite values over ocean points")
 
 
+@dataclass
+class EnsembleState:
+    """A whole ensemble's prognostic state, batched along a leading axis.
+
+    The batched twin of :class:`ModelState`: member ``i`` of the batch is
+    the state ``(u[i], v[i], eta[i], temp[i], salt[i])``.  All members
+    share one model time (ESSE ensembles are synchronous by
+    construction: every member forecasts the same window).
+
+    Attributes
+    ----------
+    u, v, eta:
+        Batched 2-D fields, shape ``(N, ny, nx)``.
+    temp, salt:
+        Batched tracer stacks, shape ``(N, nz, ny, nx)``.
+    time:
+        Shared model time in seconds.
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    eta: np.ndarray
+    temp: np.ndarray
+    salt: np.ndarray
+    time: float = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of members in the batch."""
+        return int(self.u.shape[0])
+
+    @classmethod
+    def from_states(cls, states: list[ModelState]) -> "EnsembleState":
+        """Stack per-member states (which must share one time) into a batch."""
+        if not states:
+            raise ValueError("need at least one member state")
+        times = {float(s.time) for s in states}
+        if len(times) > 1:
+            raise ValueError(f"members disagree on model time: {sorted(times)}")
+        return cls(
+            u=np.stack([s.u for s in states]),
+            v=np.stack([s.v for s in states]),
+            eta=np.stack([s.eta for s in states]),
+            temp=np.stack([s.temp for s in states]),
+            salt=np.stack([s.salt for s in states]),
+            time=states[0].time,
+        )
+
+    def member(self, position: int) -> ModelState:
+        """Extract one member as a standalone :class:`ModelState` (copies)."""
+        return ModelState(
+            u=self.u[position].copy(),
+            v=self.v[position].copy(),
+            eta=self.eta[position].copy(),
+            temp=self.temp[position].copy(),
+            salt=self.salt[position].copy(),
+            time=self.time,
+        )
+
+    def copy(self) -> "EnsembleState":
+        """Deep copy (fields are copied, time preserved)."""
+        return EnsembleState(
+            u=self.u.copy(),
+            v=self.v.copy(),
+            eta=self.eta.copy(),
+            temp=self.temp.copy(),
+            salt=self.salt.copy(),
+            time=self.time,
+        )
+
+
 def state_layout(grid: OceanGrid) -> FieldLayout:
     """The ESSE packing of a :class:`ModelState`.
 
@@ -199,6 +270,34 @@ class PEModel:
         state.salt = self.grid.apply_mask(state.salt)
         return state
 
+    def ensemble_to_matrix(self, ensemble: EnsembleState) -> np.ndarray:
+        """Pack a batch into an ``(state_dim, N)`` ESSE column matrix.
+
+        Column ``j`` is bit-identical to ``to_vector(ensemble.member(j))``.
+        """
+        return self.layout.pack_many(
+            {
+                "u": ensemble.u,
+                "v": ensemble.v,
+                "eta": ensemble.eta,
+                "temp": ensemble.temp,
+                "salt": ensemble.salt,
+            }
+        )
+
+    def ensemble_from_matrix(
+        self, matrix: np.ndarray, time: float = 0.0
+    ) -> EnsembleState:
+        """Unpack an ``(state_dim, N)`` column matrix into a (masked) batch."""
+        fields = self.layout.unpack_many(matrix)
+        ens = EnsembleState(time=time, **fields)
+        ens.u = self.grid.apply_mask(ens.u)
+        ens.v = self.grid.apply_mask(ens.v)
+        ens.eta = self.grid.apply_mask(ens.eta)
+        ens.temp = self.grid.apply_mask(ens.temp)
+        ens.salt = self.grid.apply_mask(ens.salt)
+        return ens
+
     # -- time stepping -----------------------------------------------------
 
     def step(self, state: ModelState) -> ModelState:
@@ -283,6 +382,130 @@ class PEModel:
             if callback is not None:
                 callback(k, current)
         return current
+
+    # -- batched (vectorized) time stepping --------------------------------
+
+    def step_ensemble(self, ensemble: EnsembleState, noise=None) -> EnsembleState:
+        """One forward-backward step of a whole ensemble batch.
+
+        The same operator sequence as :meth:`step` applied to batched
+        ``(N, ...)`` fields: every stencil, mask and sponge broadcasts
+        over the member axis, so member ``i`` of the result is
+        bit-identical to stepping ``ensemble.member(i)`` serially with
+        the matching per-member forcing.
+
+        Parameters
+        ----------
+        ensemble:
+            The batch to advance (not modified).
+        noise:
+            Optional
+            :class:`~repro.ocean.stochastic.BatchedStochasticForcing`
+            whose member count matches the batch; None steps the
+            deterministic dynamics only (the model's own per-member
+            ``self.noise`` is *not* used here -- batched runs always pass
+            their forcing explicitly).
+        """
+        dt = self.config.dt
+        tau_x, tau_y = self.forcing.wind_stress(ensemble.time)
+        heat = self.forcing.heat_flux(ensemble.time)
+
+        u, v, eta, deta_dt = self.dynamics.step_dynamics(
+            ensemble.u, ensemble.v, ensemble.eta, tau_x, tau_y, dt
+        )
+        dT, dS = self.tracers.tendencies(
+            ensemble.temp, ensemble.salt, ensemble.u, ensemble.v, deta_dt, heat
+        )
+        temp = ensemble.temp + dt * dT
+        salt = ensemble.salt + dt * dS
+
+        if noise is not None and noise.is_active():
+            if noise.count != ensemble.count:
+                raise ValueError(
+                    f"forcing batch size {noise.count} != ensemble "
+                    f"{ensemble.count}"
+                )
+            du_n, dv_n = noise.momentum_increment(dt)
+            u += du_n
+            v += dv_n
+            eta += noise.eta_increment(dt)
+            dT_n, dS_n = noise.tracer_increments(dt)
+            temp += dT_n
+            salt += dS_n
+
+        u, v, eta = self.dynamics.enforce_boundaries(u, v, eta, sponge=self._sponge)
+        return EnsembleState(
+            u=u, v=v, eta=eta, temp=temp, salt=salt, time=ensemble.time + dt
+        )
+
+    def run_ensemble(
+        self,
+        ensemble: EnsembleState,
+        duration: float,
+        noise=None,
+        callback=None,
+    ) -> tuple[EnsembleState, dict[int, str]]:
+        """Integrate a whole batch for ``duration`` seconds.
+
+        The batched twin of :meth:`run` with per-member failure
+        isolation: at every ``check_interval`` a per-member finiteness
+        check runs over the wet points, and a member that blows up is
+        recorded (with the same error string :meth:`run` would raise for
+        it) and zeroed out -- the surviving members continue unperturbed,
+        because no operator mixes members across the batch axis.
+
+        Parameters
+        ----------
+        ensemble:
+            Initial batch (not modified).
+        duration:
+            Integration length in seconds; must be >= 0.
+        noise:
+            Optional batched stochastic forcing (see :meth:`step_ensemble`).
+        callback:
+            Optional ``callback(step_index, ensemble)`` after each step.
+
+        Returns
+        -------
+        (final, failed):
+            The final batch and a mapping of batch *position* -> error
+            message for members that blew up (their slices in ``final``
+            are zeroed and meaningless).
+        """
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        n_steps = int(np.ceil(duration / self.config.dt))
+        current = ensemble.copy()
+        failed: dict[int, str] = {}
+        wet = self.grid.mask
+        # As in run(): transient inf/nan arithmetic on the way to a
+        # detected blow-up is expected, not a warning.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for k in range(n_steps):
+                current = self.step_ensemble(current, noise=noise)
+                if (k + 1) % self.config.check_interval == 0 or k == n_steps - 1:
+                    finite = np.isfinite(current.u[:, wet]).all(axis=1) & np.isfinite(
+                        current.temp[:, :, wet]
+                    ).all(axis=(1, 2))
+                    for pos in np.flatnonzero(~finite):
+                        pos = int(pos)
+                        if pos in failed:
+                            continue
+                        failed[pos] = (
+                            "FloatingPointError: model blow-up at "
+                            f"t={current.time:.0f} s (step {k + 1})"
+                        )
+                        # Zero the lost member so its garbage cannot slow
+                        # the remaining arithmetic; survivors are
+                        # untouched (no cross-member operator exists).
+                        current.u[pos] = 0.0
+                        current.v[pos] = 0.0
+                        current.eta[pos] = 0.0
+                        current.temp[pos] = 0.0
+                        current.salt[pos] = 0.0
+                if callback is not None:
+                    callback(k, current)
+        return current, failed
 
     def with_noise(self, noise: StochasticForcing) -> "PEModel":
         """A clone of this model using the given stochastic forcing."""

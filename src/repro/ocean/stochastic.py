@@ -109,3 +109,104 @@ class StochasticForcing:
             eta_amplitude=0.0,
             tracer_amplitude=0.0,
         )
+
+
+@dataclass
+class BatchedStochasticForcing:
+    """Vectorized Wiener forcing for a whole ensemble batch.
+
+    The increments it produces for member ``i`` are *bit-identical* to a
+    :class:`StochasticForcing` built with ``rngs[i]``: white noise is
+    drawn per member, in the same per-member order as the serial path
+    (u, v for momentum; one field for eta; nz temperature then nz
+    salinity fields for tracers), then the Gaussian spectral filter runs
+    once over the stacked batch
+    (:meth:`~repro.util.randomfields.GaussianRandomField2D.filter_white`
+    is bit-identical with or without leading batch axes).  Only the FFT
+    and the elementwise scaling are batched, so the batched ensemble
+    engine reproduces the serial trajectories exactly.
+
+    Parameters
+    ----------
+    grid:
+        Ocean grid.
+    rngs:
+        One generator per ensemble member, in batch order (key them by
+        perturbation index via :func:`repro.util.rng.member_rng`).
+    momentum_amplitude, eta_amplitude, tracer_amplitude, length_scale_cells:
+        As for :class:`StochasticForcing` (same defaults).
+    """
+
+    grid: OceanGrid
+    rngs: list
+    momentum_amplitude: float = 2.0e-7
+    eta_amplitude: float = 2.0e-5
+    tracer_amplitude: float = 2.0e-6
+    length_scale_cells: float = 4.0
+
+    def __post_init__(self):
+        if not self.rngs:
+            raise ValueError("need at least one member generator")
+        for name in ("momentum_amplitude", "eta_amplitude", "tracer_amplitude"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        # The field is used only as a spectral filter (filter_white); its
+        # internal generator is never drawn from.
+        self._field = GaussianRandomField2D(
+            self.grid.shape2d, self.length_scale_cells
+        )
+
+    @property
+    def count(self) -> int:
+        """Number of ensemble members in the batch."""
+        return len(self.rngs)
+
+    def is_active(self) -> bool:
+        """True when any noise amplitude is non-zero."""
+        return (
+            self.momentum_amplitude > 0
+            or self.eta_amplitude > 0
+            or self.tracer_amplitude > 0
+        )
+
+    def momentum_increment(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """Wiener increments for (u, v), each of shape ``(N, ny, nx)``."""
+        shape = self.grid.shape2d
+        du_white = np.empty((self.count, *shape))
+        dv_white = np.empty((self.count, *shape))
+        # Per-member draw order matches StochasticForcing: u then v.
+        for i, rng in enumerate(self.rngs):
+            du_white[i] = rng.standard_normal(shape)
+            dv_white[i] = rng.standard_normal(shape)
+        scale = self.momentum_amplitude * np.sqrt(dt) * dt
+        du = scale * self._field.filter_white(du_white)
+        dv = scale * self._field.filter_white(dv_white)
+        return self.grid.apply_mask(du), self.grid.apply_mask(dv)
+
+    def eta_increment(self, dt: float) -> np.ndarray:
+        """Wiener increment for the interface height, shape ``(N, ny, nx)``."""
+        shape = self.grid.shape2d
+        white = np.empty((self.count, *shape))
+        for i, rng in enumerate(self.rngs):
+            white[i] = rng.standard_normal(shape)
+        incr = self.eta_amplitude * np.sqrt(dt) * self._field.filter_white(white)
+        return self.grid.apply_mask(incr)
+
+    def tracer_increments(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """Wiener increments for (T, S), shape ``(N, nz, ny, nx)``."""
+        nz = self.grid.nz
+        shape = self.grid.shape2d
+        z = np.asarray(self.grid.z_levels)
+        depth_decay = np.exp(-z / max(z[-1] * 0.5, 1.0))[:, None, None]
+        temp_white = np.empty((self.count, nz, *shape))
+        salt_white = np.empty((self.count, nz, *shape))
+        # Per member: the nz temperature fields, then the nz salinity
+        # fields -- the same generator consumption as two sample_many
+        # calls on the serial path.
+        for i, rng in enumerate(self.rngs):
+            temp_white[i] = rng.standard_normal((nz, *shape))
+            salt_white[i] = rng.standard_normal((nz, *shape))
+        scale = self.tracer_amplitude * np.sqrt(dt)
+        d_temp = scale * self._field.filter_white(temp_white) * depth_decay
+        d_salt = 0.1 * scale * self._field.filter_white(salt_white) * depth_decay
+        return self.grid.apply_mask(d_temp), self.grid.apply_mask(d_salt)

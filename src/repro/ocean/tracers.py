@@ -110,9 +110,12 @@ class TracerDynamics:
         Parameters
         ----------
         temp, salt:
-            Current tracer stacks.
+            Current tracer stacks; an optional leading batch axis
+            (``(N, nz, ny, nx)``) vectorizes the tendency over a whole
+            ensemble, bit-identically to per-member evaluation.
         u, v:
-            Layer velocity (2-D); scaled by the depth structure per level.
+            Layer velocity (2-D, or batched ``(N, ny, nx)``); scaled by
+            the depth structure per level.
         deta_dt:
             Interface-height tendency (m/s); drives thermocline heave.
         heat_flux:
@@ -120,8 +123,8 @@ class TracerDynamics:
         """
         grid = self.grid
         dx, dy = grid.dx, grid.dy
-        u3 = u[None, :, :] * self._vel_structure
-        v3 = v[None, :, :] * self._vel_structure
+        u3 = u[..., None, :, :] * self._vel_structure
+        v3 = v[..., None, :, :] * self._vel_structure
 
         def advect_diffuse(c: np.ndarray, clim: np.ndarray) -> np.ndarray:
             # Land-filled tracer: zero-gradient at the coast, so diffusion
@@ -136,13 +139,13 @@ class TracerDynamics:
         d_salt = advect_diffuse(salt, self.clim_salt)
 
         # Thermocline heave: uplift (deta/dt < 0) cools, depression warms.
-        heave = self.heave_gain * deta_dt[None, :, :] * self._heave_structure
+        heave = self.heave_gain * deta_dt[..., None, :, :] * self._heave_structure
         d_temp = d_temp + heave * 3.5  # deg C per m of displacement rate
         d_salt = d_salt - heave * 0.3  # upwelled water is saltier
 
         # Surface heating on the top level.
         rho_cp = 1025.0 * 3990.0
-        d_temp[0] += heat_flux / (rho_cp * self.heat_capacity_depth)
+        d_temp[..., 0, :, :] += heat_flux / (rho_cp * self.heat_capacity_depth)
 
         mask = grid.mask
         d_temp = np.where(mask, d_temp, 0.0)

@@ -82,18 +82,36 @@ class GaussianRandomField2D:
             raise RuntimeError("degenerate spectral filter")
         return filt / norm
 
+    def filter_white(self, white: np.ndarray) -> np.ndarray:
+        """Spectrally filter externally drawn white noise into smooth fields.
+
+        ``white`` is standard-normal noise whose trailing two axes match
+        the grid; any leading batch axes are filtered independently (one
+        batched FFT).  This is the shared kernel behind :meth:`sample` and
+        :meth:`sample_many`, split out so callers that must control the
+        *draw order* of the white noise (e.g. the batched ensemble
+        forcing, which draws per-member then filters per-batch) produce
+        bit-identical fields to the single-draw path: ``numpy``'s
+        pocketfft transforms over ``axes=(-2, -1)`` are bit-identical
+        whether or not leading batch axes are present.
+        """
+        white = np.asarray(white)
+        if white.shape[-2:] != self.shape:
+            raise ValueError(
+                f"white noise shape {white.shape} incompatible with grid "
+                f"{self.shape}"
+            )
+        spectrum = np.fft.fft2(white, axes=(-2, -1)) * self._filter
+        return np.real(np.fft.ifft2(spectrum, axes=(-2, -1)))
+
     def sample(self, rng: np.random.Generator | None = None) -> np.ndarray:
         """Draw one field of shape ``(ny, nx)`` with ~unit variance."""
         gen = rng if rng is not None else self._rng
-        white = gen.standard_normal(self.shape)
-        spectrum = np.fft.fft2(white) * self._filter
-        return np.real(np.fft.ifft2(spectrum))
+        return self.filter_white(gen.standard_normal(self.shape))
 
     def sample_many(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
         """Draw ``count`` independent fields, shape ``(count, ny, nx)``."""
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
         gen = rng if rng is not None else self._rng
-        white = gen.standard_normal((count, *self.shape))
-        spectrum = np.fft.fft2(white, axes=(-2, -1)) * self._filter
-        return np.real(np.fft.ifft2(spectrum, axes=(-2, -1)))
+        return self.filter_white(gen.standard_normal((count, *self.shape)))

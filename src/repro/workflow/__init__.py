@@ -20,7 +20,10 @@ serial ESSE job shepherd (Fig 3) into a decoupled many-task pipeline
 - :mod:`~repro.workflow.faults` -- deterministic fault injection (crash /
   corrupt output / straggler stall / transient submit failure) for
   exercising the retry machinery; the failure model is documented in
-  ``docs/FAILURE_MODEL.md``.
+  ``docs/FAILURE_MODEL.md``,
+- :mod:`~repro.workflow.ensemble` -- the backend-selectable ensemble
+  engine: serial / threads / vectorized-batched / shared-memory process
+  propagation behind one interface (``docs/ENSEMBLE_ENGINE.md``).
 """
 
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
@@ -41,6 +44,17 @@ from repro.workflow.parallel import (
     WorkflowResult,
 )
 from repro.workflow.monitor import ProgressMonitor, ProgressReport
+from repro.workflow.parallel import SharedEnsembleBuffer
+from repro.workflow.ensemble import (
+    BatchedBackend,
+    EngineResult,
+    EnsembleBackend,
+    EnsembleEngine,
+    ProcessesBackend,
+    SerialBackend,
+    ThreadsBackend,
+    make_backend,
+)
 
 __all__ = [
     "StatusDirectory",
@@ -64,4 +78,13 @@ __all__ = [
     "WorkflowResult",
     "ProgressMonitor",
     "ProgressReport",
+    "SharedEnsembleBuffer",
+    "BatchedBackend",
+    "EngineResult",
+    "EnsembleBackend",
+    "EnsembleEngine",
+    "ProcessesBackend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "make_backend",
 ]

@@ -1,0 +1,615 @@
+"""The backend-selectable ensemble propagation engine.
+
+The paper treats member propagation as a pool of independent tasks, but
+on one shared-memory node the square-root-EnKF literature's formulation
+is faster: keep the whole ensemble as a single ``(state_dim, N)`` matrix
+and step every member with one pass of vectorized numpy.  This module
+provides both, behind one interface:
+
+- :class:`SerialBackend` -- one member at a time, in process (the Fig 3
+  loop's propagation, useful as the equivalence baseline);
+- :class:`ThreadsBackend` -- the task-pool idiom with a thread pool
+  (GIL-bound for numpy-light models, matching the regression that
+  motivated the batched backend);
+- :class:`BatchedBackend` -- vectorized propagation via
+  :meth:`~repro.core.ensemble.EnsembleRunner.run_members_batched`,
+  *bit-identical* to the serial backend under a fixed seed;
+- :class:`ProcessesBackend` -- a true :class:`ProcessPoolExecutor` pool
+  whose workers write forecast columns straight into a
+  :class:`~repro.workflow.parallel.SharedEnsembleBuffer`, preserving the
+  fault-injection/retry semantics of the Fig 4 workflow and feeding the
+  covariance store without serializing member state.
+
+:class:`EnsembleEngine` drives any backend through the staged ESSE loop
+(propagate -> accumulate anomalies -> publish to the memmap column store
+-> warm-started SVD -> convergence test -> grow), i.e. the Fig 3 control
+flow with the Fig 5-era storage/SVD pipeline.  Backend choice is
+config-driven via the ``engine`` section of
+:class:`repro.config.ExperimentConfig`.  See ``docs/ENSEMBLE_ENGINE.md``
+for the backend matrix and N-vs-workers guidance.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.covariance import AnomalyAccumulator
+from repro.core.driver import ESSEConfig
+from repro.core.ensemble import EnsembleRunner, MemberResult
+from repro.core.subspace import ErrorSubspace
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NULL_RECORDER
+from repro.workflow.covfile import MemmapCovarianceStore
+from repro.workflow.faults import FaultInjector, FaultKind
+from repro.workflow.monitor import ProgressMonitor
+from repro.workflow.parallel import (
+    DegradedEnsembleWarning,
+    SharedEnsembleBuffer,
+    _shm_member_task,
+    _shm_worker_init,
+)
+from repro.workflow.policies import RetryPolicy
+from repro.workflow.statefiles import StatusDirectory, TaskStatus
+
+#: Backend names accepted by :func:`make_backend` and the config section.
+BACKEND_NAMES = ("serial", "threads", "batched", "processes")
+
+
+class EnsembleBackend:
+    """Strategy interface: how one stage's members get propagated.
+
+    A backend receives the engine (for the runner, status directory,
+    telemetry and fault/retry policies), the mean state and the member
+    indices of one growth stage, and must call ``deliver(result)`` once
+    per member with a :class:`~repro.core.ensemble.MemberResult` --
+    always from the thread that called :meth:`propagate`, so the engine
+    needs no locks around its accumulator.
+
+    ``members_per_task`` is the progress-accounting contract: how many
+    members one status record written by this backend covers (1 for the
+    per-member backends; the batch size for :class:`BatchedBackend`).
+    :meth:`EnsembleEngine.progress_monitor` uses it so batched runs do
+    not report 1/N progress.
+    """
+
+    #: Backend name (matches the config value and telemetry attributes).
+    name: str = "abstract"
+    #: Members covered by one status record (see class docstring).
+    members_per_task: int = 1
+    #: Status-record kind this backend writes.
+    status_kind: str = "pemodel"
+
+    def propagate(self, engine, mean_state, indices, deliver) -> None:
+        """Run ``indices`` and hand each member's result to ``deliver``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled resources (default: nothing to release)."""
+
+
+class SerialBackend(EnsembleBackend):
+    """One member at a time, in process -- the equivalence baseline."""
+
+    name = "serial"
+
+    def propagate(self, engine, mean_state, indices, deliver) -> None:
+        """Run each member sequentially, delivering in index order."""
+        for idx in indices:
+            with engine.telemetry.span("pemodel", index=idx, backend=self.name):
+                result = engine.runner.run_member(mean_state, idx)
+            engine.status.write(
+                "pemodel",
+                idx,
+                TaskStatus.SUCCESS if result.ok else TaskStatus.MODEL_FAILURE,
+            )
+            deliver(result)
+
+
+class ThreadsBackend(EnsembleBackend):
+    """The task-pool idiom with an in-process thread pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Thread-pool width.  Threads interleave rather than parallelize
+        the numpy-light member model (the GIL regression the batched
+        backend exists to fix), but they exercise the out-of-order
+        completion path cheaply.
+    """
+
+    name = "threads"
+
+    def __init__(self, n_workers: int = 4):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+
+    def propagate(self, engine, mean_state, indices, deliver) -> None:
+        """Run members on the pool; deliver in completion order."""
+
+        def task(idx: int) -> MemberResult:
+            with engine.telemetry.span("pemodel", index=idx, backend=self.name):
+                return engine.runner.run_member(mean_state, idx)
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = {pool.submit(task, idx): idx for idx in indices}
+            for future in as_completed(futures):
+                result = future.result()
+                engine.status.write(
+                    "pemodel",
+                    result.member_index,
+                    TaskStatus.SUCCESS if result.ok else TaskStatus.MODEL_FAILURE,
+                )
+                deliver(result)
+
+
+class BatchedBackend(EnsembleBackend):
+    """Vectorized propagation of whole member batches.
+
+    The ensemble is packed into an ``(state_dim, N)`` matrix and every
+    member steps in one pass of vectorized numpy
+    (:meth:`~repro.core.ensemble.EnsembleRunner.run_members_batched`);
+    trajectories are bit-identical to the serial backend under a fixed
+    seed.  One *task* -- and therefore one status record, of kind
+    ``pemodel_batch`` -- covers ``batch_size`` members, which is why
+    :attr:`members_per_task` matters to progress monitoring.
+
+    Parameters
+    ----------
+    batch_size:
+        Members per vectorized batch.  Larger batches amortize numpy
+        dispatch overhead further but cost ``O(batch_size)`` working
+        memory; see docs/ENSEMBLE_ENGINE.md for guidance.
+    """
+
+    name = "batched"
+    status_kind = "pemodel_batch"
+
+    def __init__(self, batch_size: int = 8):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+
+    @property
+    def members_per_task(self) -> int:
+        """One batch task covers ``batch_size`` members."""
+        return self.batch_size
+
+    def propagate(self, engine, mean_state, indices, deliver) -> None:
+        """Run members in vectorized batches; deliver per member."""
+        indices = list(indices)
+        for lo in range(0, len(indices), self.batch_size):
+            chunk = indices[lo : lo + self.batch_size]
+            batch_no = engine.next_batch_no(len(chunk))
+            with engine.telemetry.span(
+                "pemodel.batch", batch=batch_no, size=len(chunk), backend=self.name
+            ):
+                results = engine.runner.run_members_batched(mean_state, chunk)
+            any_ok = any(r.ok for r in results)
+            engine.status.write(
+                "pemodel_batch",
+                batch_no,
+                TaskStatus.SUCCESS if any_ok else TaskStatus.MODEL_FAILURE,
+            )
+            for result in results:
+                deliver(result)
+
+
+class ProcessesBackend(EnsembleBackend):
+    """A true process pool writing member state into shared memory.
+
+    Workers run one member each and write the forecast vector straight
+    into their assigned column of a
+    :class:`~repro.workflow.parallel.SharedEnsembleBuffer`; the parent
+    validates the column (a NaN tail means a torn write) and hands the
+    *same bytes* to the anomaly accumulator feeding the memmap
+    covariance store -- member state never rides through a pickled
+    Future or an npz member file.
+
+    Fault/retry semantics match the Fig 4 workflow
+    (``docs/FAILURE_MODEL.md``): injected CRASH fails the attempt before
+    any column lands, CORRUPT produces a half-written column caught by
+    the parent's finiteness validator (IO_FAILURE), STALL sleeps in the
+    worker, and SUBMIT_FAILURE is retried at submit time up to
+    :attr:`MAX_SUBMIT_TRIES`.  With a
+    :class:`~repro.workflow.policies.RetryPolicy`, failed attempts are
+    resubmitted into *fresh* slots after the policy's deterministic
+    backoff; terminal failures degrade the ensemble gracefully.
+
+    Parameters
+    ----------
+    n_workers:
+        Process-pool width.
+    """
+
+    name = "processes"
+
+    #: Bound on transient-submit retries per member (same guard as
+    #: :attr:`ParallelESSEWorkflow.MAX_SUBMIT_TRIES`).
+    MAX_SUBMIT_TRIES = 50
+
+    def __init__(self, n_workers: int = 2):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+
+    def propagate(self, engine, mean_state, indices, deliver) -> None:
+        """Run members on a process pool via the shared-memory buffer."""
+        indices = list(indices)
+        if not indices:
+            return
+        runner = engine.runner
+        retry = engine.retry
+        faults = engine.faults
+        state_dim = runner.model.layout.size
+        max_attempts = retry.max_attempts if retry is not None else 1
+        capacity = len(indices) * max_attempts
+        buffer = SharedEnsembleBuffer(state_dim, capacity)
+        try:
+            payload = pickle.dumps(
+                {
+                    "runner": runner,
+                    "mean_state": mean_state,
+                    "status_dir": str(engine.workdir / "status"),
+                    "faults": faults,
+                    "shm_name": buffer.name,
+                    "state_dim": state_dim,
+                    "capacity": capacity,
+                }
+            )
+            with ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_shm_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                next_slot = 0
+                attempts = {idx: 1 for idx in indices}
+                slot_of: dict[int, int] = {}
+
+                def submit(idx: int):
+                    """Submit the member's current attempt into a fresh slot."""
+                    nonlocal next_slot
+                    if faults is not None:
+                        tries = 1
+                        while faults.submit_fails(idx, tries):
+                            faults.fire(FaultKind.SUBMIT_FAILURE, idx, tries)
+                            tries += 1
+                            if tries > self.MAX_SUBMIT_TRIES:
+                                engine.status.write(
+                                    "pemodel",
+                                    idx,
+                                    TaskStatus.IO_FAILURE,
+                                    attempt=attempts[idx],
+                                )
+                                deliver(
+                                    MemberResult(
+                                        idx, None, "submit failures exhausted"
+                                    )
+                                )
+                                return None
+                    slot = next_slot
+                    next_slot += 1
+                    slot_of[idx] = slot
+                    return pool.submit(_shm_member_task, idx, slot, attempts[idx])
+
+                futures = {}
+                for idx in indices:
+                    future = submit(idx)
+                    if future is not None:
+                        futures[future] = idx
+                while futures:
+                    for future in as_completed(list(futures)):
+                        idx = futures.pop(future)
+                        try:
+                            r_idx, slot, att, ok, err = future.result()
+                        except Exception as exc:  # worker infrastructure died
+                            r_idx, slot = idx, slot_of[idx]
+                            att, ok = attempts[idx], False
+                            err = f"worker error: {exc!r}"
+                        if ok:
+                            column = buffer.column(slot)
+                            if np.all(np.isfinite(column)):
+                                # Zero-copy: the result aliases the shared
+                                # segment; the engine's deliver copies it
+                                # into the accumulator before the buffer
+                                # is unlinked below.
+                                deliver(MemberResult(r_idx, column))
+                                continue
+                            # Torn write: the worker reported success but
+                            # the column carries the NaN fill in its tail.
+                            engine.status.write(
+                                "pemodel", r_idx, TaskStatus.IO_FAILURE, attempt=att
+                            )
+                            ok, err = False, "torn shared-memory column"
+                        if retry is not None and retry.retries_left(att):
+                            attempts[r_idx] = att + 1
+                            delay = retry.backoff_seconds(r_idx, att)
+                            if delay > 0:
+                                time.sleep(delay)
+                            engine.note_retry(r_idx, att + 1, err or "failure")
+                            resubmitted = submit(r_idx)
+                            if resubmitted is not None:
+                                futures[resubmitted] = r_idx
+                        else:
+                            deliver(MemberResult(r_idx, None, err or "failure"))
+        finally:
+            buffer.close()
+            buffer.unlink()
+
+
+def make_backend(
+    name: str,
+    n_workers: int = 4,
+    batch_size: int = 8,
+) -> EnsembleBackend:
+    """Construct an :class:`EnsembleBackend` from its config name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`BACKEND_NAMES`.
+    n_workers:
+        Pool width for the ``threads`` / ``processes`` backends.
+    batch_size:
+        Batch width for the ``batched`` backend.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "threads":
+        return ThreadsBackend(n_workers=n_workers)
+    if name == "batched":
+        return BatchedBackend(batch_size=batch_size)
+    if name == "processes":
+        return ProcessesBackend(n_workers=n_workers)
+    raise ValueError(f"unknown backend {name!r}; valid: {BACKEND_NAMES}")
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one :class:`EnsembleEngine` run."""
+
+    subspace: ErrorSubspace
+    ensemble_size: int  # members actually in the final covariance
+    converged: bool
+    convergence_history: tuple[tuple[int, float], ...]
+    member_ids: tuple[int, ...]
+    failed_members: tuple[int, ...]
+    n_retried: int
+    wall_seconds: float
+    backend: str
+    degraded: bool = False  # members lost terminally; subspace from survivors
+
+
+class EnsembleEngine:
+    """Staged ESSE ensemble growth over a selectable propagation backend.
+
+    The control flow is the serial shepherd's (perturb/forecast a stage,
+    fold anomalies, SVD, convergence test, grow), but propagation is
+    delegated to an :class:`EnsembleBackend` and the covariance path is
+    the scalable PR-5 pipeline: anomalies accumulate append-only, ship
+    to the :class:`~repro.workflow.covfile.MemmapCovarianceStore`
+    (``O(n)`` bytes per member), and the SVD reads the published prefix
+    zero-copy, warm-starting from the previous stage's factorization
+    when the config allows.
+
+    Parameters
+    ----------
+    runner:
+        Ensemble runner shared by all members.
+    config:
+        ESSE sizing/convergence configuration.
+    workdir:
+        Working directory (status records + covariance column store).
+    backend:
+        An :class:`EnsembleBackend` instance, or a name for
+        :func:`make_backend` with its defaults.
+    retry:
+        Resubmission policy, honoured by the ``processes`` backend (the
+        in-process backends capture failures without raising, matching
+        the seed semantics where a member failure is terminal).
+    faults:
+        Deterministic fault injector, honoured by the ``processes``
+        backend.
+    telemetry:
+        Span recorder; also supplies the engine's only clock.
+    metrics:
+        Optional registry fed covariance byte counts and retry counters.
+    """
+
+    def __init__(
+        self,
+        runner: EnsembleRunner,
+        config: ESSEConfig,
+        workdir: str | Path,
+        backend: EnsembleBackend | str = "batched",
+        retry: RetryPolicy | None = None,
+        faults: FaultInjector | None = None,
+        telemetry=None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.runner = runner
+        self.config = config
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.status = StatusDirectory(self.workdir / "status")
+        self.store = MemmapCovarianceStore(self.workdir)
+        self.backend = (
+            make_backend(backend) if isinstance(backend, str) else backend
+        )
+        self.retry = retry
+        self.faults = faults
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        self.metrics = metrics
+        self._clock = self.telemetry.clock
+        self._batch_counter = 0
+        self._batch_sizes: dict[int, int] = {}
+        self._n_retried = 0
+
+    # -- backend services --------------------------------------------------
+
+    def next_batch_no(self, size: int = 1) -> int:
+        """Allocate the next batch-task index (batched backend bookkeeping).
+
+        ``size`` is the number of members riding in the batch; the exact
+        per-batch sizes feed :meth:`progress_monitor`, since staged growth
+        can produce several partial batches that a uniform weight would
+        over-count.
+        """
+        n = self._batch_counter
+        self._batch_counter += 1
+        self._batch_sizes[n] = size
+        return n
+
+    def note_retry(self, index: int, attempt: int, why: str) -> None:
+        """Count one resubmission (processes backend bookkeeping)."""
+        self._n_retried += 1
+        if self.metrics is not None:
+            self.metrics.counter("task_retries", kind="pemodel").inc()
+        self.telemetry.event("retry", index=index, attempt=attempt, why=why)
+
+    # -- monitoring --------------------------------------------------------
+
+    def progress_monitor(
+        self,
+        expected_members: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> ProgressMonitor:
+        """A member-accurate progress monitor for this engine's backend.
+
+        Batched runs write one status record per batch *task*; the
+        returned monitor carries the exact member count of every batch
+        the engine has recorded so progress and ETA are reported in
+        member units, not task units (the 1/N-progress bug this
+        parameter exists to fix).  Exact sizes matter because batching
+        happens within each growth stage: a stage of 4 members batched
+        in threes yields batches of 3 and 1, and a uniform
+        ``batch_size`` weight would over-count both stages.  Before the
+        engine has run, the backend's uniform weight is used instead.
+        """
+        n = (
+            int(expected_members)
+            if expected_members is not None
+            else self.config.max_ensemble_size
+        )
+        weight = self.backend.members_per_task
+        kind = self.backend.status_kind
+        if self._batch_sizes:
+            members_per_task = {kind: dict(self._batch_sizes)}
+        elif weight > 1:
+            members_per_task = {kind: weight}
+        else:
+            members_per_task = None
+        return ProgressMonitor(
+            self.status,
+            {kind: n},
+            clock=self._clock,
+            metrics=metrics,
+            members_per_task=members_per_task,
+        )
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, mean_state) -> EngineResult:
+        """Grow the ensemble until convergence, Nmax or Tmax."""
+        cfg = self.config
+        started = self._clock()
+        failed: list[int] = []
+        subspace: ErrorSubspace | None = None
+        criterion = ConvergenceCriterion(tolerance=cfg.convergence_tolerance)
+        estimator = cfg.subspace_estimator()
+
+        with self.telemetry.span("engine.run", backend=self.backend.name):
+            with self.telemetry.span("central_forecast"):
+                central = self.runner.central_forecast(mean_state)
+            accumulator = AnomalyAccumulator(
+                self.runner.model.layout, self.runner.model.to_vector(central)
+            )
+
+            def deliver(result: MemberResult) -> None:
+                """Fold one member result into the anomaly matrix."""
+                if result.ok:
+                    accumulator.add_member(result.member_index, result.forecast)
+                else:
+                    failed.append(result.member_index)
+
+            next_index = 0
+            try:
+                for round_no, stage_target in enumerate(cfg.stage_sizes()):
+                    indices = list(range(next_index, stage_target))
+                    next_index = stage_target
+                    with self.telemetry.span(
+                        "engine.propagate",
+                        round=round_no,
+                        size=len(indices),
+                        backend=self.backend.name,
+                    ):
+                        self.backend.propagate(self, mean_state, indices, deliver)
+                    if accumulator.count >= 2:
+                        with self.telemetry.span(
+                            "engine.svd", count=accumulator.count
+                        ) as span:
+                            # Publish through the memmap column store and
+                            # factor the *published* snapshot -- the same
+                            # zero-copy read path the Fig 4 SVD worker uses.
+                            view = accumulator.view()
+                            nbytes = self.store.sync_from(view)
+                            self.store.publish()
+                            if self.metrics is not None:
+                                self.metrics.counter("cov.bytes_written").inc(
+                                    nbytes
+                                )
+                            snap = self.store.read_safe()
+                            if estimator is not None:
+                                subspace = estimator.update(
+                                    snap.columns, snap.count, snap.scale
+                                )
+                                span.set(path=estimator.last_path)
+                            else:
+                                subspace = ErrorSubspace.from_anomalies(
+                                    snap.anomalies,
+                                    rank=cfg.max_subspace_rank,
+                                    energy=cfg.svd_energy,
+                                )
+                            criterion.update(subspace, count=snap.count)
+                            span.set(rank=subspace.rank)
+                    if criterion.converged:
+                        break
+                    if cfg.deadline_seconds is not None and (
+                        self._clock() - started > cfg.deadline_seconds
+                    ):
+                        break
+            finally:
+                self.backend.close()
+
+        if subspace is None:
+            raise RuntimeError("no ensemble members survived the engine run")
+        degraded = bool(failed)
+        if degraded:
+            warnings.warn(
+                f"ensemble degraded: {len(failed)} member(s) lost terminally "
+                "(retries exhausted or disabled); the error subspace is "
+                "estimated from the surviving members only (see "
+                "docs/FAILURE_MODEL.md)",
+                DegradedEnsembleWarning,
+                stacklevel=2,
+            )
+        return EngineResult(
+            subspace=subspace,
+            ensemble_size=accumulator.count,
+            converged=criterion.converged,
+            convergence_history=tuple(criterion.history),
+            member_ids=accumulator.member_ids,
+            failed_members=tuple(failed),
+            n_retried=self._n_retried,
+            wall_seconds=self._clock() - started,
+            backend=self.backend.name,
+            degraded=degraded,
+        )

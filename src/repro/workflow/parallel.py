@@ -39,6 +39,7 @@ import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from pathlib import Path
 
 import numpy as np
@@ -181,6 +182,148 @@ def _process_member_task(index: int, attempt: int = 1) -> tuple[int, int, bool, 
         _WORKER_CTX.get("faults"),
         None,  # process attempts cannot be cancelled cooperatively
     )
+
+
+# -- shared-memory ensemble plumbing ------------------------------------------
+#
+# The engine's process backend (workflow/ensemble.py) replaces the npz
+# member files above with a single POSIX shared-memory column buffer:
+# workers write their forecast vector straight into their assigned column
+# and the parent hands the very same bytes to the anomaly accumulator and
+# the memmap covariance store -- no member-file serialization, no pickled
+# forecast riding back through the Future.  Layout, lifecycle and the
+# torn-write failure mode are documented in docs/ENSEMBLE_ENGINE.md.
+
+
+class SharedEnsembleBuffer:
+    """An ``(state_dim, capacity)`` float64 column buffer in shared memory.
+
+    One column per member *attempt*: the parent assigns each submission a
+    fresh slot, so a column is written at most once and is immutable from
+    the moment its worker's SUCCESS status lands (the same append-only
+    discipline as the covariance column store).  Columns are NaN-filled
+    at creation; a torn write -- a worker that died or a
+    :class:`~repro.workflow.faults.FaultKind.CORRUPT` injection that
+    stops half-way -- leaves NaNs in the tail, which is exactly what the
+    parent-side validator checks before accepting a column.
+
+    Lifecycle: the parent creates (and NaN-fills) the segment, workers
+    attach by name in their initializer and keep the mapping for the
+    pool's lifetime, and the parent ``close()`` + ``unlink()`` in a
+    ``finally`` once the batch is accumulated.  The engine's pools fork
+    from the parent, so all processes share one resource tracker and the
+    parent's unlink is the single point of truth.
+
+    Parameters
+    ----------
+    state_dim:
+        Rows (packed ESSE state dimension).
+    capacity:
+        Columns (member attempts the buffer can hold).
+    name:
+        Existing segment to attach to; None creates a new one.
+    """
+
+    def __init__(self, state_dim: int, capacity: int, name: str | None = None):
+        if state_dim < 1 or capacity < 1:
+            raise ValueError("state_dim and capacity must be >= 1")
+        self.state_dim = int(state_dim)
+        self.capacity = int(capacity)
+        nbytes = self.state_dim * self.capacity * 8
+        if name is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+        # Column-major so each member's column is contiguous, matching
+        # the covariance store's on-disk layout.
+        self.array = np.ndarray(
+            (self.state_dim, self.capacity),
+            dtype=np.float64,
+            order="F",
+            buffer=self._shm.buf,
+        )
+        if self._owner:
+            self.array.fill(np.nan)
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._shm.name
+
+    def column(self, slot: int) -> np.ndarray:
+        """The (contiguous, zero-copy) column view for one attempt slot."""
+        if not 0 <= slot < self.capacity:
+            raise IndexError(f"slot {slot} outside capacity {self.capacity}")
+        return self.array[:, slot]
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        # The ndarray view must die before the mmap can close.
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment (owner-side, after all workers are done)."""
+        if self._owner:
+            self._shm.unlink()
+
+    @classmethod
+    def attach(cls, name: str, state_dim: int, capacity: int) -> "SharedEnsembleBuffer":
+        """Attach to an existing segment created by the parent."""
+        return cls(state_dim, capacity, name=name)
+
+
+def _shm_worker_init(payload: bytes) -> None:
+    """Pool initializer: unpack the context and map the shared buffer once."""
+    _WORKER_CTX.update(pickle.loads(payload))
+    _WORKER_CTX["buffer"] = SharedEnsembleBuffer.attach(
+        _WORKER_CTX["shm_name"],
+        _WORKER_CTX["state_dim"],
+        _WORKER_CTX["capacity"],
+    )
+
+
+def _shm_member_task(index: int, slot: int, attempt: int = 1) -> tuple[int, int, int, bool, str | None]:
+    """One member attempt writing its forecast column into shared memory.
+
+    Returns ``(index, slot, attempt, ok, error)``.  The fault semantics
+    mirror :func:`_execute_member`: CRASH writes a failure status and no
+    column; CORRUPT writes *half* the column plus a success status (the
+    torn-write case the parent's finiteness validator must catch, the
+    shared-memory analogue of the differ's torn npz read); STALL sleeps
+    before running.  The status record lands only after the column bytes
+    are in place, so a SUCCESS status always refers to fully written (or
+    deliberately torn) bytes, never a column still in flight.
+    """
+    runner: EnsembleRunner = _WORKER_CTX["runner"]
+    mean_state = _WORKER_CTX["mean_state"]
+    status = StatusDirectory(_WORKER_CTX["status_dir"])
+    faults: FaultInjector | None = _WORKER_CTX.get("faults")
+    buffer: SharedEnsembleBuffer = _WORKER_CTX["buffer"]
+
+    fault = faults.draw(index, attempt) if faults is not None else None
+    if fault is FaultKind.STALL:
+        faults.fire(fault, index, attempt)
+        faults.stall(None)
+    result = runner.run_member(mean_state, index)
+    if fault is FaultKind.CRASH:
+        faults.fire(fault, index, attempt)
+        status.write("pemodel", index, TaskStatus.MODEL_FAILURE, attempt=attempt)
+        return index, slot, attempt, False, "injected crash before output"
+    if result.ok:
+        column = buffer.column(slot)
+        if fault is FaultKind.CORRUPT:
+            faults.fire(fault, index, attempt)
+            half = result.forecast.size // 2
+            column[:half] = result.forecast[:half]
+        else:
+            column[:] = result.forecast
+        status.write("pemodel", index, TaskStatus.SUCCESS, attempt=attempt)
+        return index, slot, attempt, True, None
+    status.write("pemodel", index, TaskStatus.MODEL_FAILURE, attempt=attempt)
+    return index, slot, attempt, False, result.error
 
 
 class ParallelESSEWorkflow:

@@ -1,0 +1,79 @@
+"""The docs/ page lint: README linkage and snippet compilation."""
+
+import textwrap
+
+from tools.check_docs import docs_pages, snippet_errors, unlinked_pages
+
+
+class TestUnlinkedPages:
+    def test_all_real_pages_linked_from_readme(self):
+        """The repository invariant the CI gate enforces."""
+        assert unlinked_pages() == []
+
+    def test_orphan_detected(self):
+        """A README that drops a link shows up as an orphan."""
+        pages = docs_pages()
+        assert pages  # the repo has architecture docs
+        victim = pages[0].name
+        readme = "\n".join(
+            f"[{page.name}](docs/{page.name})"
+            for page in pages
+            if page.name != victim
+        )
+        assert unlinked_pages(readme) == [f"docs/{victim}"]
+
+    def test_substring_link_counts(self):
+        """Any mention of docs/<name> counts -- style of link is free."""
+        readme = " ".join(f"see docs/{page.name}." for page in docs_pages())
+        assert unlinked_pages(readme) == []
+
+
+class TestSnippetErrors:
+    def test_real_pages_compile(self):
+        for page in docs_pages():
+            assert snippet_errors(page) == [], page.name
+
+    def test_broken_snippet_reported_with_line(self, tmp_path):
+        page = tmp_path / "BROKEN.md"
+        page.write_text(
+            textwrap.dedent(
+                """\
+                # Broken
+
+                ```python
+                def f(:
+                ```
+                """
+            )
+        )
+        errors = snippet_errors(page)
+        assert len(errors) == 1
+        assert "BROKEN.md:4" in errors[0]
+        assert "does not compile" in errors[0]
+
+    def test_non_python_fences_ignored(self, tmp_path):
+        page = tmp_path / "SHELL.md"
+        page.write_text("```bash\nthis is ) not python\n```\n")
+        assert snippet_errors(page) == []
+
+    def test_doctest_blocks_parsed_as_doctests(self, tmp_path):
+        page = tmp_path / "DOCTEST.md"
+        page.write_text(
+            textwrap.dedent(
+                """\
+                ```python
+                >>> x = 1
+                >>> x + 1
+                2
+                ```
+                """
+            )
+        )
+        assert snippet_errors(page) == []
+
+    def test_broken_doctest_reported(self, tmp_path):
+        page = tmp_path / "DOCTEST.md"
+        page.write_text("```python\n>>> def g(:\n...     pass\n```\n")
+        errors = snippet_errors(page)
+        assert len(errors) == 1
+        assert "does not compile" in errors[0]

@@ -122,3 +122,66 @@ class TestBuilders:
             background, subspace, duration=4 * model.config.dt
         )
         assert forecast.ensemble_size >= 4
+
+
+class TestEngineSection:
+    def test_defaults(self):
+        cfg = ExperimentConfig.from_dict({})
+        assert cfg.engine.backend == "batched"
+        assert cfg.engine.n_workers == 4
+        assert cfg.engine.batch_size == 8
+
+    def test_backend_selection(self):
+        cfg = ExperimentConfig.from_dict(
+            {"engine": {"backend": "processes", "n_workers": 2}}
+        )
+        assert cfg.engine.backend == "processes"
+        assert cfg.engine.n_workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown backend"):
+            ExperimentConfig.from_dict({"engine": {"backend": "gpu"}})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError, match="n_workers"):
+            ExperimentConfig.from_dict({"engine": {"n_workers": 0}})
+        with pytest.raises(ConfigError, match="batch_size"):
+            ExperimentConfig.from_dict({"engine": {"batch_size": 0}})
+
+    def test_round_trips(self):
+        cfg = ExperimentConfig.from_dict(
+            {"engine": {"backend": "threads", "n_workers": 3}}
+        )
+        assert ExperimentConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_build_engine_runs(self, tmp_path):
+        """The document drives one working engine run end to end."""
+        from repro.core import PerturbationGenerator, synthetic_initial_subspace
+        from repro.core.ensemble import EnsembleRunner
+
+        cfg = ExperimentConfig.from_dict(
+            {
+                "domain": {"nx": 16, "ny": 14, "nz": 3},
+                "esse": {"initial_ensemble_size": 4, "max_ensemble_size": 4,
+                         "max_subspace_rank": 4, "root_seed": 5},
+                "engine": {"backend": "batched", "batch_size": 2},
+            }
+        )
+        model = cfg.build_model()
+        background = model.run(model.rest_state(), 6 * model.config.dt)
+        subspace = synthetic_initial_subspace(
+            model.layout, model.grid.shape2d, model.grid.nz, rank=4, seed=0
+        )
+        runner = EnsembleRunner(
+            model,
+            PerturbationGenerator(model.layout, subspace, root_seed=5),
+            duration=2 * model.config.dt,
+            root_seed=5,
+        )
+        engine = cfg.build_engine(runner, tmp_path / "engine")
+        assert engine.backend.name == "batched"
+        assert engine.backend.batch_size == 2
+        assert engine.config.max_ensemble_size == 4
+        result = engine.run(background)
+        assert result.backend == "batched"
+        assert result.ensemble_size == 4

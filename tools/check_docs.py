@@ -11,6 +11,16 @@ With no arguments every ``repro.*`` module is checked; passing module
 names (e.g. ``repro.workflow.faults``) restricts the scan.  Exits nonzero
 listing each undocumented public item.
 
+A second mode lints the ``docs/`` pages themselves:
+
+    python tools/check_docs.py --pages
+
+checks that every ``docs/*.md`` page is linked from ``README.md`` (no
+orphaned architecture documents) and that every fenced ``python`` code
+block in ``docs/`` actually compiles (doctest-style ``>>>`` blocks are
+parsed as doctests first) -- documentation drift shows up as a lint
+failure, not as a reader's surprise.
+
 Unlike the original runtime version this parses source files instead of
 importing them, so it needs no ``PYTHONPATH=src`` and cannot be fooled by
 docstrings inherited through the MRO.
@@ -19,6 +29,8 @@ docstrings inherited through the MRO.
 from __future__ import annotations
 
 import ast
+import doctest
+import re
 import sys
 from pathlib import Path
 
@@ -67,6 +79,10 @@ def undocumented_items(module_name: str) -> list[str]:
 
 def main(argv: list[str]) -> int:
     """Lint the requested modules; returns a process exit code."""
+    if argv and argv[0] == "--pages":
+        if len(argv) > 1:
+            raise SystemExit("--pages takes no further arguments")
+        return pages_main()
     failures = 0
     for module_name in iter_modules(argv):
         for item in undocumented_items(module_name):
@@ -76,6 +92,75 @@ def main(argv: list[str]) -> int:
         print(f"docs lint: {failures} undocumented public item(s)")
         return 1
     print("docs lint: all public items documented")
+    return 0
+
+
+# -- docs/ page lint (--pages) -------------------------------------------------
+
+DOCS_DIR = REPO_ROOT / "docs"
+README_PATH = REPO_ROOT / "README.md"
+
+_FENCE_RE = re.compile(r"^```python[ \t]*\n(.*?)^```", re.DOTALL | re.MULTILINE)
+
+
+def docs_pages() -> list[Path]:
+    """All markdown pages under ``docs/``."""
+    return sorted(DOCS_DIR.glob("*.md"))
+
+
+def unlinked_pages(readme_text: str | None = None) -> list[str]:
+    """``docs/`` pages that README.md never links (orphaned documents)."""
+    text = (
+        README_PATH.read_text() if readme_text is None else readme_text
+    )
+    return [
+        f"docs/{page.name}"
+        for page in docs_pages()
+        if f"docs/{page.name}" not in text
+    ]
+
+
+def snippet_errors(page: Path) -> list[str]:
+    """Compile failures in one page's fenced ``python`` blocks.
+
+    Blocks carrying ``>>>`` prompts are parsed as doctests (each example
+    compiled separately); plain blocks are compiled whole.  Only syntax
+    is checked -- snippets are illustrations, not executable tests.
+    """
+    errors = []
+    text = page.read_text()
+    for match in _FENCE_RE.finditer(text):
+        code = match.group(1)
+        line = text[: match.start()].count("\n") + 2
+        try:
+            if ">>>" in code:
+                for example in doctest.DocTestParser().get_examples(code):
+                    compile(example.source, str(page), "exec")
+            else:
+                compile(code, str(page), "exec")
+        except SyntaxError as exc:
+            errors.append(
+                f"docs/{page.name}:{line}: python snippet does not "
+                f"compile: {exc.msg}"
+            )
+    return errors
+
+
+def pages_main() -> int:
+    """Lint the docs/ pages; returns a process exit code."""
+    failures = 0
+    for orphan in unlinked_pages():
+        print(f"README.md: page never linked: {orphan}")
+        failures += 1
+    for page in docs_pages():
+        for error in snippet_errors(page):
+            print(error)
+            failures += 1
+    if failures:
+        print(f"docs pages lint: {failures} problem(s)")
+        return 1
+    n = len(docs_pages())
+    print(f"docs pages lint: {n} page(s) linked from README, snippets compile")
     return 0
 
 

@@ -35,6 +35,7 @@ python -m tools.lint src/repro tests benchmarks tools --format json > /dev/null
 echo "repro-lint: clean"
 
 python tools/check_docs.py
+python tools/check_docs.py --pages
 python tools/check_docs.py repro.workflow.faults repro.workflow.policies
 python tools/check_docs.py \
     repro.telemetry.clock repro.telemetry.spans repro.telemetry.metrics \
