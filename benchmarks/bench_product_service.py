@@ -1,0 +1,193 @@
+"""Load benchmark for the forecast-product service read path.
+
+The paper's web-distribution step (Fig 1 middle row) must survive "heavy
+traffic after a forecast lands": many concurrent readers hitting the
+newest published snapshot while the next cycle publishes.  This bench
+drives the real asyncio server (``repro.products.server``) with
+closed-loop client fleets at several concurrency levels, with the
+response/snapshot caches on and off, and records
+
+- sustained requests/s per (cache mode, concurrency) pair,
+- per-request latency p50/p99 (client-observed, keep-alive connections),
+- the response-cache hit rate from the metrics registry.
+
+The request mix models a map front end: the product manifest, coarse
+field overviews (LOD 1-2), a handful of tiles, and periodic ETag
+revalidations (``If-None-Match`` -> 304).
+
+``BENCH_SMOKE=1`` shrinks the fleet for CI; the committed
+``BENCH_product_service.json`` comes from a full-size run.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+
+from conftest import print_table
+from record import record_bench
+from repro.products.server import ProductHTTPServer, fetch
+from repro.products.service import ProductService
+from repro.products.store import ProductStore
+from repro.realtime.products import CandidateScore, ForecastProduct
+from repro.telemetry.clock import MONOTONIC
+from repro.telemetry.metrics import MetricsRegistry
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+FIELD_SHAPE = (24, 32) if SMOKE else (48, 64)
+CONCURRENCY_LEVELS = (2, 4) if SMOKE else (4, 16)
+REQUESTS_PER_CLIENT = 40 if SMOKE else 250
+
+#: The closed-loop request mix one map client cycles through.
+TARGETS = (
+    "/v1/products/latest",
+    "/v1/products/latest/fields/sst_nowcast?level=2",
+    "/v1/products/latest/fields/sst_sigma?level=1",
+    "/v1/products/latest/tiles/sst_nowcast/0/0",
+    "/v1/products/latest/tiles/sst_nowcast/1/1",
+    "/v1/products/latest/tiles/sst_sigma/0/1",
+)
+
+
+def seed_store(workdir) -> ProductStore:
+    """Publish one realistic snapshot for the fleet to hammer."""
+    rng = np.random.default_rng(7)
+    store = ProductStore(workdir, tile_size=8, levels=2)
+    sst = 12.0 + rng.standard_normal(FIELD_SHAPE)
+    sigma = np.abs(rng.standard_normal(FIELD_SHAPE)) * 0.3
+    sst[:4, :4] = np.nan  # a land corner, like the real grids
+    sigma[:4, :4] = np.nan
+    product = ForecastProduct(
+        cycle_index=0,
+        nowcast_time=21600.0,
+        selected="central",
+        scores=(CandidateScore(label="central", weighted_rmse=0.4),),
+        sst_mean=12.0,
+        sst_min=9.0,
+        sst_max=15.0,
+        sst_sigma_median=0.3,
+        ensemble_size=16,
+        converged=True,
+    )
+    store.publish(product, {"sst_nowcast": sst, "sst_sigma": sigma})
+    return store
+
+
+async def client_loop(server, n_requests, clock, latencies):
+    """One closed-loop client on a persistent keep-alive connection."""
+    reader, writer = await asyncio.open_connection(server.host, server.port)
+    etag = None
+    try:
+        for k in range(n_requests):
+            target = TARGETS[k % len(TARGETS)]
+            headers = {}
+            if etag is not None and k % 5 == 4:
+                # every 5th request revalidates the manifest it saw
+                target = TARGETS[0]
+                headers = {"If-None-Match": etag}
+            t0 = clock()
+            status, response_headers, _ = await fetch(
+                server.host, server.port, target,
+                headers=headers, reader=reader, writer=writer,
+            )
+            latencies.append(clock() - t0)
+            if status not in (200, 304):
+                raise AssertionError(f"{target} answered {status}")
+            if target == TARGETS[0] and status == 200:
+                etag = response_headers.get("etag", etag)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def run_level(workdir, concurrency, cache_size, clock=MONOTONIC):
+    """One (cache mode, concurrency) measurement; returns its metrics."""
+
+    async def main():
+        registry = MetricsRegistry()
+        service = ProductService(
+            workdir, cache_size=cache_size, registry=registry
+        )
+        server = ProductHTTPServer(service)
+        latencies: list[float] = []
+        async with server.serving():
+            t0 = clock()
+            await asyncio.gather(
+                *(
+                    client_loop(server, REQUESTS_PER_CLIENT, clock, latencies)
+                    for _ in range(concurrency)
+                )
+            )
+            elapsed = clock() - t0
+        counters = registry.snapshot()["counters"]
+        hits = counters.get("product_cache_hits{cache=responses}", 0.0)
+        misses = counters.get("product_cache_misses{cache=responses}", 0.0)
+        total = concurrency * REQUESTS_PER_CLIENT
+        return {
+            "requests": total,
+            "rps": total / elapsed,
+            "p50_ms": float(np.percentile(latencies, 50)) * 1e3,
+            "p99_ms": float(np.percentile(latencies, 99)) * 1e3,
+            "hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
+        }
+
+    return asyncio.run(main())
+
+
+def run_load(workdir, clock=MONOTONIC):
+    """The full grid: cache on/off x every concurrency level."""
+    store = seed_store(workdir)
+    values = {
+        "field_shape": f"{FIELD_SHAPE[0]}x{FIELD_SHAPE[1]}",
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "smoke": SMOKE,
+    }
+    for cache_size, mode in ((256, "on"), (0, "off")):
+        for concurrency in CONCURRENCY_LEVELS:
+            level = run_level(store.workdir, concurrency, cache_size, clock)
+            prefix = f"cache_{mode}_c{concurrency}"
+            values[f"{prefix}_rps"] = level["rps"]
+            values[f"{prefix}_p50_ms"] = level["p50_ms"]
+            values[f"{prefix}_p99_ms"] = level["p99_ms"]
+            values[f"{prefix}_hit_rate"] = level["hit_rate"]
+    return values
+
+
+def test_product_service_load(benchmark, tmp_path):
+    values = benchmark.pedantic(run_load, args=(tmp_path,), rounds=1, iterations=1)
+
+    rows = []
+    for mode in ("on", "off"):
+        for concurrency in CONCURRENCY_LEVELS:
+            prefix = f"cache_{mode}_c{concurrency}"
+            rows.append(
+                [
+                    f"cache {mode}, {concurrency} clients",
+                    f"{values[f'{prefix}_rps']:.0f}",
+                    f"{values[f'{prefix}_p50_ms']:.2f}",
+                    f"{values[f'{prefix}_p99_ms']:.2f}",
+                    f"{values[f'{prefix}_hit_rate']:.2f}",
+                ]
+            )
+    print_table(
+        f"Product service load ({values['field_shape']} fields, "
+        f"{values['requests_per_client']} requests/client)",
+        ["configuration", "req/s", "p50 ms", "p99 ms", "hit rate"],
+        rows,
+    )
+    record_bench("product_service", values)
+
+    top = max(CONCURRENCY_LEVELS)
+    # The caches are the point of the read path: with them on, repeated
+    # reads of the immutable version skip render + npz decode entirely.
+    floor = 0.8 if SMOKE else 1.0  # smoke runs sit in fixed overheads
+    assert values[f"cache_on_c{top}_rps"] > floor * values[f"cache_off_c{top}_rps"]
+    assert values[f"cache_on_c{top}_hit_rate"] > 0.9
+    assert values[f"cache_off_c{top}_hit_rate"] == 0.0
+    for mode in ("on", "off"):
+        for concurrency in CONCURRENCY_LEVELS:
+            prefix = f"cache_{mode}_c{concurrency}"
+            assert values[f"{prefix}_p50_ms"] <= values[f"{prefix}_p99_ms"]

@@ -1,0 +1,371 @@
+"""The forecast-product read path: routes, caching, ETags, degradation.
+
+This is the transport-agnostic core the asyncio front end
+(:mod:`repro.products.server`) wraps: a :class:`ProductService` turns
+``GET`` requests for product resources into :class:`ServiceResponse`
+records, with
+
+- a per-version **snapshot cache** (verified snapshots are immutable, so
+  one npz decode + checksum pass serves every later request of that
+  version) and a **response cache** of rendered JSON bodies keyed by
+  ``(version, resource)``;
+- **ETag / version validation**: every resource response carries
+  ``ETag: "v<version>-<checksum16>"``; a request presenting it back via
+  ``If-None-Match`` gets ``304 Not Modified`` with an empty body;
+- **graceful 503 degradation**: a cycle still publishing (requested
+  version newer than HEAD, or HEAD/manifest momentarily unreadable
+  mid-replace) answers ``503`` with ``Retry-After`` instead of an error
+  page or a blocked reader;
+- **telemetry**: one ``product_request`` span per request plus
+  ``product_requests`` counters (by route and status) and a
+  ``product_request_seconds`` histogram (by route) in the injected
+  metrics registry -- the serving half of ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from repro.products.cache import LRUCache
+from repro.products.store import (
+    ProductNotFound,
+    ProductPending,
+    ProductReadError,
+    ProductReader,
+    ProductSnapshot,
+)
+from repro.telemetry.spans import NULL_RECORDER
+
+#: Seconds readers are asked to back off when a cycle is still publishing.
+RETRY_AFTER_SECONDS = 1
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One finished response: status code, headers, body bytes."""
+
+    status: int
+    body: bytes = b""
+    headers: tuple[tuple[str, str], ...] = ()
+    route: str = "unknown"
+
+    @property
+    def reason(self) -> str:
+        """The HTTP reason phrase for :attr:`status`."""
+        return {
+            200: "OK",
+            304: "Not Modified",
+            404: "Not Found",
+            405: "Method Not Allowed",
+            500: "Internal Server Error",
+            503: "Service Unavailable",
+        }.get(self.status, "Unknown")
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        """Case-insensitive header lookup."""
+        lowered = name.lower()
+        for key, value in self.headers:
+            if key.lower() == lowered:
+                return value
+        return default
+
+
+def _json_body(payload: dict) -> bytes:
+    """Strict-JSON encode (NaN already converted to None upstream)."""
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def _array_json(array: np.ndarray) -> list:
+    """A 2-D array as nested lists with NaN encoded as None."""
+    out = []
+    for row in np.asarray(array, dtype=np.float64):
+        out.append([None if np.isnan(v) else float(v) for v in row])
+    return out
+
+
+@dataclass
+class _Route:
+    """A parsed request target."""
+
+    name: str
+    version: int | None = None  # None = latest
+    params: dict = field(default_factory=dict)
+
+
+class ProductService:
+    """Serve published product snapshots to many concurrent readers.
+
+    Parameters
+    ----------
+    workdir:
+        The :class:`~repro.products.store.ProductStore` root to read.
+    cache_size:
+        Response-cache capacity (rendered bodies); 0 disables response
+        and snapshot caching (the benchmark's cache-off mode).
+    snapshot_cache_size:
+        How many verified snapshots stay decoded in memory.
+    registry:
+        Optional metrics registry for request/cache instruments.
+    telemetry:
+        Span recorder; its clock also times request latency, so a
+        simulated or fake clock drives exact latency tests.
+    """
+
+    #: Routes answered by this service (see docs/PRODUCT_SERVICE.md).
+    ROUTES = ("healthz", "product", "field", "tile")
+
+    def __init__(
+        self,
+        workdir,
+        cache_size: int = 256,
+        snapshot_cache_size: int = 4,
+        registry=None,
+        telemetry=None,
+        max_unreadable_reads: int = 64,
+    ):
+        self.reader = ProductReader(
+            workdir, max_unreadable_reads=max_unreadable_reads
+        )
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        self.registry = registry
+        self._responses = LRUCache(cache_size, registry=registry, name="responses")
+        self._snapshots = LRUCache(
+            snapshot_cache_size if cache_size else 0,
+            registry=registry,
+            name="snapshots",
+        )
+
+    # -- request entry point -------------------------------------------------
+
+    def handle(
+        self, method: str, target: str, headers: dict[str, str] | None = None
+    ) -> ServiceResponse:
+        """Answer one request; never raises for client-visible conditions.
+
+        ``headers`` keys are treated case-insensitively; only
+        ``If-None-Match`` is consulted.
+        """
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        clock = self.telemetry.clock
+        started = clock()
+        route_name = "unknown"
+        try:
+            if method.upper() != "GET":
+                response = self._plain(405, {"error": "only GET is supported"})
+            else:
+                route = self._parse_target(target)
+                if route is None:
+                    response = self._plain(404, {"error": f"no such resource {target}"})
+                else:
+                    route_name = route.name
+                    with self.telemetry.span("product_request", route=route.name):
+                        response = self._dispatch(route, headers)
+        except ProductReadError as exc:
+            # The bounded-retry contract tripped: the store is corrupt for
+            # good, not mid-publish.  Surface it, do not crash the server.
+            response = self._plain(
+                500, {"error": f"product store unreadable past retry bound: {exc}"}
+            )
+        finally:
+            elapsed = clock() - started
+            if self.registry is not None:
+                self.registry.histogram(
+                    "product_request_seconds", route=route_name
+                ).observe(elapsed)
+        if self.registry is not None:
+            self.registry.counter(
+                "product_requests", route=route_name, status=str(response.status)
+            ).inc()
+        return ServiceResponse(
+            status=response.status,
+            body=response.body,
+            headers=response.headers,
+            route=route_name,
+        )
+
+    # -- routing -------------------------------------------------------------
+
+    def _parse_target(self, target: str) -> _Route | None:
+        """Parse a request target into a route (None = unknown path)."""
+        split = urlsplit(target)
+        parts = [p for p in split.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        if parts == ["healthz"]:
+            return _Route("healthz")
+        if len(parts) < 3 or parts[0] != "v1" or parts[1] != "products":
+            return None
+        if parts[2] == "latest":
+            version = None
+        elif parts[2].isdigit():
+            version = int(parts[2])
+        else:
+            return None
+        rest = parts[3:]
+        if not rest:
+            return _Route("product", version)
+        if rest[0] == "fields" and len(rest) == 2:
+            level = query.get("level", "0")
+            if not level.lstrip("-").isdigit():
+                return None
+            return _Route(
+                "field", version, {"field": rest[1], "level": int(level)}
+            )
+        if rest[0] == "tiles" and len(rest) == 4:
+            if not (rest[2].isdigit() and rest[3].isdigit()):
+                return None
+            return _Route(
+                "tile",
+                version,
+                {"field": rest[1], "tj": int(rest[2]), "ti": int(rest[3])},
+            )
+        return None
+
+    def _dispatch(self, route: _Route, headers: dict[str, str]) -> ServiceResponse:
+        """Resolve the snapshot and render (or revalidate) the resource."""
+        if route.name == "healthz":
+            return self._healthz()
+        try:
+            snapshot = self._snapshot(route.version)
+        except ProductPending as exc:
+            return self._unavailable(str(exc))
+        except ProductNotFound as exc:
+            return self._plain(404, {"error": str(exc)})
+        if snapshot is None:
+            return self._unavailable("no product published yet (store warming up)")
+        etag = f'"v{snapshot.version}-{snapshot.checksum[:16]}"'
+        if headers.get("if-none-match") == etag:
+            return ServiceResponse(
+                status=304, headers=(("ETag", etag),), route=route.name
+            )
+        cache_key = (snapshot.version, route.name, tuple(sorted(route.params.items())))
+        body = self._responses.get(cache_key)
+        if body is None:
+            body = self._render(route, snapshot)
+            if isinstance(body, ServiceResponse):
+                return body  # a 404 for a bad field/tile is not cached
+            self._responses.put(cache_key, body)
+        return ServiceResponse(
+            status=200,
+            body=body,
+            headers=(
+                ("Content-Type", "application/json"),
+                ("ETag", etag),
+                ("X-Product-Version", str(snapshot.version)),
+            ),
+            route=route.name,
+        )
+
+    def _snapshot(self, version: int | None) -> ProductSnapshot | None:
+        """Fetch a verified snapshot through the per-version cache."""
+        if version is None:
+            version = self.reader.latest_version()
+            if version is None:
+                return None
+        cached = self._snapshots.get(version)
+        if cached is not None:
+            return cached
+        snapshot = self.reader.fetch(version)
+        if snapshot is not None:
+            self._snapshots.put(snapshot.version, snapshot)
+        return snapshot
+
+    # -- renderers -----------------------------------------------------------
+
+    def _healthz(self) -> ServiceResponse:
+        """Liveness plus the currently-served version (null before one)."""
+        try:
+            version = self.reader.latest_version()
+        except Exception:
+            version = None
+        return self._plain(200, {"status": "ok", "version": version})
+
+    def _render(self, route: _Route, snapshot: ProductSnapshot):
+        """Render one resource body (or a ServiceResponse for client errors)."""
+        if route.name == "product":
+            manifest = snapshot.manifest
+            return _json_body(
+                {
+                    "version": snapshot.version,
+                    "cycle_index": snapshot.cycle_index,
+                    "checksum": snapshot.checksum,
+                    "fields": {
+                        name: {
+                            "shape": meta["shape"],
+                            "tile_size": meta["tile_size"],
+                            "tile_grid": meta["tile_grid"],
+                            "n_levels": meta["n_levels"],
+                            "domain": meta["domain"],
+                        }
+                        for name, meta in manifest["fields"].items()
+                    },
+                    "product": snapshot.product.to_dict(),
+                    "bulletin": snapshot.product.render(),
+                }
+            )
+        tiled = snapshot.fields.get(route.params["field"])
+        if tiled is None:
+            return self._plain(
+                404,
+                {
+                    "error": f"no field {route.params['field']!r} in version "
+                    f"{snapshot.version}",
+                    "fields": sorted(snapshot.fields),
+                },
+            )
+        if route.name == "field":
+            level = route.params["level"]
+            try:
+                array = tiled.level(level)
+            except KeyError as exc:
+                return self._plain(404, {"error": str(exc)})
+            return _json_body(
+                {
+                    "version": snapshot.version,
+                    "field": tiled.name,
+                    "level": level,
+                    "shape": list(array.shape),
+                    "domain": tiled.domain_summary(),
+                    "values": _array_json(array),
+                }
+            )
+        # tile
+        try:
+            tile = tiled.tile(route.params["tj"], route.params["ti"])
+            summary = tiled.summary(route.params["tj"], route.params["ti"])
+        except KeyError as exc:
+            return self._plain(404, {"error": str(exc)})
+        return _json_body(
+            {
+                "version": snapshot.version,
+                "field": tiled.name,
+                "tj": route.params["tj"],
+                "ti": route.params["ti"],
+                "summary": summary.to_dict(),
+                "values": _array_json(tile),
+            }
+        )
+
+    # -- response helpers ----------------------------------------------------
+
+    def _plain(self, status: int, payload: dict) -> ServiceResponse:
+        """A small uncached JSON response."""
+        return ServiceResponse(
+            status=status,
+            body=_json_body(payload),
+            headers=(("Content-Type", "application/json"),),
+        )
+
+    def _unavailable(self, why: str) -> ServiceResponse:
+        """The graceful-degradation answer while a publish is in flight."""
+        return ServiceResponse(
+            status=503,
+            body=_json_body({"error": why, "retry_after": RETRY_AFTER_SECONDS}),
+            headers=(
+                ("Content-Type", "application/json"),
+                ("Retry-After", str(RETRY_AFTER_SECONDS)),
+            ),
+        )

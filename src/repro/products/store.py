@@ -1,0 +1,465 @@
+"""Immutable, versioned forecast-product snapshots on disk.
+
+The web-distribution tail of the forecaster's timeline (paper Fig 1)
+must serve many concurrent readers while a single writer publishes the
+next cycle's products.  This store transplants the covfile
+commit-after-replace publish protocol (``docs/COVFILE_PROTOCOL.md``) to
+whole product snapshots:
+
+- Each published version lives in its own **immutable directory**
+  ``v<k>`` (payload arrays, product bulletin, manifest with checksums).
+  The directory is staged under a dot-prefixed temp name and atomically
+  renamed into place, so a version directory either exists completely
+  or not at all.
+- Visibility changes flow through a single ``os.replace`` of
+  ``HEAD.json``, which names the current version, its directory and its
+  manifest checksum.  A reader sees either version ``k`` or ``k+1``,
+  never a mixture, and never blocks on the writer.
+- **Commit-after-replace**: the writer's in-memory version counter
+  advances only after the HEAD replace succeeds, so a failed publish
+  (disk full, crash) leaves the store serving the previous complete
+  version and the retry reuses the same slot.
+- Readers treat an unreadable HEAD or manifest -- torn copy, NFS lag,
+  checksum mismatch -- as "still publishing", bounded by
+  ``max_unreadable_reads`` consecutive failures before
+  :class:`ProductReadError` (same contract as the covariance stores).
+
+Single-writer, many-reader: like the covfile protocol, nothing
+serializes concurrent writers -- the realtime cycle is the one
+publisher.  See ``docs/PRODUCT_SERVICE.md`` for the full layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.products.tiles import TiledField
+from repro.realtime.products import ForecastProduct
+
+#: Payload files every version directory carries next to its manifest.
+PAYLOAD_FILES = ("fields.npz", "product.json")
+
+
+class ProductStoreError(RuntimeError):
+    """The writer side failed in a way the caller must see."""
+
+
+class ProductReadError(RuntimeError):
+    """The store stayed unreadable past the reader's retry bound."""
+
+
+class ProductPending(LookupError):
+    """The requested version is newer than anything published yet."""
+
+
+class ProductNotFound(LookupError):
+    """The requested version was never published or has been retired."""
+
+
+def _dirname(version: int) -> str:
+    """Canonical directory name of one published version."""
+    return f"v{version:08d}"
+
+
+def _file_sha256(path: Path) -> str:
+    """Hex SHA-256 of one file's bytes."""
+    digest = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ProductSnapshot:
+    """One fully-verified published version, loaded into memory.
+
+    Attributes
+    ----------
+    version:
+        The monotone publish counter.
+    product:
+        The cycle's :class:`~repro.realtime.products.ForecastProduct`.
+    fields:
+        Tiled/LOD field payloads keyed by field name.
+    manifest:
+        The raw manifest dict (checksums, field inventory, tile meta).
+    """
+
+    version: int
+    product: ForecastProduct
+    fields: dict[str, TiledField]
+    manifest: dict
+
+    @property
+    def checksum(self) -> str:
+        """The manifest-level checksum binding the whole payload."""
+        return self.manifest["checksum"]
+
+    @property
+    def cycle_index(self) -> int:
+        """The forecast cycle this snapshot was produced by."""
+        return int(self.manifest["cycle_index"])
+
+
+class ProductStore:
+    """Writer side: publish immutable versioned product snapshots.
+
+    Parameters
+    ----------
+    workdir:
+        Store root (created on use).
+    tile_size / levels:
+        Tiling and LOD defaults applied to every published field.
+    retain:
+        Keep only the newest ``retain`` version directories (None keeps
+        everything).  Retired directories disappear *after* HEAD moved
+        on, so only readers pinned to an old explicit version can miss --
+        and they see :class:`ProductNotFound`, never torn data.
+    """
+
+    def __init__(
+        self,
+        workdir: str | Path,
+        tile_size: int = 8,
+        levels: int = 2,
+        retain: int | None = None,
+    ):
+        if retain is not None and retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.head_path = self.workdir / "HEAD.json"
+        self.tile_size = int(tile_size)
+        self.levels = int(levels)
+        self.retain = retain
+        self._version = self._recover_version()
+
+    def _recover_version(self) -> int:
+        """Resume the version counter from an existing HEAD (restart)."""
+        try:
+            head = json.loads(self.head_path.read_text())
+            return int(head["version"])
+        except (FileNotFoundError, ValueError, KeyError, json.JSONDecodeError):
+            return 0
+
+    @property
+    def version(self) -> int:
+        """Version of the last successful publish (0 before the first)."""
+        return self._version
+
+    def publish(
+        self,
+        product: ForecastProduct,
+        fields: dict[str, np.ndarray],
+    ) -> int:
+        """Publish one product snapshot; returns the new version number.
+
+        ``fields`` maps field names to full-resolution 2-D arrays with
+        NaN over masked cells; each is tiled and downsampled here, once,
+        at publish time.  The staged directory is fully written, fsynced
+        and renamed into place before HEAD is replaced; the in-memory
+        counter commits only after the HEAD replace succeeds.
+        """
+        if not fields:
+            raise ProductStoreError("a product snapshot needs at least one field")
+        version = self._version + 1
+        final_dir = self.workdir / _dirname(version)
+        stage_dir = self.workdir / f".stage-{_dirname(version)}"
+        if stage_dir.exists():
+            shutil.rmtree(stage_dir)
+        if final_dir.exists():
+            # A previous attempt renamed the directory but died before
+            # HEAD committed; the directory was never visible, rebuild it.
+            shutil.rmtree(final_dir)
+        stage_dir.mkdir()
+
+        tiled = {
+            name: TiledField(
+                name, array, tile_size=self.tile_size, levels=self.levels
+            )
+            for name, array in sorted(fields.items())
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for field in tiled.values():
+            arrays.update(field.arrays())
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        (stage_dir / "fields.npz").write_bytes(buffer.getvalue())
+        (stage_dir / "product.json").write_text(
+            json.dumps(product.to_dict(), sort_keys=True)
+        )
+
+        payload_sums = {
+            name: _file_sha256(stage_dir / name) for name in PAYLOAD_FILES
+        }
+        checksum = hashlib.sha256(
+            "".join(f"{k}:{payload_sums[k]};" for k in sorted(payload_sums)).encode()
+        ).hexdigest()
+        manifest = {
+            "version": version,
+            "cycle_index": product.cycle_index,
+            "checksum": checksum,
+            "payload": payload_sums,
+            "fields": {name: field.meta() for name, field in tiled.items()},
+        }
+        (stage_dir / "manifest.json").write_text(
+            json.dumps(manifest, sort_keys=True)
+        )
+        self._fsync_dir_tree(stage_dir)
+        os.replace(stage_dir, final_dir)
+
+        head = {"version": version, "dir": _dirname(version), "checksum": checksum}
+        tmp = self.head_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(head))
+        os.replace(tmp, self.head_path)
+        # Commit point: readers can now see the new version.
+        self._version = version
+        self._retire_old_versions()
+        return version
+
+    def _fsync_dir_tree(self, directory: Path) -> None:
+        """Flush a staged version directory's files to stable storage."""
+        for path in directory.iterdir():
+            with path.open("rb") as fh:
+                os.fsync(fh.fileno())
+
+    def _retire_old_versions(self) -> None:
+        """Drop version directories older than the retain window."""
+        if self.retain is None:
+            return
+        floor = self._version - self.retain
+        for path in self.workdir.glob("v*"):
+            try:
+                old = int(path.name[1:])
+            except ValueError:
+                continue
+            if old <= floor:
+                shutil.rmtree(path, ignore_errors=True)
+
+    def cleanup(self) -> None:
+        """Remove the whole store (end-of-run cleanup)."""
+        shutil.rmtree(self.workdir, ignore_errors=True)
+
+
+class ProductReader:
+    """Reader side: fetch published snapshots without ever blocking.
+
+    Each concurrent reader owns its own instance (the unreadable-read
+    counter is per-reader state, exactly like the covfile readers).
+
+    Parameters
+    ----------
+    workdir:
+        The store root a :class:`ProductStore` publishes into.
+    max_unreadable_reads:
+        Consecutive unreadable (present but unparsable / checksum-
+        mismatched) reads tolerated before :class:`ProductReadError`.
+    """
+
+    def __init__(self, workdir: str | Path, max_unreadable_reads: int = 64):
+        if max_unreadable_reads < 1:
+            raise ValueError("max_unreadable_reads must be >= 1")
+        self.workdir = Path(workdir)
+        self.head_path = self.workdir / "HEAD.json"
+        self.max_unreadable_reads = max_unreadable_reads
+        self.consecutive_unreadable = 0
+        self.last_read_error: Exception | None = None
+
+    def read_head(self) -> dict | None:
+        """The current HEAD record (None before the first publish).
+
+        An unreadable-but-present HEAD -- torn NFS copy, hand-corrupted
+        file -- reads as "no snapshot yet" with the bounded retry
+        contract shared with the covariance stores.
+        """
+        try:
+            raw = self.head_path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            head = json.loads(raw)
+            version = int(head["version"])
+            if version < 1 or "dir" not in head or "checksum" not in head:
+                raise ValueError(f"implausible HEAD {head!r}")
+        except Exception as exc:
+            self._note_unreadable(exc)
+            return None
+        self._note_readable()
+        return head
+
+    def latest_version(self) -> int | None:
+        """Version number of the current HEAD (None before first publish)."""
+        head = self.read_head()
+        return None if head is None else int(head["version"])
+
+    def fetch(self, version: int | None = None) -> ProductSnapshot | None:
+        """Load one published snapshot, verifying its checksums.
+
+        ``None`` requests the latest version.  Returns None before the
+        first publish.  Raises :class:`ProductPending` for a version
+        newer than HEAD (the cycle is still publishing it) and
+        :class:`ProductNotFound` for one older than the retain window.
+        Every payload file is verified against the manifest's SHA-256
+        entries and the manifest against HEAD's checksum, so a torn or
+        partially-published snapshot can never be returned -- it reads
+        as unreadable and the caller retries against the old HEAD.
+        """
+        head = self.read_head()
+        if head is None:
+            if version is not None:
+                raise ProductPending(f"version {version} not published yet")
+            return None
+        head_version = int(head["version"])
+        if version is None or version == head_version:
+            version = head_version
+            expected_checksum = head["checksum"]
+        elif version > head_version:
+            raise ProductPending(
+                f"version {version} still publishing (latest is {head_version})"
+            )
+        else:
+            expected_checksum = None  # pinned to the immutable manifest
+        vdir = self.workdir / _dirname(version)
+        try:
+            manifest = json.loads((vdir / "manifest.json").read_text())
+        except FileNotFoundError:
+            if version < head_version:
+                raise ProductNotFound(
+                    f"version {version} retired (oldest retained is newer)"
+                ) from None
+            # HEAD says this version exists but the rename has not become
+            # visible to us yet (lagged filesystem): retry as unreadable.
+            self._note_unreadable(
+                FileNotFoundError(f"{vdir} missing while HEAD points at it")
+            )
+            return None
+        try:
+            snapshot = self._load_verified(version, vdir, manifest, expected_checksum)
+        except Exception as exc:
+            self._note_unreadable(exc)
+            return None
+        self._note_readable()
+        return snapshot
+
+    def _load_verified(
+        self,
+        version: int,
+        vdir: Path,
+        manifest: dict,
+        expected_checksum: str | None,
+    ) -> ProductSnapshot:
+        """Load and checksum-verify one version directory."""
+        if int(manifest["version"]) != version:
+            raise ValueError(
+                f"manifest version {manifest['version']} != directory {version}"
+            )
+        if expected_checksum is not None and manifest["checksum"] != expected_checksum:
+            raise ValueError(
+                f"manifest checksum {manifest['checksum'][:12]}... does not "
+                f"match HEAD {expected_checksum[:12]}..."
+            )
+        for name, expected in manifest["payload"].items():
+            actual = _file_sha256(vdir / name)
+            if actual != expected:
+                raise ValueError(
+                    f"payload {name} checksum mismatch "
+                    f"({actual[:12]}... != {expected[:12]}...)"
+                )
+        product = ForecastProduct.from_dict(
+            json.loads((vdir / "product.json").read_text())
+        )
+        with np.load(vdir / "fields.npz") as data:
+            arrays = {key: np.asarray(data[key]) for key in data.files}
+        fields = {
+            name: TiledField.from_payload(meta, arrays)
+            for name, meta in manifest["fields"].items()
+        }
+        return ProductSnapshot(
+            version=version, product=product, fields=fields, manifest=manifest
+        )
+
+    def _note_readable(self) -> None:
+        self.consecutive_unreadable = 0
+        self.last_read_error = None
+
+    def _note_unreadable(self, exc: Exception) -> None:
+        self.consecutive_unreadable += 1
+        self.last_read_error = exc
+        if self.consecutive_unreadable >= self.max_unreadable_reads:
+            raise ProductReadError(
+                f"product store unreadable {self.consecutive_unreadable} "
+                f"consecutive times (last error: {exc!r})"
+            ) from exc
+
+
+class CycleProductPublisher:
+    """Adapter feeding a :class:`ProductStore` from the realtime cycle.
+
+    Pass an instance as ``RealTimeForecastCycle(product_hook=...)``: each
+    completed cycle's :class:`~repro.realtime.products.ForecastProduct`
+    arrives here together with the forecast, the standard map products
+    are derived (selected-nowcast SST, SST uncertainty, surface
+    elevation when the layout carries one) and the snapshot is
+    published.  Extra per-cycle fields (e.g. a TL section rendered by
+    the acoustics chain) can be injected via ``extra_fields``.
+
+    Parameters
+    ----------
+    store:
+        The destination product store.
+    model:
+        The forecast model (its layout/grid define field views and the
+        wet mask).
+    extra_fields:
+        Optional callable ``(product, forecast) -> dict[str, ndarray]``
+        contributing additional named 2-D fields to each snapshot.
+    """
+
+    def __init__(self, store: ProductStore, model, extra_fields=None):
+        self.store = store
+        self.model = model
+        self.extra_fields = extra_fields
+        self.published_versions: list[int] = []
+
+    def _masked(self, field2d: np.ndarray) -> np.ndarray:
+        """Copy of a 2-D field with land cells set to NaN."""
+        wet = self.model.grid.mask
+        return np.where(wet, np.asarray(field2d, dtype=np.float64), np.nan)
+
+    def __call__(self, product: ForecastProduct, forecast) -> int:
+        """Publish one cycle's products; returns the new store version."""
+        model = self.model
+        layout = model.layout
+        central = model.to_vector(forecast.central)
+        if (
+            product.selected == "ensemble-mean"
+            and forecast.member_forecasts.shape[0] >= 2
+        ):
+            best = forecast.member_forecasts.mean(axis=0)
+        else:
+            best = central
+        fields: dict[str, np.ndarray] = {}
+        fields["sst_nowcast"] = self._masked(layout.view(best, "temp")[0])
+        var_phys = (
+            forecast.subspace.variance_field() * np.asarray(layout.scales) ** 2
+        )
+        fields["sst_sigma"] = self._masked(np.sqrt(layout.view(var_phys, "temp")[0]))
+        if "eta" in layout.names:
+            fields["ssh_nowcast"] = self._masked(layout.view(best, "eta"))
+        if self.extra_fields is not None:
+            for name, array in self.extra_fields(product, forecast).items():
+                if name in fields:
+                    raise ProductStoreError(f"extra field {name!r} collides")
+                fields[name] = np.asarray(array, dtype=np.float64)
+        version = self.store.publish(product, fields)
+        self.published_versions.append(version)
+        return version

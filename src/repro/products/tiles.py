@@ -1,0 +1,306 @@
+"""Tiled / level-of-detail layout for 2-D forecast-product fields.
+
+The paper's web-distribution step (Fig 1 middle row, Figs 5-6) serves
+uncertainty maps and nowcast fields to many readers; a naive server
+would re-scan every grid cell per request.  This module precomputes the
+two structures that make the read path cheap:
+
+- **Tiles**: the field is cut into fixed-size square tiles, each
+  carrying a :class:`TileSummary` (min/max/mean/std over wet cells).  A
+  whole-domain overview statistic is then an ``O(tiles)`` fold over the
+  summaries -- never an ``O(cells)`` scan (:meth:`TiledField.domain_summary`).
+- **Levels of detail**: 2-3 factor-of-two mean-pooled downsamples, so a
+  "whole-domain overview" image read returns ``cells / 4^L`` values.
+
+Land/masked cells are stored as NaN and excluded from every summary --
+the per-tile ``count`` says how many wet cells contributed, and all-land
+tiles summarise as NaN with ``count == 0``.
+
+The layout mirrors what downstream *localized* assimilation wants: the
+LETKF line of work (Ott et al., PAPERS.md) performs per-tile local
+analyses, and per-tile product summaries are exactly the read unit a
+tiled analysis will publish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TileSummary:
+    """Precomputed statistics of one tile (wet cells only).
+
+    ``tj``/``ti`` index the tile grid (row-major); ``count`` is the
+    number of unmasked cells that contributed -- 0 for all-land tiles,
+    whose statistics are NaN.
+    """
+
+    tj: int
+    ti: int
+    count: int
+    min: float
+    max: float
+    mean: float
+    std: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (NaN encoded as None)."""
+
+        def enc(x: float):
+            return None if np.isnan(x) else float(x)
+
+        return {
+            "tj": self.tj,
+            "ti": self.ti,
+            "count": self.count,
+            "min": enc(self.min),
+            "max": enc(self.max),
+            "mean": enc(self.mean),
+            "std": enc(self.std),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TileSummary":
+        """Inverse of :meth:`to_dict`."""
+
+        def dec(x):
+            return float("nan") if x is None else float(x)
+
+        return cls(
+            tj=int(data["tj"]),
+            ti=int(data["ti"]),
+            count=int(data["count"]),
+            min=dec(data["min"]),
+            max=dec(data["max"]),
+            mean=dec(data["mean"]),
+            std=dec(data["std"]),
+        )
+
+
+def _pad_to_multiple(array: np.ndarray, block: int) -> np.ndarray:
+    """Pad a 2-D array with NaN so both dims are multiples of ``block``."""
+    ny, nx = array.shape
+    py = (-ny) % block
+    px = (-nx) % block
+    if py == 0 and px == 0:
+        return array
+    return np.pad(array, ((0, py), (0, px)), constant_values=np.nan)
+
+
+def _blocked(array: np.ndarray, block: int) -> np.ndarray:
+    """Reshape a padded 2-D array into ``(tj, ti, block*block)`` blocks."""
+    padded = _pad_to_multiple(np.asarray(array, dtype=np.float64), block)
+    ny, nx = padded.shape
+    return (
+        padded.reshape(ny // block, block, nx // block, block)
+        .transpose(0, 2, 1, 3)
+        .reshape(ny // block, nx // block, block * block)
+    )
+
+
+def downsample(array: np.ndarray, factor: int = 2) -> np.ndarray:
+    """NaN-aware mean pooling by ``factor`` in both dimensions.
+
+    Cells with no wet contributors pool to NaN (preserving the land
+    mask's shape at every level instead of bleeding zeros into it).
+    """
+    if factor < 2:
+        raise ValueError(f"downsample factor must be >= 2, got {factor}")
+    blocks = _blocked(array, factor)
+    counts = np.sum(~np.isnan(blocks), axis=2)
+    sums = np.nansum(blocks, axis=2)
+    out = np.full(counts.shape, np.nan)
+    wet = counts > 0
+    out[wet] = sums[wet] / counts[wet]
+    return out
+
+
+def tile_summaries(array: np.ndarray, tile_size: int) -> list[TileSummary]:
+    """Per-tile wet-cell statistics of a 2-D field (vectorized, one pass)."""
+    if tile_size < 1:
+        raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+    blocks = _blocked(array, tile_size)
+    counts = np.sum(~np.isnan(blocks), axis=2)
+    wet = counts > 0
+    with np.errstate(invalid="ignore"):
+        mins = np.where(wet, np.nanmin(np.where(np.isnan(blocks), np.inf, blocks), axis=2), np.nan)
+        maxs = np.where(wet, np.nanmax(np.where(np.isnan(blocks), -np.inf, blocks), axis=2), np.nan)
+        sums = np.nansum(blocks, axis=2)
+        means = np.where(wet, sums / np.maximum(counts, 1), np.nan)
+        sq = np.nansum(blocks**2, axis=2)
+        variances = np.where(
+            wet, np.maximum(sq / np.maximum(counts, 1) - means**2, 0.0), np.nan
+        )
+    stds = np.sqrt(variances)
+    summaries = []
+    n_tj, n_ti = counts.shape
+    for tj in range(n_tj):
+        for ti in range(n_ti):
+            summaries.append(
+                TileSummary(
+                    tj=tj,
+                    ti=ti,
+                    count=int(counts[tj, ti]),
+                    min=float(mins[tj, ti]),
+                    max=float(maxs[tj, ti]),
+                    mean=float(means[tj, ti]),
+                    std=float(stds[tj, ti]),
+                )
+            )
+    return summaries
+
+
+class TiledField:
+    """One named 2-D product field with tiles, summaries and LOD levels.
+
+    Parameters
+    ----------
+    name:
+        Field identifier used in manifests and URLs (``sst_sigma``...).
+    data:
+        Full-resolution 2-D array; masked cells are NaN.
+    tile_size:
+        Side of the square tiles the full-resolution field is cut into.
+    levels:
+        Number of factor-of-two downsampled overview levels (>= 1).
+
+    ``levels[0]`` is the full-resolution array itself; ``level L`` has
+    been mean-pooled ``L`` times.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data: np.ndarray,
+        tile_size: int = 8,
+        levels: int = 2,
+    ):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"field {name!r} must be 2-D, got shape {data.shape}")
+        if tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {tile_size}")
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.name = name
+        self.tile_size = int(tile_size)
+        self._levels: list[np.ndarray] = [data]
+        for _ in range(levels):
+            self._levels.append(downsample(self._levels[-1], 2))
+        self.summaries = tuple(tile_summaries(data, tile_size))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Full-resolution ``(ny, nx)`` shape."""
+        return tuple(self._levels[0].shape)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of stored arrays (full resolution + downsamples)."""
+        return len(self._levels)
+
+    @property
+    def tile_grid(self) -> tuple[int, int]:
+        """Number of tiles ``(n_tj, n_ti)`` covering the full resolution."""
+        ny, nx = self.shape
+        return (-(-ny // self.tile_size), -(-nx // self.tile_size))
+
+    def level(self, lod: int) -> np.ndarray:
+        """The array at LOD ``lod`` (0 = full resolution)."""
+        if not 0 <= lod < len(self._levels):
+            raise KeyError(
+                f"field {self.name!r} has levels 0..{len(self._levels) - 1}, "
+                f"got {lod}"
+            )
+        return self._levels[lod]
+
+    def tile(self, tj: int, ti: int) -> np.ndarray:
+        """One full-resolution tile (edge tiles may be smaller)."""
+        n_tj, n_ti = self.tile_grid
+        if not (0 <= tj < n_tj and 0 <= ti < n_ti):
+            raise KeyError(
+                f"tile ({tj}, {ti}) outside tile grid {self.tile_grid} "
+                f"of field {self.name!r}"
+            )
+        ts = self.tile_size
+        return self._levels[0][tj * ts : (tj + 1) * ts, ti * ts : (ti + 1) * ts]
+
+    def summary(self, tj: int, ti: int) -> TileSummary:
+        """The precomputed summary of one tile."""
+        n_tj, n_ti = self.tile_grid
+        if not (0 <= tj < n_tj and 0 <= ti < n_ti):
+            raise KeyError(
+                f"tile ({tj}, {ti}) outside tile grid {self.tile_grid} "
+                f"of field {self.name!r}"
+            )
+        return self.summaries[tj * n_ti + ti]
+
+    def domain_summary(self) -> dict:
+        """Whole-domain min/max/mean/std folded from the tile summaries.
+
+        ``O(tiles)`` instead of ``O(cells)``: means combine count-weighted,
+        variances via the pooled second moment.  This is the overview
+        statistic the service serves without touching the field arrays.
+        """
+        wet = [s for s in self.summaries if s.count > 0]
+        if not wet:
+            return {"count": 0, "min": None, "max": None, "mean": None, "std": None}
+        total = sum(s.count for s in wet)
+        mean = sum(s.count * s.mean for s in wet) / total
+        second = sum(s.count * (s.std**2 + s.mean**2) for s in wet) / total
+        var = max(second - mean**2, 0.0)
+        return {
+            "count": total,
+            "min": float(min(s.min for s in wet)),
+            "max": float(max(s.max for s in wet)),
+            "mean": float(mean),
+            "std": float(np.sqrt(var)),
+        }
+
+    # -- serialization ------------------------------------------------------
+
+    def meta(self) -> dict:
+        """JSON-ready metadata (everything except the arrays)."""
+        return {
+            "name": self.name,
+            "shape": list(self.shape),
+            "tile_size": self.tile_size,
+            "tile_grid": list(self.tile_grid),
+            "n_levels": self.n_levels,
+            "summaries": [s.to_dict() for s in self.summaries],
+            "domain": self.domain_summary(),
+        }
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The payload arrays, keyed the way the store files them."""
+        return {
+            f"{self.name}__L{lod}": self._levels[lod]
+            for lod in range(len(self._levels))
+        }
+
+    @classmethod
+    def from_payload(cls, meta: dict, arrays: dict[str, np.ndarray]) -> "TiledField":
+        """Rebuild a field from a manifest entry plus its stored arrays.
+
+        The full-resolution array is re-tiled (cheap at read time only
+        once per version -- the service caches the result); downsampled
+        levels are taken from the payload rather than recomputed so the
+        bytes served match the bytes published exactly.
+        """
+        name = meta["name"]
+        n_levels = int(meta["n_levels"])
+        keys = [f"{name}__L{lod}" for lod in range(n_levels)]
+        missing = [k for k in keys if k not in arrays]
+        if missing:
+            raise KeyError(f"payload missing arrays {missing} for field {name!r}")
+        field = cls.__new__(cls)
+        field.name = name
+        field.tile_size = int(meta["tile_size"])
+        field._levels = [np.asarray(arrays[k], dtype=np.float64) for k in keys]
+        field.summaries = tuple(
+            TileSummary.from_dict(s) for s in meta["summaries"]
+        )
+        return field

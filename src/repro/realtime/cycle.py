@@ -18,6 +18,7 @@ from repro.core.driver import ESSEDriver, ForecastResult
 from repro.core.subspace import ErrorSubspace
 from repro.obs.network import ObservationNetwork
 from repro.ocean.model import ModelState, PEModel
+from repro.realtime.products import generate_product
 from repro.realtime.times import ExperimentTimeline
 from repro.telemetry.spans import NULL_RECORDER
 
@@ -63,6 +64,16 @@ class RealTimeForecastCycle:
         assimilation spans inside when it shares the recorder -- pass the
         same instance to both to get the full Fig 1 "simulation time"
         timeline).  The default records nothing.
+    product_hook:
+        Optional callable ``(product, forecast) -> None`` receiving each
+        completed cycle's :class:`~repro.realtime.products.ForecastProduct`
+        (scored against that period's observation batch) together with
+        the raw :class:`~repro.core.driver.ForecastResult` -- the Fig 1
+        "web distribution" tail.  The forecast-product service layer
+        plugs its publisher in here
+        (:class:`repro.products.store.CycleProductPublisher`); the
+        dependency points from the service layer down to this hook, never
+        back.  The default drops products on the floor as before.
     """
 
     def __init__(
@@ -72,12 +83,14 @@ class RealTimeForecastCycle:
         network: ObservationNetwork,
         timeline: ExperimentTimeline,
         telemetry=None,
+        product_hook: Callable | None = None,
     ):
         self.driver = driver
         self.truth_model = truth_model
         self.network = network
         self.timeline = timeline
         self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        self.product_hook = product_hook
 
     def _normalized_error(self, state_vec: np.ndarray, truth: ModelState) -> float:
         layout = self.driver.model.layout
@@ -120,6 +133,15 @@ class RealTimeForecastCycle:
                     ensemble_size=forecast.ensemble_size,
                     converged=forecast.converged,
                 )
+                if self.product_hook is not None:
+                    with self.telemetry.span("publish_product", period=period.index):
+                        product = generate_product(
+                            model,
+                            forecast,
+                            batch.operator,
+                            cycle_index=period.index,
+                        )
+                        self.product_hook(product, forecast)
                 records.append(
                     CycleRecord(
                         period_index=period.index,

@@ -33,6 +33,18 @@ class CandidateScore:
         if self.weighted_rmse < 0:
             raise ValueError("weighted_rmse must be >= 0")
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (stable keys; round-trips via :meth:`from_dict`)."""
+        return {"label": self.label, "weighted_rmse": self.weighted_rmse}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateScore":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            label=str(data["label"]),
+            weighted_rmse=float(data["weighted_rmse"]),
+        )
+
 
 def score_candidates(
     candidates: dict[str, np.ndarray],
@@ -42,7 +54,9 @@ def score_candidates(
 
     The score is the observation-noise-weighted RMS misfit, so a candidate
     matching accurate CTDs matters more than one matching noisy SST.
-    Scores are returned best-first.
+    Scores are returned best-first; exact ties order by label, so the
+    ranking (and therefore the *selected* forecast) is deterministic
+    regardless of candidate-dict insertion order.
     """
     if not candidates:
         raise ValueError("need at least one candidate forecast")
@@ -53,7 +67,7 @@ def score_candidates(
         scores.append(
             CandidateScore(label=label, weighted_rmse=float(np.sqrt(weighted.mean())))
         )
-    return sorted(scores, key=lambda s: s.weighted_rmse)
+    return sorted(scores, key=lambda s: (s.weighted_rmse, s.label))
 
 
 @dataclass(frozen=True)
@@ -87,6 +101,43 @@ class ForecastProduct:
         for rank, score in enumerate(self.scores, start=1):
             lines.append(f"  {rank}. {score.label}: {score.weighted_rmse:.4f}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, stable across processes.
+
+        The product store serializes every published snapshot through
+        this; :meth:`from_dict` reconstructs an equal dataclass, so a
+        bulletin survives the disk round-trip bit-for-bit (floats pass
+        through ``json`` unrounded via repr round-tripping).
+        """
+        return {
+            "cycle_index": self.cycle_index,
+            "nowcast_time": self.nowcast_time,
+            "selected": self.selected,
+            "scores": [s.to_dict() for s in self.scores],
+            "sst_mean": self.sst_mean,
+            "sst_min": self.sst_min,
+            "sst_max": self.sst_max,
+            "sst_sigma_median": self.sst_sigma_median,
+            "ensemble_size": self.ensemble_size,
+            "converged": self.converged,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ForecastProduct":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            cycle_index=int(data["cycle_index"]),
+            nowcast_time=float(data["nowcast_time"]),
+            selected=str(data["selected"]),
+            scores=tuple(CandidateScore.from_dict(s) for s in data["scores"]),
+            sst_mean=float(data["sst_mean"]),
+            sst_min=float(data["sst_min"]),
+            sst_max=float(data["sst_max"]),
+            sst_sigma_median=float(data["sst_sigma_median"]),
+            ensemble_size=int(data["ensemble_size"]),
+            converged=bool(data["converged"]),
+        )
 
 
 def generate_product(

@@ -263,7 +263,12 @@ def prometheus_text(metrics) -> str:
         name, labels = _prom_name(key)
         declare(name, "summary")
         inner = labels[1:-1] if labels else ""
-        for q, field_name in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+        for q, field_name in (
+            (0.5, "p50"),
+            (0.9, "p90"),
+            (0.95, "p95"),
+            (0.99, "p99"),
+        ):
             if summary.get(field_name) is None:
                 continue
             qlabel = f'quantile="{q}"' + (f",{inner}" if inner else "")

@@ -163,8 +163,9 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """Plain-data view of every instrument (JSON-serialisable).
 
-        Histograms are summarised as count/sum/mean/p50/p90/p99/max so the
-        snapshot stays bounded regardless of observation volume.
+        Histograms are summarised as count/sum/mean/p50/p90/p95/p99/max so
+        the snapshot stays bounded regardless of observation volume (and
+        the serving-latency tail is readable straight off the snapshot).
         """
         with self._lock:
             counters = dict(self._counters)
@@ -180,6 +181,7 @@ class MetricsRegistry:
                     "mean": h.mean,
                     "p50": h.percentile(50),
                     "p90": h.percentile(90),
+                    "p95": h.percentile(95),
                     "p99": h.percentile(99),
                     "max": h.percentile(100),
                 }

@@ -1,0 +1,1 @@
+"""Tests for the forecast-product service layer (repro.products)."""

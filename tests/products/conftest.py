@@ -1,0 +1,45 @@
+"""Shared fixtures for the product-service tests: tiny products/fields."""
+
+import numpy as np
+import pytest
+
+from repro.realtime.products import CandidateScore, ForecastProduct
+
+
+def make_product(cycle_index: int = 0) -> ForecastProduct:
+    """A small, fully-populated product bulletin."""
+    return ForecastProduct(
+        cycle_index=cycle_index,
+        nowcast_time=3600.0 * (cycle_index + 1),
+        selected="central",
+        scores=(
+            CandidateScore(label="central", weighted_rmse=0.42),
+            CandidateScore(label="ensemble-mean", weighted_rmse=0.57),
+        ),
+        sst_mean=12.5,
+        sst_min=9.75,
+        sst_max=15.25,
+        sst_sigma_median=0.31,
+        ensemble_size=16,
+        converged=True,
+    )
+
+
+def make_field(seed: int = 0, shape=(20, 24)) -> np.ndarray:
+    """A seeded 2-D field with a NaN 'land' corner."""
+    rng = np.random.default_rng(seed)
+    field = rng.standard_normal(shape)
+    field[:3, :3] = np.nan
+    return field
+
+
+@pytest.fixture()
+def product():
+    """One product bulletin."""
+    return make_product()
+
+
+@pytest.fixture()
+def field():
+    """One masked 2-D field."""
+    return make_field()

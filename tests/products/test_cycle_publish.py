@@ -1,0 +1,124 @@
+"""End-to-end: the realtime cycle publishing through CycleProductPublisher.
+
+Exercises the full Fig 1 tail -- cycle -> generate_product -> product
+hook -> versioned store -> reader/service -- rather than feeding the
+store hand-made products.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ESSEConfig,
+    ESSEDriver,
+    PerturbationGenerator,
+    synthetic_initial_subspace,
+)
+from repro.obs.network import aosn2_network
+from repro.ocean import PEModel, StochasticForcing
+from repro.ocean.bathymetry import monterey_grid
+from repro.products.service import ProductService
+from repro.products.store import CycleProductPublisher, ProductReader, ProductStore
+from repro.realtime import ExperimentTimeline, RealTimeForecastCycle
+from repro.telemetry.spans import TraceRecorder
+
+N_PERIODS = 3
+
+
+@pytest.fixture(scope="module")
+def published_run(tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("product-store")
+    grid = monterey_grid(nx=16, ny=14, nz=3)
+    model = PEModel(grid=grid)
+    layout = model.layout
+    background = model.run(model.rest_state(), 86400.0)
+    subspace = synthetic_initial_subspace(
+        layout, grid.shape2d, grid.nz, rank=8, seed=2
+    )
+    perturber = PerturbationGenerator(layout, subspace, root_seed=777)
+    truth0 = model.from_vector(
+        perturber.member_state(model.to_vector(background), 0),
+        time=background.time,
+    )
+    truth_model = PEModel(
+        grid=grid, noise=StochasticForcing(grid, rng=np.random.default_rng(55))
+    )
+    driver = ESSEDriver(
+        model,
+        ESSEConfig(
+            initial_ensemble_size=6,
+            max_ensemble_size=12,
+            convergence_tolerance=0.85,
+            max_subspace_rank=8,
+        ),
+        root_seed=4,
+    )
+    network = aosn2_network(grid, layout, rng=np.random.default_rng(9))
+    timeline = ExperimentTimeline(
+        t0=background.time, period_length=0.25 * 86400.0, n_periods=N_PERIODS
+    )
+    store = ProductStore(workdir, tile_size=4, levels=2)
+    publisher = CycleProductPublisher(store, model)
+    telemetry = TraceRecorder()
+    cycle = RealTimeForecastCycle(
+        driver, truth_model, network, timeline,
+        telemetry=telemetry, product_hook=publisher,
+    )
+    records, _, _ = cycle.run(background, truth0, subspace)
+    return model, store, publisher, records, telemetry
+
+
+class TestCyclePublishes:
+    def test_one_version_per_period(self, published_run):
+        _, store, publisher, records, _ = published_run
+        assert store.version == N_PERIODS
+        assert publisher.published_versions == list(range(1, N_PERIODS + 1))
+        assert len(records) == N_PERIODS  # the cycle itself is unaffected
+
+    def test_publish_spans_recorded(self, published_run):
+        *_, telemetry = published_run
+        publishes = [s for s in telemetry.spans() if s.name == "publish_product"]
+        assert [s.attr("period") for s in publishes] == list(range(N_PERIODS))
+
+    def test_snapshots_carry_cycle_products(self, published_run):
+        model, store, _, _, _ = published_run
+        reader = ProductReader(store.workdir)
+        for version in range(1, N_PERIODS + 1):
+            snapshot = reader.fetch(version)
+            assert snapshot.cycle_index == version - 1
+            assert snapshot.product.selected in {
+                s.label for s in snapshot.product.scores
+            }
+            expected = {"sst_nowcast", "sst_sigma"}
+            if "eta" in model.layout.names:
+                expected.add("ssh_nowcast")
+            assert set(snapshot.fields) == expected
+
+    def test_fields_masked_like_the_grid(self, published_run):
+        model, store, _, _, _ = published_run
+        snapshot = ProductReader(store.workdir).fetch()
+        sst = snapshot.fields["sst_nowcast"].level(0)
+        np.testing.assert_array_equal(np.isnan(sst), ~model.grid.mask)
+        sigma = snapshot.fields["sst_sigma"].level(0)
+        assert np.all(sigma[model.grid.mask] >= 0.0)
+
+    def test_tile_summaries_match_bulletin_statistics(self, published_run):
+        _, store, _, _, _ = published_run
+        snapshot = ProductReader(store.workdir).fetch()
+        domain = snapshot.fields["sst_nowcast"].domain_summary()
+        product = snapshot.product
+        # the bulletin's SST stats were computed over the same wet cells
+        assert domain["min"] == pytest.approx(product.sst_min, rel=1e-9)
+        assert domain["max"] == pytest.approx(product.sst_max, rel=1e-9)
+        assert domain["mean"] == pytest.approx(product.sst_mean, rel=1e-9)
+
+    def test_service_serves_the_cycle_products(self, published_run):
+        _, store, _, _, _ = published_run
+        service = ProductService(store.workdir)
+        response = service.handle("GET", "/v1/products/latest")
+        assert response.status == 200
+        body = json.loads(response.body)
+        assert body["cycle_index"] == N_PERIODS - 1
+        assert "ESSE forecast bulletin" in body["bulletin"]

@@ -1,0 +1,185 @@
+"""The service read path: routing, ETags, caching, graceful degradation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.products.service import ProductService, ServiceResponse
+from repro.products.store import ProductStore
+from repro.telemetry.clock import FakeClock
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import TraceRecorder
+from tests.products.conftest import make_field, make_product
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ProductStore(tmp_path / "store", tile_size=8, levels=2)
+
+
+@pytest.fixture()
+def published(store):
+    field = make_field(1)
+    store.publish(make_product(0), {"sst_nowcast": field, "sst_sigma": np.abs(field)})
+    return store
+
+
+def get(service, target, **headers):
+    return service.handle("GET", target, headers)
+
+
+class TestRouting:
+    def test_non_get_rejected(self, published):
+        service = ProductService(published.workdir)
+        response = service.handle("POST", "/v1/products/latest")
+        assert response.status == 405
+
+    def test_unknown_paths_404(self, published):
+        service = ProductService(published.workdir)
+        for target in (
+            "/nope",
+            "/v1/products",
+            "/v1/products/vABC",
+            "/v1/products/latest/fields",
+            "/v1/products/latest/tiles/sst_nowcast/0",
+            "/v1/products/latest/tiles/sst_nowcast/x/y",
+            "/v1/products/latest/fields/sst_nowcast?level=abc",
+        ):
+            assert get(service, target).status == 404, target
+
+    def test_healthz_reports_version(self, store):
+        service = ProductService(store.workdir)
+        body = json.loads(get(service, "/healthz").body)
+        assert body == {"status": "ok", "version": None}
+        store.publish(make_product(), {"sst_nowcast": make_field()})
+        body = json.loads(get(service, "/healthz").body)
+        assert body["version"] == 1
+
+
+class TestResources:
+    def test_product_manifest_and_bulletin(self, published):
+        service = ProductService(published.workdir)
+        response = get(service, "/v1/products/latest")
+        assert response.status == 200
+        assert response.header("Content-Type") == "application/json"
+        assert response.header("X-Product-Version") == "1"
+        body = json.loads(response.body)
+        assert body["version"] == 1
+        assert set(body["fields"]) == {"sst_nowcast", "sst_sigma"}
+        assert "ESSE forecast bulletin" in body["bulletin"]
+        assert body["product"] == make_product(0).to_dict()
+
+    def test_field_overview_levels(self, published):
+        service = ProductService(published.workdir)
+        full = json.loads(
+            get(service, "/v1/products/1/fields/sst_nowcast").body
+        )
+        assert full["shape"] == [20, 24]
+        coarse = json.loads(
+            get(service, "/v1/products/1/fields/sst_nowcast?level=2").body
+        )
+        assert coarse["shape"] == [5, 6]
+        # land NaNs serialize as nulls, wet cells as floats
+        assert full["values"][0][0] is None
+        assert isinstance(full["values"][10][10], float)
+
+    def test_tile_values_match_the_stored_field(self, published):
+        service = ProductService(published.workdir)
+        body = json.loads(
+            get(service, "/v1/products/latest/tiles/sst_nowcast/1/1").body
+        )
+        expected = make_field(1)[8:16, 8:16]
+        got = np.array(
+            [[np.nan if v is None else v for v in row] for row in body["values"]]
+        )
+        np.testing.assert_allclose(got, expected)
+        assert body["summary"]["count"] == int(np.sum(~np.isnan(expected)))
+
+    def test_unknown_field_and_bad_level_404(self, published):
+        service = ProductService(published.workdir)
+        missing = get(service, "/v1/products/latest/fields/salinity")
+        assert missing.status == 404
+        assert json.loads(missing.body)["fields"] == ["sst_nowcast", "sst_sigma"]
+        assert get(service, "/v1/products/latest/fields/sst_nowcast?level=9").status == 404
+        assert get(service, "/v1/products/latest/tiles/sst_nowcast/9/9").status == 404
+
+
+class TestValidationAndDegradation:
+    def test_etag_revalidation_304(self, published):
+        service = ProductService(published.workdir)
+        first = get(service, "/v1/products/latest")
+        etag = first.header("ETag")
+        assert etag.startswith('"v1-')
+        revalidated = get(service, "/v1/products/latest", **{"If-None-Match": etag})
+        assert revalidated.status == 304
+        assert revalidated.body == b""
+        assert revalidated.header("ETag") == etag
+
+    def test_etag_changes_across_versions(self, published):
+        service = ProductService(published.workdir)
+        old = get(service, "/v1/products/latest").header("ETag")
+        published.publish(make_product(1), {"sst_nowcast": make_field(2)})
+        fresh = get(service, "/v1/products/latest")
+        assert fresh.status == 200
+        assert fresh.header("ETag") != old
+        # stale ETag no longer revalidates
+        assert get(service, "/v1/products/latest", **{"If-None-Match": old}).status == 200
+
+    def test_503_before_first_publish(self, store):
+        service = ProductService(store.workdir)
+        response = get(service, "/v1/products/latest")
+        assert response.status == 503
+        assert response.header("Retry-After") == "1"
+
+    def test_503_while_future_version_publishes(self, published):
+        service = ProductService(published.workdir)
+        response = get(service, "/v1/products/99")
+        assert response.status == 503
+        assert "still publishing" in json.loads(response.body)["error"]
+
+    def test_500_past_the_retry_bound(self, published):
+        published.head_path.write_text("permanently corrupt")
+        service = ProductService(published.workdir, max_unreadable_reads=1)
+        response = get(service, "/v1/products/latest")
+        assert response.status == 500
+        assert "retry bound" in json.loads(response.body)["error"]
+
+
+class TestCachingAndTelemetry:
+    def test_response_cache_hits_on_repeat(self, published):
+        reg = MetricsRegistry()
+        service = ProductService(published.workdir, registry=reg)
+        first = get(service, "/v1/products/latest")
+        second = get(service, "/v1/products/latest")
+        assert first.body == second.body
+        counters = reg.snapshot()["counters"]
+        assert counters["product_cache_hits{cache=responses}"] == 1.0
+        assert counters["product_cache_hits{cache=snapshots}"] >= 1.0
+
+    def test_cache_off_serves_identical_bodies(self, published):
+        cached = ProductService(published.workdir)
+        uncached = ProductService(published.workdir, cache_size=0)
+        target = "/v1/products/latest/fields/sst_sigma?level=1"
+        assert get(cached, target).body == get(uncached, target).body
+        assert get(uncached, target).body == get(uncached, target).body
+
+    def test_request_metrics_and_spans(self, published):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        recorder = TraceRecorder(clock=clock)
+        service = ProductService(published.workdir, registry=reg, telemetry=recorder)
+        get(service, "/v1/products/latest")
+        get(service, "/nope")
+        snap = reg.snapshot()
+        assert snap["counters"]["product_requests{route=product,status=200}"] == 1.0
+        assert snap["counters"]["product_requests{route=unknown,status=404}"] == 1.0
+        assert snap["histograms"]["product_request_seconds{route=product}"]["count"] == 1
+        spans = [s.name for s in recorder.spans()]
+        assert "product_request" in spans
+
+    def test_response_dataclass_helpers(self):
+        response = ServiceResponse(status=503, headers=(("Retry-After", "1"),))
+        assert response.reason == "Service Unavailable"
+        assert response.header("retry-after") == "1"
+        assert response.header("X-Missing", "d") == "d"

@@ -1,0 +1,145 @@
+"""Tiled/LOD field layout: summaries, downsampling, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.products.tiles import TiledField, TileSummary, downsample, tile_summaries
+
+
+class TestTileSummary:
+    def test_round_trip(self):
+        s = TileSummary(tj=1, ti=2, count=9, min=-1.0, max=3.0, mean=0.5, std=0.7)
+        assert TileSummary.from_dict(s.to_dict()) == s
+
+    def test_nan_encodes_as_none(self):
+        nan = float("nan")
+        s = TileSummary(tj=0, ti=0, count=0, min=nan, max=nan, mean=nan, std=nan)
+        d = s.to_dict()
+        assert d["min"] is None and d["std"] is None
+        back = TileSummary.from_dict(d)
+        assert np.isnan(back.mean)
+
+
+class TestDownsample:
+    def test_factor_two_mean_pooling(self):
+        a = np.array([[1.0, 3.0], [5.0, 7.0]])
+        assert downsample(a).tolist() == [[4.0]]
+
+    def test_nan_aware_partial_blocks(self):
+        a = np.array([[1.0, np.nan], [3.0, np.nan]])
+        assert downsample(a).tolist() == [[2.0]]
+
+    def test_all_land_block_stays_nan(self):
+        a = np.full((2, 4), np.nan)
+        a[:, 2:] = 1.0
+        out = downsample(a)
+        assert np.isnan(out[0, 0])
+        assert out[0, 1] == 1.0
+
+    def test_odd_shapes_pad_with_nan(self):
+        # 3x3 pools to 2x2; the padded cells never contribute
+        a = np.ones((3, 3))
+        out = downsample(a)
+        assert out.shape == (2, 2)
+        assert np.all(out == 1.0)
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            downsample(np.ones((2, 2)), factor=1)
+
+
+class TestTileSummaries:
+    def test_matches_naive_per_tile_stats(self, field):
+        ts = 8
+        summaries = {(s.tj, s.ti): s for s in tile_summaries(field, ts)}
+        ny, nx = field.shape
+        for tj in range(-(-ny // ts)):
+            for ti in range(-(-nx // ts)):
+                tile = field[tj * ts : (tj + 1) * ts, ti * ts : (ti + 1) * ts]
+                wet = tile[~np.isnan(tile)]
+                s = summaries[(tj, ti)]
+                assert s.count == wet.size
+                if wet.size:
+                    assert s.min == pytest.approx(wet.min())
+                    assert s.max == pytest.approx(wet.max())
+                    assert s.mean == pytest.approx(wet.mean())
+                    assert s.std == pytest.approx(wet.std(), abs=1e-12)
+                else:
+                    assert np.isnan(s.mean)
+
+    def test_all_land_tile_counts_zero(self):
+        a = np.full((4, 4), np.nan)
+        (s,) = tile_summaries(a, 4)
+        assert s.count == 0
+        assert np.isnan(s.min) and np.isnan(s.std)
+
+    def test_tile_size_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            tile_summaries(np.ones((2, 2)), 0)
+
+
+class TestTiledField:
+    def test_shape_levels_and_tile_grid(self, field):
+        tf = TiledField("sst", field, tile_size=8, levels=2)
+        assert tf.shape == field.shape
+        assert tf.n_levels == 3  # full res + 2 downsamples
+        assert tf.tile_grid == (3, 3)  # ceil(20/8), ceil(24/8)
+        assert tf.level(1).shape == (10, 12)
+        assert tf.level(2).shape == (5, 6)
+
+    def test_level_bounds(self, field):
+        tf = TiledField("sst", field)
+        with pytest.raises(KeyError, match="levels 0"):
+            tf.level(99)
+
+    def test_tile_slicing_and_summary_lookup(self, field):
+        tf = TiledField("sst", field, tile_size=8)
+        tile = tf.tile(2, 2)
+        assert tile.shape == (4, 8)  # edge tile is smaller
+        np.testing.assert_array_equal(tile, field[16:20, 16:24])
+        s = tf.summary(1, 2)
+        assert (s.tj, s.ti) == (1, 2)
+        with pytest.raises(KeyError, match="outside tile grid"):
+            tf.tile(3, 0)
+        with pytest.raises(KeyError, match="outside tile grid"):
+            tf.summary(0, 3)
+
+    def test_domain_summary_matches_direct_scan(self, field):
+        tf = TiledField("sst", field, tile_size=8)
+        wet = field[~np.isnan(field)]
+        domain = tf.domain_summary()
+        assert domain["count"] == wet.size
+        assert domain["min"] == pytest.approx(wet.min())
+        assert domain["max"] == pytest.approx(wet.max())
+        assert domain["mean"] == pytest.approx(wet.mean())
+        assert domain["std"] == pytest.approx(wet.std(), rel=1e-9)
+
+    def test_all_land_domain_summary(self):
+        tf = TiledField("land", np.full((8, 8), np.nan))
+        assert tf.domain_summary() == {
+            "count": 0, "min": None, "max": None, "mean": None, "std": None,
+        }
+
+    def test_payload_round_trip(self, field):
+        tf = TiledField("sst", field, tile_size=8, levels=2)
+        back = TiledField.from_payload(tf.meta(), tf.arrays())
+        assert back.name == tf.name
+        assert back.tile_size == tf.tile_size
+        assert back.summaries == tf.summaries
+        for lod in range(tf.n_levels):
+            np.testing.assert_array_equal(back.level(lod), tf.level(lod))
+
+    def test_payload_missing_array_rejected(self, field):
+        tf = TiledField("sst", field)
+        arrays = tf.arrays()
+        arrays.pop("sst__L1")
+        with pytest.raises(KeyError, match="sst__L1"):
+            TiledField.from_payload(tf.meta(), arrays)
+
+    def test_constructor_validation(self, field):
+        with pytest.raises(ValueError, match="2-D"):
+            TiledField("bad", np.ones(5))
+        with pytest.raises(ValueError, match="tile_size"):
+            TiledField("bad", field, tile_size=0)
+        with pytest.raises(ValueError, match="levels"):
+            TiledField("bad", field, levels=0)

@@ -63,6 +63,76 @@ class TestScoring:
             CandidateScore(label="x", weighted_rmse=-1.0)
 
 
+class _StubOperator:
+    """A tiny (H, R, y) stand-in observing the state vector directly."""
+
+    def __init__(self, values, noise_var):
+        self.values = np.asarray(values, dtype=float)
+        self.noise_var = np.asarray(noise_var, dtype=float)
+
+    def innovation(self, state_vector):
+        return self.values - np.asarray(state_vector, dtype=float)
+
+
+class TestScoringEdgeCases:
+    def test_single_candidate(self):
+        operator = _StubOperator([1.0, 2.0], [0.25, 0.25])
+        scores = score_candidates({"only": np.array([1.0, 2.0])}, operator)
+        assert [s.label for s in scores] == ["only"]
+        assert scores[0].weighted_rmse == 0.0
+
+    def test_exact_ties_order_by_label(self):
+        operator = _StubOperator([0.0, 0.0], [1.0, 1.0])
+        tied = np.array([1.0, 1.0])
+        forward = score_candidates({"zeta": tied, "alpha": tied.copy()}, operator)
+        reverse = score_candidates({"alpha": tied.copy(), "zeta": tied}, operator)
+        assert [s.label for s in forward] == ["alpha", "zeta"]
+        assert [s.label for s in forward] == [s.label for s in reverse]
+        assert forward[0].weighted_rmse == forward[1].weighted_rmse
+
+    def test_near_zero_noise_var_stays_finite(self):
+        operator = _StubOperator([1.0], [1e-12])
+        scores = score_candidates(
+            {"exact": np.array([1.0]), "off": np.array([2.0])}, operator
+        )
+        assert scores[0].label == "exact"
+        assert scores[0].weighted_rmse == 0.0
+        assert scores[1].weighted_rmse == pytest.approx(1e6)
+        assert np.isfinite(scores[1].weighted_rmse)
+
+    def test_near_zero_noise_dominates_mixed_batch(self):
+        # matching the tiny-noise instrument wins even while badly missing
+        # the noisy one -- the weighting is what selection is about
+        operator = _StubOperator([0.0, 0.0], [1e-10, 100.0])
+        close_on_precise = np.array([1e-4, 5.0])
+        close_on_noisy = np.array([1.0, 0.0])
+        scores = score_candidates(
+            {"precise": close_on_precise, "noisy": close_on_noisy}, operator
+        )
+        assert scores[0].label == "precise"
+
+
+class TestSerialization:
+    def test_candidate_score_round_trip(self):
+        score = CandidateScore(label="central", weighted_rmse=0.123456789)
+        assert CandidateScore.from_dict(score.to_dict()) == score
+
+    def test_product_round_trip_through_json(self, product_setup):
+        import json
+
+        model, forecast, batch = product_setup
+        product = generate_product(model, forecast, batch.operator, cycle_index=3)
+        wire = json.loads(json.dumps(product.to_dict()))
+        assert ForecastProduct.from_dict(wire) == product
+
+    def test_round_trip_preserves_ranking_and_render(self, product_setup):
+        model, forecast, batch = product_setup
+        product = generate_product(model, forecast, batch.operator)
+        back = ForecastProduct.from_dict(product.to_dict())
+        assert [s.label for s in back.scores] == [s.label for s in product.scores]
+        assert back.render() == product.render()
+
+
 class TestProduct:
     def test_standard_candidates_present(self, product_setup):
         model, forecast, batch = product_setup

@@ -95,7 +95,9 @@ class TestRegistry:
         hist = snap["histograms"]["task_seconds{kind=pemodel}"]
         assert hist["count"] == 1
         assert hist["sum"] == 1.5
-        assert set(hist) == {"count", "sum", "mean", "p50", "p90", "p99", "max"}
+        assert set(hist) == {
+            "count", "sum", "mean", "p50", "p90", "p95", "p99", "max",
+        }
 
     def test_snapshot_is_json_serialisable(self):
         import json

@@ -23,12 +23,12 @@ export PYTHONPATH
 if [ -n "${CI_FULL:-}" ]; then
     python -m pytest -x -q
 else
-    python -m pytest tests/workflow tests/telemetry tests/lint -q
+    python -m pytest tests/workflow tests/telemetry tests/lint tests/products -q
 fi
 
 # Sanitized pass: the threaded suites again, with the lockset race
 # detector and lock-order witness live on every lock in the system.
-REPRO_SANITIZE=1 python -m pytest tests/workflow tests/telemetry -q
+REPRO_SANITIZE=1 python -m pytest tests/workflow tests/telemetry tests/products -q
 echo "sanitizer: clean"
 
 python -m tools.lint src/repro tests benchmarks tools --format json > /dev/null
@@ -41,6 +41,9 @@ python tools/check_docs.py \
     repro.telemetry.clock repro.telemetry.spans repro.telemetry.metrics \
     repro.telemetry.events repro.telemetry.export
 python tools/check_docs.py repro.util.sanitizer repro.core.taskmodel
+python tools/check_docs.py \
+    repro.products.store repro.products.tiles repro.products.cache \
+    repro.products.service repro.products.server
 
 # Smoke: the differ->SVD hot-path bench at CI scale (BENCH_SMOKE shrinks
 # the matrices; the committed full-size numbers live in
@@ -52,6 +55,16 @@ BENCH_SMOKE=1 BENCH_OUTPUT_DIR="$covfile_tmp" \
     --rootdir=benchmarks -p no:cacheprovider
 rm -rf "$covfile_tmp"
 echo "covfile pipeline smoke: ok"
+
+# Smoke: the product-service load bench at CI scale (tiny fleet; the
+# committed full-size numbers live in
+# benchmarks/results/BENCH_product_service.json).
+products_tmp="$(mktemp -d)"
+BENCH_SMOKE=1 BENCH_OUTPUT_DIR="$products_tmp" \
+    python -m pytest benchmarks/bench_product_service.py -q \
+    --rootdir=benchmarks -p no:cacheprovider
+rm -rf "$products_tmp"
+echo "product service smoke: ok"
 
 # Smoke: a tiny traced task-pool run must export a valid Chrome trace.
 python - <<'EOF'

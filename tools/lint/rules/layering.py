@@ -42,6 +42,11 @@ ALLOWED_IMPORTS: dict[str, set[str]] = {
         "acoustics",
         "workflow",
     },
+    # The forecast-product service layer sits on top of the realtime
+    # cycle: it stores/serves what realtime produces and must never be
+    # imported back by anything beneath it (the cycle reaches it only
+    # through the generic product_hook callable).
+    "products": {"util", "telemetry", "realtime"},
 }
 
 

@@ -7,7 +7,7 @@ Usage::
 
 Reads a run log written by :func:`repro.telemetry.export.write_jsonl`
 (e.g. by a benchmark or a task-pool run) and prints one row per span
-name: count, total seconds, mean, p50/p90/p99 and max -- the quick
+name: count, total seconds, mean, p50/p90/p95/p99 and max -- the quick
 answer to the paper's Sec 5.3.1 monitoring complaint without opening a
 trace viewer.  ``--events`` appends a per-kind event count table.
 """
@@ -61,6 +61,7 @@ def span_rows(spans) -> list[list[str]]:
                 f"{sum(durations) / len(durations):.4f}",
                 f"{percentile(durations, 50):.4f}",
                 f"{percentile(durations, 90):.4f}",
+                f"{percentile(durations, 95):.4f}",
                 f"{percentile(durations, 99):.4f}",
                 f"{max(durations):.4f}",
             ]
@@ -95,7 +96,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             format_table(
                 ["kind", "count", "total_s", "mean_s", "p50_s", "p90_s",
-                 "p99_s", "max_s"],
+                 "p95_s", "p99_s", "max_s"],
                 rows,
             )
         )
