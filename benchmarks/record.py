@@ -79,7 +79,9 @@ def record_bench(
     if artifacts:
         payload["artifacts"] = {k: str(v) for k, v in artifacts.items()}
     path = output_dir() / f"BENCH_{safe}.json"
+    from repro.util.fsio import durable_replace
+
     tmp = path.with_suffix(".json.tmp")
     tmp.write_text(json.dumps(payload, indent=2, default=str))
-    os.replace(tmp, path)
+    durable_replace(tmp, path)
     return path

@@ -135,7 +135,7 @@ class FieldLayout:
         if len(set(counts.values())) > 1:
             raise ValueError(f"inconsistent member counts per field: {counts}")
         n_members = next(iter(counts.values()), 0)
-        out = np.empty((self.size, n_members))
+        out = np.empty((self.size, n_members))  # shape: (size, n_members) # dtype: float64
         for spec in self.specs:
             if spec.name not in fields:
                 raise KeyError(f"missing field {spec.name!r}")
@@ -155,7 +155,7 @@ class FieldLayout:
         Inverse of :meth:`pack_many`: each returned array has shape
         ``(N, *spec.shape)`` (contiguous copies).
         """
-        matrix = np.asarray(matrix)
+        matrix = np.asarray(matrix)  # shape: (size, n_members)
         if matrix.ndim != 2 or matrix.shape[0] != self.size:
             raise ValueError(
                 f"expected matrix of shape ({self.size}, N), got {matrix.shape}"

@@ -275,7 +275,7 @@ class PEModel:
 
         Column ``j`` is bit-identical to ``to_vector(ensemble.member(j))``.
         """
-        return self.layout.pack_many(
+        return self.layout.pack_many(  # shape: (state_dim, n_members) # dtype: float64
             {
                 "u": ensemble.u,
                 "v": ensemble.v,
@@ -289,6 +289,7 @@ class PEModel:
         self, matrix: np.ndarray, time: float = 0.0
     ) -> EnsembleState:
         """Unpack an ``(state_dim, N)`` column matrix into a (masked) batch."""
+        matrix = np.asarray(matrix)  # shape: (state_dim, n_members)
         fields = self.layout.unpack_many(matrix)
         ens = EnsembleState(time=time, **fields)
         ens.u = self.grid.apply_mask(ens.u)
@@ -416,8 +417,8 @@ class PEModel:
         dT, dS = self.tracers.tendencies(
             ensemble.temp, ensemble.salt, ensemble.u, ensemble.v, deta_dt, heat
         )
-        temp = ensemble.temp + dt * dT
-        salt = ensemble.salt + dt * dS
+        temp = ensemble.temp + dt * dT  # shape: (n_members, ny, nx)
+        salt = ensemble.salt + dt * dS  # shape: (n_members, ny, nx)
 
         if noise is not None and noise.is_active():
             if noise.count != ensemble.count:

@@ -8,12 +8,14 @@ persistent connections (keep-alive by default, honoured until the
 client sends ``Connection: close``), ``Content-Length`` framing and the
 service's ETag/503 semantics passed straight through.
 
-The request handler calls the service synchronously on the event loop:
-the read path is dominated by the in-memory caches (a miss costs one
-small-file read plus an npz decode), so a worker-pool hop would cost
-more than it saves at product-snapshot sizes.  Heavy deployments shard
-by running several server processes against the same immutable store --
-readers never lock, so processes scale horizontally.
+The request handler never runs the service on the event loop: a
+cache-missing request costs a small-file read plus an npz decode, which
+would stall every other connection for its duration (REP010).  Requests
+are offloaded to a single-worker thread pool instead -- one worker
+because the service serializes on its cache lock anyway, so extra
+threads would only add contention.  Heavy deployments shard by running
+several server processes against the same immutable store -- readers
+never lock, so processes scale horizontally.
 
 Malformed requests are answered with ``400`` and the connection is
 closed; oversized request lines or header blocks (> 16 KiB) are
@@ -23,6 +25,7 @@ rejected the same way rather than buffered without bound.
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import asynccontextmanager
 
 from repro.products.service import ProductService, ServiceResponse
@@ -50,11 +53,15 @@ class ProductHTTPServer:
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
 
     async def start(self) -> None:
         """Bind and start accepting connections."""
         if self._server is not None:
             raise RuntimeError("server already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="product-service"
+        )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -67,6 +74,9 @@ class ProductHTTPServer:
         self._server.close()
         await self._server.wait_closed()
         self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     @asynccontextmanager
     async def serving(self):
@@ -102,7 +112,9 @@ class ProductHTTPServer:
                     )
                     break
                 method, target, http11, headers = request
-                response = self.service.handle(method, target, headers)
+                response = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self.service.handle, method, target, headers
+                )
                 keep_alive = (
                     http11
                     and headers.get("connection", "keep-alive").lower() != "close"

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.products.tiles import TiledField
 from repro.realtime.products import ForecastProduct
+from repro.util.fsio import durable_replace
 
 #: Payload files every version directory carries next to its manifest.
 PAYLOAD_FILES = ("fields.npz", "product.json")
@@ -220,7 +221,7 @@ class ProductStore:
         head = {"version": version, "dir": _dirname(version), "checksum": checksum}
         tmp = self.head_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(head))
-        os.replace(tmp, self.head_path)
+        durable_replace(tmp, self.head_path)
         # Commit point: readers can now see the new version.
         self._version = version
         self._retire_old_versions()

@@ -109,10 +109,10 @@ def downsample(array: np.ndarray, factor: int = 2) -> np.ndarray:
     """
     if factor < 2:
         raise ValueError(f"downsample factor must be >= 2, got {factor}")
-    blocks = _blocked(array, factor)
-    counts = np.sum(~np.isnan(blocks), axis=2)
-    sums = np.nansum(blocks, axis=2)
-    out = np.full(counts.shape, np.nan)
+    blocks = _blocked(array, factor)  # shape: (tj, ti, ?) # dtype: float64
+    counts = np.sum(~np.isnan(blocks), axis=2)  # shape: (tj, ti)
+    sums = np.nansum(blocks, axis=2)  # shape: (tj, ti) # dtype: float64
+    out = np.full(counts.shape, np.nan)  # shape: (tj, ti)
     wet = counts > 0
     out[wet] = sums[wet] / counts[wet]
     return out
@@ -122,15 +122,15 @@ def tile_summaries(array: np.ndarray, tile_size: int) -> list[TileSummary]:
     """Per-tile wet-cell statistics of a 2-D field (vectorized, one pass)."""
     if tile_size < 1:
         raise ValueError(f"tile_size must be >= 1, got {tile_size}")
-    blocks = _blocked(array, tile_size)
-    counts = np.sum(~np.isnan(blocks), axis=2)
+    blocks = _blocked(array, tile_size)  # shape: (tj, ti, ?) # dtype: float64
+    counts = np.sum(~np.isnan(blocks), axis=2)  # shape: (tj, ti)
     wet = counts > 0
     with np.errstate(invalid="ignore"):
         mins = np.where(wet, np.nanmin(np.where(np.isnan(blocks), np.inf, blocks), axis=2), np.nan)
         maxs = np.where(wet, np.nanmax(np.where(np.isnan(blocks), -np.inf, blocks), axis=2), np.nan)
-        sums = np.nansum(blocks, axis=2)
+        sums = np.nansum(blocks, axis=2)  # shape: (tj, ti) # dtype: float64
         means = np.where(wet, sums / np.maximum(counts, 1), np.nan)
-        sq = np.nansum(blocks**2, axis=2)
+        sq = np.nansum(blocks**2, axis=2)  # shape: (tj, ti) # dtype: float64
         variances = np.where(
             wet, np.maximum(sq / np.maximum(counts, 1) - means**2, 0.0), np.nan
         )

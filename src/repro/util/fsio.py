@@ -1,0 +1,62 @@
+"""Durable filesystem I/O helpers for the stage-then-replace publish protocol.
+
+Every artifact the repo publishes (covariance files, product HEAD pointers,
+member forecasts, task status files) follows the same idiom: write to a
+staging path, make the bytes durable, then :func:`os.replace` onto the
+visible path.  The middle step is the one that gets forgotten -- an
+``os.replace`` of an unfsynced file is atomic with respect to *naming* but
+not *contents*: after a crash the published name can point at a truncated
+or empty artifact.  The REP011 lint rule enforces the full protocol; these
+helpers are the sanctioned way to satisfy it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["fsync_path", "fsync_dir", "durable_replace"]
+
+
+def fsync_path(path: str | os.PathLike[str]) -> None:
+    """fsync the file at *path* so its contents survive a crash.
+
+    Opens read-only, so it works on artifacts written and closed by other
+    code (``Path.write_text``, ``np.savez``, ...).
+    """
+    fd = os.open(os.fspath(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str | os.PathLike[str]) -> None:
+    """fsync a directory so a rename into it is durable.
+
+    Directory fsync is what persists the *name* -> inode mapping after an
+    ``os.replace``.  Best-effort: some filesystems (and platforms) refuse
+    to fsync a directory fd; that degrades durability, not correctness.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(src: str | os.PathLike[str], dst: str | os.PathLike[str]) -> None:
+    """Publish *src* at *dst*: fsync src, replace, fsync the parent dir.
+
+    The one-call form of the stage -> fsync -> replace protocol.  After it
+    returns, a crash at any point leaves *dst* either absent/previous or
+    fully equal to the staged bytes -- never a torn mix.
+    """
+    fsync_path(src)
+    os.replace(src, dst)
+    fsync_dir(Path(dst).resolve().parent)

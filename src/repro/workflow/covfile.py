@@ -34,7 +34,6 @@ not be an infinite silent spin; see ``docs/FAILURE_MODEL.md``).
 from __future__ import annotations
 
 import json
-import os
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
@@ -42,6 +41,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.covariance import AnomalyView
+from repro.util.fsio import durable_replace
 
 
 class CovarianceReadError(RuntimeError):
@@ -164,7 +164,7 @@ class CovarianceFileSet:
         target = self.live_paths[self._next_live]
         tmp = target.with_suffix(".tmp.npz")
         np.savez(tmp, anomalies=anomalies, member_ids=ids, version=self._version + 1)
-        os.replace(tmp, target)
+        durable_replace(tmp, target)
         # Commit point: the replace succeeded, the new generation is on disk.
         self._version += 1
         self._next_live = 1 - self._next_live
@@ -180,7 +180,7 @@ class CovarianceFileSet:
             return False
         tmp = self.safe_path.with_suffix(".tmp.npz")
         shutil.copyfile(self._last_complete, tmp)
-        os.replace(tmp, self.safe_path)
+        durable_replace(tmp, self.safe_path)
         return True
 
     # -- SVD side ----------------------------------------------------------------
@@ -298,10 +298,10 @@ class MemmapCovarianceStore:
         from the failure is overwritten.  Nothing becomes visible to
         readers until :meth:`publish`.
         """
-        columns = np.asarray(columns, dtype=np.float64)
+        columns = np.asarray(columns, dtype=np.float64)  # shape: (state_dim, count) # dtype: float64
         if columns.ndim == 1:
             columns = columns[:, None]
-        ids = np.asarray(member_ids, dtype=np.int64).ravel()
+        ids = np.asarray(member_ids, dtype=np.int64).ravel()  # shape: (count) # dtype: int64
         if columns.ndim != 2 or columns.shape[1] != ids.size:
             raise ValueError(
                 f"columns {columns.shape} inconsistent with {ids.size} member ids"
@@ -335,8 +335,8 @@ class MemmapCovarianceStore:
             raise ValueError(
                 f"view has {view.count} columns but {self._appended} already stored"
             )
-        new = view.columns[:, self._appended : view.count]
-        ids = view.member_ids[self._appended : view.count]
+        new = view.columns[:, self._appended : view.count]  # shape: (state_dim, ?)
+        ids = view.member_ids[self._appended : view.count]  # shape: (?) # dtype: int64
         return self.append(new, ids)
 
     def publish(self) -> bool:
@@ -358,7 +358,7 @@ class MemmapCovarianceStore:
         }
         tmp = self.header_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(header))
-        os.replace(tmp, self.header_path)
+        durable_replace(tmp, self.header_path)
         # Commit point: readers can now see the new generation.
         self._version += 1
         self._published = self._appended
@@ -390,15 +390,18 @@ class MemmapCovarianceStore:
                 raise ValueError("columns file shorter than header claims")
             if self.members_path.stat().st_size < count * 8:
                 raise ValueError("members file shorter than header claims")
+            member_ids = np.fromfile(
+                self.members_path, dtype=np.int64, count=count
+            )
+            # Map the columns last: nothing after this can raise, so the
+            # mapping cannot leak on the unreadable-generation path -- the
+            # snapshot returned below owns it (REP009).
             columns = np.memmap(
                 self.columns_path,
                 dtype=np.float64,
                 mode="r",
                 shape=(n, count),
                 order="F",
-            )
-            member_ids = np.fromfile(
-                self.members_path, dtype=np.int64, count=count
             )
         except Exception as exc:
             self._note_unreadable(exc)

@@ -588,6 +588,9 @@ class EnsembleEngine:
                         break
             finally:
                 self.backend.close()
+                # The column store's write handles are only needed while the
+                # run appends; the published files stay readable after close.
+                self.store.close()
 
         if subspace is None:
             raise RuntimeError("no ensemble members survived the engine run")

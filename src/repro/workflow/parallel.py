@@ -51,6 +51,7 @@ from repro.core.ensemble import EnsembleRunner
 from repro.core.subspace import ErrorSubspace
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import NULL_RECORDER
+from repro.util.fsio import durable_replace
 from repro.util.sanitizer import new_lock, track
 from repro.workflow.covfile import CovarianceFileSet, MemmapCovarianceStore
 from repro.workflow.faults import FaultInjector, FaultKind
@@ -164,7 +165,7 @@ def _execute_member(
         if fault is FaultKind.CORRUPT:
             faults.fire(fault, index, attempt)
             tmp.write_bytes(faults.corrupt_bytes(tmp.read_bytes()))
-        tmp.replace(path)
+        durable_replace(tmp, path)
         status.write("pemodel", index, TaskStatus.SUCCESS, attempt=attempt)
         return index, attempt, True, None
     status.write("pemodel", index, TaskStatus.MODEL_FAILURE, attempt=attempt)

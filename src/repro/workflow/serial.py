@@ -21,7 +21,6 @@ run exports the same Chrome-trace timeline as the parallel workflow.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -33,6 +32,7 @@ from repro.core.driver import ESSEConfig
 from repro.core.ensemble import EnsembleRunner
 from repro.core.subspace import ErrorSubspace
 from repro.telemetry.spans import TraceRecorder
+from repro.util.fsio import durable_replace
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
 
 #: Span-name prefix shared by the serial shepherd's phase spans.
@@ -192,7 +192,7 @@ class SerialESSEWorkflow:
                             np.savez(
                                 tmp, anomalies=m, member_ids=accumulator.member_ids
                             )
-                            os.replace(tmp, self.cov_path)
+                            durable_replace(tmp, self.cov_path)
 
                 # --- SVD + convergence (bottlenecks 3 and 4) ---------------
                 with recorder.span(

@@ -12,10 +12,11 @@ scanning which indices already completed and submitting only the rest.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from enum import IntEnum
 from pathlib import Path
+
+from repro.util.fsio import durable_replace
 
 
 class TaskStatus(IntEnum):
@@ -96,12 +97,12 @@ class StatusDirectory:
         path = self._path(kind, index)
         tmp = path.with_suffix(".status.tmp")
         tmp.write_text(f"{int(status)}\n")
-        os.replace(tmp, path)
+        durable_replace(tmp, path)
         if attempt is not None:
             apath = self._path(kind, index, attempt)
             atmp = apath.with_suffix(".status.tmp")
             atmp.write_text(f"{int(status)}\n")
-            os.replace(atmp, apath)
+            durable_replace(atmp, apath)
 
     def read(self, kind: str, index: int) -> TaskStatus | None:
         """The recorded status, or None if the task has not reported."""

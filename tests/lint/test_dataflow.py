@@ -1,0 +1,364 @@
+"""CFG-builder and forward-analysis tests, independent of any rule.
+
+Each test asserts structural properties of the graph (which paths
+exist, what cleanup they route through), not node indices -- the
+builder is free to renumber as long as the paths are right.
+"""
+
+import ast
+import textwrap
+
+from tools.lint.dataflow import analyze_forward, build_cfg, iter_function_defs
+
+
+def cfg_of(source):
+    """Build the CFG of the first function in *source*."""
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(iter_function_defs(tree))
+    return build_cfg(func)
+
+
+def stmt_node(cfg, text):
+    """The unique stmt/branch/loop node whose source contains *text*."""
+    hits = [
+        n
+        for n in cfg.nodes
+        if n.stmt is not None and text in ast.unparse(n.stmt).split("\n")[0]
+    ]
+    assert hits, f"no node matching {text!r}"
+    return hits[0]
+
+
+def reachable_from(cfg, start):
+    """Indices reachable from *start* by successor edges."""
+    seen, stack = set(), [start]
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        stack.extend(cfg.nodes[index].succs)
+    return seen
+
+
+def paths_to_exit(cfg, limit=10_000):
+    """All acyclic entry->exit node-index paths (tests keep CFGs tiny)."""
+    out = []
+
+    def walk(index, path):
+        if len(out) >= limit:
+            return
+        if index == cfg.exit:
+            out.append(path)
+            return
+        for succ in cfg.nodes[index].succs:
+            if succ not in path:
+                walk(succ, path + [succ])
+
+    walk(cfg.entry, [cfg.entry])
+    return out
+
+
+class TestLinear:
+    def test_straight_line_single_path(self):
+        cfg = cfg_of(
+            """
+            def f():
+                a = 1
+                b = a + 1
+                return b
+            """
+        )
+        paths = paths_to_exit(cfg)
+        assert len(paths) == 1
+        kinds = [cfg.nodes[i].kind for i in paths[0]]
+        assert kinds == ["entry", "stmt", "stmt", "stmt", "exit"]
+
+    def test_if_else_joins(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        assert len(paths_to_exit(cfg)) == 2
+        ret = stmt_node(cfg, "return a")
+        preds = cfg.preds()[ret.index]
+        assert len(preds) == 2  # both arms join at the return
+
+    def test_if_without_else_has_fallthrough(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                return x
+            """
+        )
+        # One path through the body, one straight from the branch node.
+        assert len(paths_to_exit(cfg)) == 2
+
+
+class TestLoops:
+    def test_for_loop_back_edge(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for x in items:
+                    use(x)
+                return None
+            """
+        )
+        head = cfg.nodes_of_kind("loop_head")[0]
+        body = stmt_node(cfg, "use(x)")
+        assert head.index in body.succs  # back edge
+        assert body.index in head.succs  # head enters body
+
+    def test_while_orelse_on_normal_exhaustion(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                while x:
+                    x = step(x)
+                else:
+                    finish()
+                return x
+            """
+        )
+        head = cfg.nodes_of_kind("loop_head")[0]
+        orelse = stmt_node(cfg, "finish()")
+        assert orelse.index in head.succs  # exhaustion runs the else
+
+    def test_break_bypasses_orelse(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for x in items:
+                    if x:
+                        break
+                else:
+                    finish()
+                return x
+            """
+        )
+        brk = stmt_node(cfg, "break")
+        orelse = stmt_node(cfg, "finish()")
+        ret = stmt_node(cfg, "return x")
+        # break reaches the return without passing through the else
+        assert ret.index in reachable_from(cfg, brk.index)
+        assert orelse.index not in reachable_from(cfg, brk.index)
+
+    def test_continue_targets_loop_head(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                for x in items:
+                    if x:
+                        continue
+                    use(x)
+            """
+        )
+        head = cfg.nodes_of_kind("loop_head")[0]
+        cont = stmt_node(cfg, "continue")
+        assert head.index in cont.succs
+
+
+class TestWith:
+    def test_with_exit_on_normal_path(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data
+            """
+        )
+        leave = cfg.nodes_of_kind("with_exit")
+        assert len(leave) == 1
+        ret = stmt_node(cfg, "return data")
+        assert ret.index in leave[0].succs
+
+    def test_early_return_unwinds_through_with_exit(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                with open(path) as fh:
+                    if bad(fh):
+                        return None
+                    data = fh.read()
+                return data
+            """
+        )
+        # Two with_exit instances: one on the early return's unwind path,
+        # one on the normal fall-through.
+        leaves = cfg.nodes_of_kind("with_exit")
+        assert len(leaves) == 2
+        ret_none = stmt_node(cfg, "return None")
+        unwind = [leave for leave in leaves if leave.index in ret_none.succs]
+        assert len(unwind) == 1
+        assert cfg.exit in unwind[0].succs  # early return: with_exit -> exit
+
+
+class TestTry:
+    def test_finally_duplicated_on_return(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                try:
+                    if x:
+                        return early()
+                    mid()
+                finally:
+                    cleanup()
+                return late()
+            """
+        )
+        # Two cleanup instances: the return's unwind copy and the normal one.
+        cleanups = [
+            n
+            for n in cfg.nodes
+            if n.stmt is not None and "cleanup" in ast.unparse(n.stmt)
+        ]
+        assert len(cleanups) == 2
+        # Every entry->exit path runs cleanup exactly once.
+        for path in paths_to_exit(cfg):
+            n_cleanups = sum(1 for i in path if cfg.nodes[i] in cleanups)
+            assert n_cleanups == 1
+
+    def test_return_in_try_with_raising_finally(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    return value()
+                finally:
+                    raise Boom()
+                """
+        )
+        # No normal completion: the single path is return -> raise -> exit.
+        for path in paths_to_exit(cfg):
+            texts = [
+                ast.unparse(cfg.nodes[i].stmt).split("\n")[0]
+                for i in path
+                if cfg.nodes[i].stmt is not None and cfg.nodes[i].kind == "stmt"
+            ]
+            assert any("raise" in t for t in texts)
+
+    def test_handler_sees_pre_try_and_mid_body_state(self):
+        cfg = cfg_of(
+            """
+            def f():
+                before()
+                try:
+                    first()
+                    second()
+                except ValueError:
+                    handle()
+            """
+        )
+        handler = cfg.nodes_of_kind("except")[0]
+        preds = set(cfg.preds()[handler.index])
+        assert stmt_node(cfg, "before()").index in preds  # pre-try frontier
+        assert stmt_node(cfg, "first()").index in preds
+        assert stmt_node(cfg, "second()").index in preds
+
+    def test_simple_assign_contributes_pre_state_to_handler(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    x = acquire()
+                except OSError:
+                    handle()
+            """
+        )
+        # `x = acquire()` binds only after the RHS completes, so the
+        # handler must NOT receive its post-state.
+        handler = cfg.nodes_of_kind("except")[0]
+        assign = stmt_node(cfg, "x = acquire()")
+        assert handler.index not in assign.succs
+
+    def test_orelse_runs_only_without_exception(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+                else:
+                    celebrate()
+            """
+        )
+        handler = cfg.nodes_of_kind("except")[0]
+        orelse = stmt_node(cfg, "celebrate()")
+        assert orelse.index not in reachable_from(cfg, handler.index)
+        assert orelse.index in reachable_from(cfg, stmt_node(cfg, "risky()").index)
+
+
+class TestAnalyzeForward:
+    @staticmethod
+    def _assigned_names(cfg):
+        """Forward may-assign analysis over frozensets of names."""
+
+        def transfer(node, state):
+            if node.kind == "stmt" and isinstance(node.stmt, ast.Assign):
+                target = node.stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    return state | {target.id}
+            return state
+
+        return analyze_forward(
+            cfg, frozenset(), transfer, lambda a, b: a | b
+        )
+
+    def test_branch_states_merge_at_join(self):
+        cfg = cfg_of(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    b = 2
+                return x
+            """
+        )
+        states = self._assigned_names(cfg)
+        assert states[cfg.exit] == {"a", "b"}  # union merge saw both arms
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = cfg_of(
+            """
+            def f(items):
+                total = 0
+                for x in items:
+                    total = total + x
+                    last = x
+                return total
+            """
+        )
+        states = self._assigned_names(cfg)
+        head = cfg.nodes_of_kind("loop_head")[0]
+        # The back edge feeds `last` around to the head's in-state.
+        assert "last" in states[head.index]
+
+    def test_dead_code_after_return_is_not_lowered(self):
+        cfg = cfg_of(
+            """
+            def f():
+                return 1
+                dead = 2
+            """
+        )
+        # An empty frontier after `return` drops unreachable statements
+        # entirely -- there is no node for rules to (mis)visit.
+        assert not any(
+            n.stmt is not None and "dead" in ast.unparse(n.stmt)
+            for n in cfg.nodes
+        )
+        states = self._assigned_names(cfg)
+        assert states[cfg.exit] == frozenset()

@@ -1,0 +1,195 @@
+"""Detection-power tests: re-plant the real violations fixed in this PR.
+
+Mirrors ``tests/workflow/test_sanitizer_race.py``: each test names the
+shipped defect, replants the pre-fix shape of the code, and asserts the
+rule fires on it -- then checks the shipped (fixed) shape stays quiet.
+If a refactor of the rules breaks one of these, the rule has lost the
+power that justified it.
+"""
+
+from tests.lint.test_rules import lint
+
+
+class TestREP011CatchesUnfsyncedHeadPublish:
+    """The defect fixed in ``products/store.py`` and ``benchmarks/record.py``.
+
+    Both staged a JSON artifact next to its destination and published it
+    with a bare ``os.replace`` -- after a crash the *published* head could
+    be a zero-length file because the staged bytes were never forced to
+    disk before the rename.
+    """
+
+    BAD = """\
+        import json
+        import os
+
+        class ProductStore:
+            def _publish_head(self, head):
+                tmp = self.head_path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(head))
+                os.replace(tmp, self.head_path)
+        """
+
+    FIXED = """\
+        import json
+
+        from repro.util.fsio import durable_replace
+
+        class ProductStore:
+            def _publish_head(self, head):
+                tmp = self.head_path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(head))
+                durable_replace(tmp, self.head_path)
+        """
+
+    def test_pre_fix_store_publish_fires(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/products/store.py", self.BAD, select=["REP011"]
+        )
+        assert [f.rule for f in report.findings] == ["REP011"]
+        assert report.findings[0].symbol.endswith("tmp")
+
+    def test_shipped_fix_is_quiet(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/products/store.py", self.FIXED, select=["REP011"]
+        )
+        assert report.findings == []
+
+
+class TestREP009CatchesCovfileReadLeak:
+    """The defect fixed in ``workflow/covfile.py`` ``read()``.
+
+    The pre-fix order opened the column memmap first, then read and
+    validated the member-id table; a truncated snapshot made the
+    validation raise while the memmap's file handle was still open,
+    leaking it on every torn-read retry.  The fix reads and validates
+    the id table before opening the memmap.
+    """
+
+    BAD = """\
+        import numpy as np
+
+        def read_snapshot(path, state_dim, count, offset):
+            columns = np.memmap(
+                path, mode="r", shape=(state_dim, count), offset=offset
+            )
+            member_ids = np.fromfile(path, dtype=np.int64, count=count)
+            if member_ids.size != count:
+                raise ValueError("truncated snapshot")
+            return columns, member_ids
+        """
+
+    FIXED = """\
+        import numpy as np
+
+        def read_snapshot(path, state_dim, count, offset):
+            member_ids = np.fromfile(path, dtype=np.int64, count=count)
+            if member_ids.size != count:
+                raise ValueError("truncated snapshot")
+            columns = np.memmap(
+                path, mode="r", shape=(state_dim, count), offset=offset
+            )
+            return columns, member_ids
+        """
+
+    def test_pre_fix_read_order_fires(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/workflow/covfile.py", self.BAD, select=["REP009"]
+        )
+        assert [f.rule for f in report.findings] == ["REP009"]
+        assert "'columns'" in report.findings[0].message
+
+    def test_shipped_fix_is_quiet(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/workflow/covfile.py", self.FIXED, select=["REP009"]
+        )
+        assert report.findings == []
+
+
+class TestREP010CatchesInlineBlockingHandle:
+    """The defect fixed in ``products/server.py``.
+
+    The async request loop called ``self.service.handle(...)`` inline;
+    a cache miss reads and decodes snapshot files on the event loop,
+    stalling every concurrent connection.  The fix offloads to a
+    single-worker executor.
+    """
+
+    BAD = """\
+        class ProductServer:
+            async def _handle_connection(self, method, target, headers):
+                response = self.service.handle(method, target, headers)
+                return response
+
+        class ProductService:
+            def handle(self, method, target, headers):  # repro-lint: blocking -- cache misses read and decode snapshot files
+                return (method, target, headers)
+        """
+
+    FIXED = """\
+        import asyncio
+
+        class ProductServer:
+            async def _handle_connection(self, method, target, headers):
+                response = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, self.service.handle, method, target, headers
+                )
+                return response
+
+        class ProductService:
+            def handle(self, method, target, headers):  # repro-lint: blocking -- cache misses read and decode snapshot files
+                return (method, target, headers)
+        """
+
+    def test_pre_fix_inline_handle_fires(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/products/server.py", self.BAD, select=["REP010"]
+        )
+        assert [f.rule for f in report.findings] == ["REP010"]
+        assert "handle" in report.findings[0].message
+
+    def test_shipped_fix_is_quiet(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/products/server.py", self.FIXED, select=["REP010"]
+        )
+        assert report.findings == []
+
+
+class TestREP012CatchesRankConfusedContract:
+    """The near-miss caught while annotating ``products/tiles.py``.
+
+    ``np.full(counts.shape, np.nan)`` inherits the rank of ``counts``;
+    a contract pinning the wrong rank on the reduced ``sums`` array
+    (written as 3-d when the ``axis=2`` reduction makes it 2-d) must be
+    rejected, while the shipped 2-d contract passes.
+    """
+
+    BAD = """\
+        import numpy as np
+
+        def downsample(blocks):
+            b = np.asarray(blocks)  # shape: (tj, ti, k)
+            sums = np.nansum(b, axis=2)  # shape: (tj, ti, k)
+            return sums
+        """
+
+    FIXED = """\
+        import numpy as np
+
+        def downsample(blocks):
+            b = np.asarray(blocks)  # shape: (tj, ti, k)
+            sums = np.nansum(b, axis=2)  # shape: (tj, ti)
+            return sums
+        """
+
+    def test_pre_fix_rank_mismatch_fires(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/products/tiles.py", self.BAD, select=["REP012"]
+        )
+        assert [f.rule for f in report.findings] == ["REP012"]
+
+    def test_shipped_contract_is_quiet(self, tmp_path):
+        report = lint(
+            tmp_path, "src/repro/products/tiles.py", self.FIXED, select=["REP012"]
+        )
+        assert report.findings == []

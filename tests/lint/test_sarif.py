@@ -1,0 +1,199 @@
+"""SARIF 2.1.0 emission (``--format sarif``) and the structural validator."""
+
+import copy
+import json
+import textwrap
+from pathlib import Path
+
+from tools.lint.cli import main
+from tools.lint.core import Finding, all_rules
+from tools.lint.sarif import (
+    FINGERPRINT_KEY,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    render_sarif,
+    validate_sarif,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _findings():
+    return [
+        Finding(
+            rule="REP009",
+            path="src/repro/workflow/covfile.py",
+            line=42,
+            message="resource 'columns' may leak",
+            symbol="read:columns",
+        ),
+        Finding(
+            rule="REP011",
+            path="src/repro/products/store.py",
+            line=7,
+            message="staged artifact renamed without fsync",
+            symbol="publish:tmp",
+        ),
+    ]
+
+
+class TestRenderSarif:
+    def test_round_trip_validates(self):
+        doc = render_sarif(_findings(), all_rules())
+        assert validate_sarif(doc) == []
+        # The document must survive JSON serialization unchanged.
+        assert validate_sarif(json.loads(json.dumps(doc))) == []
+
+    def test_envelope_pins_version_and_schema(self):
+        doc = render_sarif([], all_rules())
+        assert doc["version"] == SARIF_VERSION
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert validate_sarif(doc) == []
+
+    def test_every_registered_rule_is_described(self):
+        doc = render_sarif([], all_rules())
+        described = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        assert described == sorted(all_rules())
+
+    def test_results_reference_rules_by_index(self):
+        doc = render_sarif(_findings(), all_rules())
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_result_locations_are_relative_with_uri_base(self):
+        doc = render_sarif(_findings(), all_rules())
+        for result in doc["runs"][0]["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            artifact = loc["artifactLocation"]
+            assert not artifact["uri"].startswith("/")
+            assert artifact["uriBaseId"] == "SRCROOT"
+            assert loc["region"]["startLine"] >= 1
+
+    def test_partial_fingerprints_match_lint_fingerprints(self):
+        findings = _findings()
+        doc = render_sarif(findings, all_rules())
+        emitted = [
+            r["partialFingerprints"][FINGERPRINT_KEY]
+            for r in doc["runs"][0]["results"]
+        ]
+        assert sorted(emitted) == sorted(f.fingerprint for f in findings)
+
+
+class TestValidateSarif:
+    def _valid(self):
+        return render_sarif(_findings(), all_rules())
+
+    def test_rejects_wrong_version(self):
+        doc = self._valid()
+        doc["version"] = "2.0.0"
+        assert any("version" in p for p in validate_sarif(doc))
+
+    def test_rejects_missing_runs(self):
+        assert validate_sarif({"version": SARIF_VERSION}) != []
+
+    def test_rejects_unknown_rule_id(self):
+        doc = self._valid()
+        doc["runs"][0]["results"][0]["ruleId"] = "REP999"
+        assert validate_sarif(doc) != []
+
+    def test_rejects_mismatched_rule_index(self):
+        doc = self._valid()
+        result = doc["runs"][0]["results"][0]
+        result["ruleIndex"] = (result["ruleIndex"] + 1) % len(
+            doc["runs"][0]["tool"]["driver"]["rules"]
+        )
+        assert validate_sarif(doc) != []
+
+    def test_rejects_absolute_location_uri(self):
+        doc = self._valid()
+        loc = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        loc["artifactLocation"]["uri"] = "/etc/passwd"
+        assert validate_sarif(doc) != []
+
+    def test_rejects_zero_start_line(self):
+        doc = self._valid()
+        loc = doc["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        loc["region"]["startLine"] = 0
+        assert validate_sarif(doc) != []
+
+    def test_rejects_empty_message(self):
+        doc = self._valid()
+        doc["runs"][0]["results"][0]["message"]["text"] = ""
+        assert validate_sarif(doc) != []
+
+    def test_valid_doc_is_untouched_by_validation(self):
+        doc = self._valid()
+        snapshot = copy.deepcopy(doc)
+        validate_sarif(doc)
+        assert doc == snapshot
+
+
+class TestSarifCli:
+    def _bad_repo(self, tmp_path):
+        mod = tmp_path / "src/repro/sched/mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            textwrap.dedent(
+                """\
+                import numpy as np
+
+                rng = np.random.default_rng()
+                """
+            )
+        )
+        return tmp_path
+
+    def test_sarif_output_validates_and_exits_1(self, tmp_path, capsys):
+        root = self._bad_repo(tmp_path)
+        code = main(
+            ["src/repro", "--root", str(root), "--no-baseline",
+             "--select", "REP001", "--format", "sarif"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_sarif(doc) == []
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["REP001"]
+
+    def test_clean_repo_emits_empty_results(self, capsys):
+        code = main(
+            ["src/repro", "--root", str(REPO_ROOT), "--format", "sarif"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"] == []
+
+
+class TestStrictBaseline:
+    def _stale_repo(self, tmp_path):
+        """A scratch repo whose baseline names an already-fixed finding."""
+        mod = tmp_path / "src/repro/sched/mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import numpy as np\n\nrng = np.random.default_rng()\n")
+        assert main(["src/repro", "--root", str(tmp_path), "--write-baseline"]) == 0
+        mod.write_text("import numpy as np\n\nrng = np.random.default_rng(42)\n")
+        return tmp_path
+
+    def test_stale_entry_fails_under_strict(self, tmp_path, capsys):
+        root = self._stale_repo(tmp_path)
+        capsys.readouterr()
+        code = main(
+            ["src/repro", "--root", str(root), "--select", "REP001",
+             "--strict-baseline"]
+        )
+        assert code == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_stale_entry_warns_without_strict(self, tmp_path, capsys):
+        root = self._stale_repo(tmp_path)
+        capsys.readouterr()
+        code = main(["src/repro", "--root", str(root), "--select", "REP001"])
+        assert code == 0
+
+    def test_clean_baseline_passes_under_strict(self):
+        code = main(
+            ["src/repro", "tests", "--root", str(REPO_ROOT), "--strict-baseline"]
+        )
+        assert code == 0

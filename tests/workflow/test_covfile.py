@@ -167,18 +167,18 @@ class TestWriteLiveFaultInjection:
 
         import repro.workflow.covfile as covfile_mod
 
-        real_replace = covfile_mod.os.replace
+        real_replace = covfile_mod.durable_replace
 
         def failing_replace(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr(covfile_mod.os, "replace", failing_replace)
+        monkeypatch.setattr(covfile_mod, "durable_replace", failing_replace)
         with pytest.raises(OSError, match="disk full"):
             covset.write_live(np.full((4, 3), 2.0), [0, 1, 2])
         assert (covset._version, covset._next_live, covset._last_complete) == state
 
         # publish keeps serving the previous complete generation
-        monkeypatch.setattr(covfile_mod.os, "replace", real_replace)
+        monkeypatch.setattr(covfile_mod, "durable_replace", real_replace)
         covset.publish()
         snap = covset.read_safe()
         assert snap.version == before.version
@@ -189,7 +189,7 @@ class TestWriteLiveFaultInjection:
         covset.write_live(np.ones((4, 2)), [0, 1])
         import repro.workflow.covfile as covfile_mod
 
-        real_replace = covfile_mod.os.replace
+        real_replace = covfile_mod.durable_replace
         fail_once = {"left": 1}
 
         def flaky_replace(src, dst):
@@ -198,7 +198,7 @@ class TestWriteLiveFaultInjection:
                 raise OSError("transient")
             return real_replace(src, dst)
 
-        monkeypatch.setattr(covfile_mod.os, "replace", flaky_replace)
+        monkeypatch.setattr(covfile_mod, "durable_replace", flaky_replace)
         with pytest.raises(OSError):
             covset.write_live(np.ones((4, 3)), [0, 1, 2])
         target = covset.write_live(np.ones((4, 3)), [0, 1, 2])  # retried in place
@@ -321,12 +321,15 @@ class TestMemmapStore:
 
     def test_bounded_retry_raises(self, tmp_path):
         store = MemmapCovarianceStore(tmp_path / "s", max_unreadable_reads=3)
-        store.header_path.parent.mkdir(parents=True, exist_ok=True)
-        store.header_path.write_text("garbage")
-        assert store.read_safe() is None
-        assert store.read_safe() is None
-        with pytest.raises(CovarianceReadError, match="3 consecutive"):
-            store.read_safe()
+        try:
+            store.header_path.parent.mkdir(parents=True, exist_ok=True)
+            store.header_path.write_text("garbage")
+            assert store.read_safe() is None
+            assert store.read_safe() is None
+            with pytest.raises(CovarianceReadError, match="3 consecutive"):
+                store.read_safe()
+        finally:
+            store.close()
 
     def test_failed_header_replace_leaves_state_unchanged(
         self, store, monkeypatch
@@ -340,7 +343,7 @@ class TestMemmapStore:
         def failing_replace(src, dst):
             raise OSError("disk full")
 
-        monkeypatch.setattr(covfile_mod.os, "replace", failing_replace)
+        monkeypatch.setattr(covfile_mod, "durable_replace", failing_replace)
         with pytest.raises(OSError):
             store.publish()
         assert store.version == 1  # commit only after a successful replace
@@ -369,11 +372,14 @@ class TestMemmapStore:
 
         t = threading.Thread(target=reader)
         t.start()
-        for k in range(60):
-            store.append(np.full((8, 1), float(k)), [k])
-            store.publish()
-        stop.set()
-        t.join()
+        try:
+            for k in range(60):
+                store.append(np.full((8, 1), float(k)), [k])
+                store.publish()
+        finally:
+            stop.set()
+            t.join()
+            reader_store.close()
         assert errors == []
 
     def test_cleanup(self, store):

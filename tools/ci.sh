@@ -4,6 +4,7 @@
 # Run from the repository root:
 #     sh tools/ci.sh          # workflow/telemetry tests + lint + smoke
 #     CI_FULL=1 sh tools/ci.sh  # the full tier-1 suite instead
+#     sh tools/ci.sh --quick  # pre-commit: changed-only lint + tier-1 tests
 #
 # Static analysis is repro-lint (tools/lint): determinism, clock, lock,
 # concurrency, docstring and import-layering contracts, checked against
@@ -20,6 +21,17 @@ set -e
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
+# --quick: the pre-commit loop.  Lint only what changed vs HEAD (strict
+# about stale baseline entries so fixes prune their debt), then the
+# tier-1 suite.  Full CI below always lints everything.
+if [ "${1:-}" = "--quick" ]; then
+    python -m tools.lint --changed-only --strict-baseline
+    echo "repro-lint (changed files): clean"
+    python -m pytest -x -q
+    echo "quick check: ok"
+    exit 0
+fi
+
 if [ -n "${CI_FULL:-}" ]; then
     python -m pytest -x -q
 else
@@ -31,8 +43,25 @@ fi
 REPRO_SANITIZE=1 python -m pytest tests/workflow tests/telemetry tests/products -q
 echo "sanitizer: clean"
 
-python -m tools.lint src/repro tests benchmarks tools --format json > /dev/null
+python -m tools.lint src/repro tests benchmarks tools --strict-baseline \
+    --format json > /dev/null
 echo "repro-lint: clean"
+
+# SARIF smoke: the same run rendered as SARIF 2.1.0 must pass the
+# structural validator (a renderer regression fails here, not at the
+# code-scanning upload).
+lint_sarif="$(mktemp)"
+python -m tools.lint src/repro tests benchmarks tools --strict-baseline \
+    --format sarif > "$lint_sarif"
+python - "$lint_sarif" <<'EOF'
+import json, sys
+from tools.lint.sarif import validate_sarif
+problems = validate_sarif(json.load(open(sys.argv[1])))
+if problems:
+    raise SystemExit("SARIF validation failed:\n  " + "\n  ".join(problems))
+print("repro-lint SARIF: valid")
+EOF
+rm -f "$lint_sarif"
 
 python tools/check_docs.py
 python tools/check_docs.py --pages
@@ -65,6 +94,15 @@ BENCH_SMOKE=1 BENCH_OUTPUT_DIR="$products_tmp" \
     --rootdir=benchmarks -p no:cacheprovider
 rm -rf "$products_tmp"
 echo "product service smoke: ok"
+
+# Smoke: the lint-engine bench at CI scale (lints tools/lint only; the
+# committed full-repo numbers live in benchmarks/results/BENCH_lint.json).
+lint_tmp="$(mktemp -d)"
+BENCH_SMOKE=1 BENCH_OUTPUT_DIR="$lint_tmp" \
+    python -m pytest benchmarks/bench_lint.py -q \
+    --rootdir=benchmarks -p no:cacheprovider
+rm -rf "$lint_tmp"
+echo "lint bench smoke: ok"
 
 # Smoke: a tiny traced task-pool run must export a valid Chrome trace.
 python - <<'EOF'

@@ -52,9 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 log "
+        "for GitHub code scanning",
     )
     parser.add_argument(
         "--root",
@@ -77,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail (exit 1) on stale baseline entries, not just new findings "
+        "-- keeps the baseline an honest debt ledger in CI",
     )
     parser.add_argument(
         "--changed-only",
@@ -189,7 +196,11 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     split = baseline.apply(report.findings)
 
-    if args.format == "json":
+    if args.format == "sarif":
+        from tools.lint.sarif import render_sarif
+
+        print(json.dumps(render_sarif(split.new, all_rules()), indent=2))
+    elif args.format == "json":
         print(
             json.dumps(
                 {
@@ -213,7 +224,16 @@ def main(argv: list[str] | None = None) -> int:
             f"{report.n_suppressed} suppressed, {len(split.stale)} stale "
             "baseline entr(y/ies))"
         )
-    return 1 if split.new else 0
+        if args.strict_baseline and split.stale:
+            print(
+                "repro-lint: --strict-baseline: prune the stale entr(y/ies) "
+                "above from the baseline (the findings are fixed)"
+            )
+    if split.new:
+        return 1
+    if args.strict_baseline and split.stale:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

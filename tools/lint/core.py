@@ -269,17 +269,27 @@ def run_lint(
     findings: list[Finding] = []
     n_suppressed = 0
     files = iter_python_files(paths, root)
+    supp_by_path: dict[str, Suppressions] = {}
     for path in files:
         ctx = make_context(path, root)
         supp = Suppressions.parse(ctx.source)
+        supp_by_path[ctx.relpath] = supp
         for rule in rules.values():
             for finding in rule.check(ctx):
                 if supp.covers(finding):
                     n_suppressed += 1
                 else:
                     findings.append(finding)
+    # Repo-level findings honour the suppressions of the file they point
+    # at, same as per-file findings (rules like REP010 report call sites
+    # discovered only after every file was read).
     for rule in rules.values():
-        findings.extend(rule.finish())
+        for finding in rule.finish():
+            supp = supp_by_path.get(finding.path)
+            if supp is not None and supp.covers(finding):
+                n_suppressed += 1
+            else:
+                findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return LintReport(findings=findings, n_suppressed=n_suppressed, n_files=len(files))
 

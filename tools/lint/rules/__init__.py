@@ -6,10 +6,14 @@ Add a new rule by creating a module here with a ``@register``-decorated
 """
 
 from tools.lint.rules import (  # noqa: F401  -- imported for registration
+    asyncdiscipline,
     clocks,
     concurrency,
+    contracts,
     determinism,
     docstrings,
     layering,
     locks,
+    publish,
+    resources,
 )

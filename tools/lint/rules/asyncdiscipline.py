@@ -1,0 +1,396 @@
+"""REP010: async discipline -- nothing blocks the event loop.
+
+Three checks over ``async def`` bodies:
+
+- **Direct blocking calls**: ``time.sleep``, synchronous file/socket IO
+  (``open``, ``Path.read_text``, numpy file IO), ``subprocess``,
+  ``lock.acquire()`` and blocking ``queue.get()/put()`` stall the whole
+  event loop -- every connection the server is juggling waits.  The
+  blocking vocabulary is shared with REP008 (no-blocking-under-lock).
+- **``await`` while holding a synchronous lock** (dataflow over the CFG):
+  parking the coroutine with a ``threading.Lock`` held can deadlock the
+  loop -- the task that would release it may never be scheduled, and any
+  other coroutine touching the lock blocks the loop itself.
+- **Annotated-blocking calls** (cross-file): a synchronous function whose
+  ``def`` line carries ``# repro-lint: blocking -- why`` must not be
+  called directly from an ``async def`` anywhere in the linted tree; the
+  call belongs behind ``loop.run_in_executor``.  Matching is by function
+  name, collected during the per-file pass and reported in ``finish()``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.lint.core import (
+    FileContext,
+    Finding,
+    ImportAliases,
+    Rule,
+    enclosing_symbols,
+    register,
+    resolve_dotted,
+)
+from tools.lint.dataflow import analyze_forward, build_cfg
+from tools.lint.rules.concurrency import (
+    _BLOCKING_RESOLVED,
+    _IO_METHODS,
+    _NUMPY_IO,
+    NoBlockingUnderLockRule,
+    _lock_token,
+)
+from tools.lint.rules.locks import LOCK_FACTORY_KINDS
+
+#: ``def`` lines carrying this directive mark the function as blocking.
+_BLOCKING_MARK_RE = re.compile(r"#\s*repro-lint:\s*blocking\b")
+
+#: Suggested fixes keyed by what was flagged.
+_SUGGESTIONS = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "acquire": "use an asyncio.Lock, or do the locked work in an executor",
+}
+_DEFAULT_SUGGESTION = "offload it with `await loop.run_in_executor(...)`"
+
+
+def _is_async_lock_attr(cls: ast.ClassDef, aliases: dict[str, str]) -> set[str]:
+    """``self.X`` attributes assigned an ``asyncio`` lock/semaphore."""
+    out: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        resolved = resolve_dotted(node.value.func, aliases)
+        if resolved is None or not resolved.startswith("asyncio."):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                out.add(f"self.{target.attr}")
+    return out
+
+
+def _sync_lock_tokens(
+    func: ast.AST, cls: ast.ClassDef | None, aliases: dict[str, str]
+) -> set[str]:
+    """Lock tokens that are synchronous (threading/sanitizer) locks."""
+    tokens: set[str] = set()
+    if cls is not None:
+        async_attrs = _is_async_lock_attr(cls, aliases)
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            if resolve_dotted(node.value.func, aliases) not in LOCK_FACTORY_KINDS:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    token = f"self.{target.attr}"
+                    if token not in async_attrs:
+                        tokens.add(token)
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and resolve_dotted(node.value.func, aliases) in LOCK_FACTORY_KINDS
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    tokens.add(target.id)
+    args = getattr(func, "args", None)
+    if args is not None:
+        for group in (args.posonlyargs, args.args, args.kwonlyargs):
+            for arg in group:
+                if arg.arg == "lock" or arg.arg.endswith("_lock"):
+                    tokens.add(arg.arg)
+    return tokens
+
+
+def _walk_skipping_defs(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk an async body without descending into nested ``def``s.
+
+    A nested synchronous function does not run on the event loop when it
+    is *defined*; flagging its body here would double-report it.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncDisciplineRule(Rule):
+    """Flag event-loop-blocking constructs inside ``async def`` bodies."""
+
+    id = "REP010"
+    name = "async-discipline"
+    summary = (
+        "async def bodies must not call blocking functions (sleep, sync "
+        "IO, subprocess, lock.acquire, queue.get) or await while holding "
+        "a sync lock"
+    )
+    explanation = """\
+One synchronous call inside a coroutine stalls the entire event loop:
+every other connection, timer and task waits until it returns.  And
+awaiting with a `threading.Lock` held parks the coroutine while the lock
+stays locked -- other coroutines needing it then block the loop itself
+(deadlock if the release depends on a task the loop can no longer run).
+
+Bad:
+    async def handle(self, request):
+        data = self.service.fetch(request)      # sync disk IO + hashing
+        time.sleep(0.01)                        # loop frozen
+        with self._lock:
+            await self.publish(data)            # await under sync lock
+
+Good:
+    async def handle(self, request):
+        loop = asyncio.get_running_loop()
+        data = await loop.run_in_executor(None, self.service.fetch, request)
+        await asyncio.sleep(0.01)
+        with self._lock:
+            payload = self.render(data)         # no await inside
+        await self.publish(payload)
+
+Mark a synchronous API as off-limits for coroutines by annotating its
+definition (`def fetch(...):  # repro-lint: blocking -- disk IO`); any
+direct call from an `async def` anywhere in the tree is then flagged.
+"""
+
+    def __init__(self) -> None:
+        self._annotated: dict[str, tuple[str, int]] = {}
+        self._async_calls: list[tuple[str, int, str, str]] = []
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Per-file pass: direct blocking + await-under-lock + collection."""
+        aliases = ImportAliases()
+        aliases.visit(ctx.tree)
+        symbols = enclosing_symbols(ctx.tree)
+        self._collect_annotated(ctx)
+
+        classes = {
+            id(fn): node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+            for fn in node.body
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            qual = symbols.get(id(func), func.name)
+            self._collect_async_calls(ctx, func, qual)
+            yield from self._direct_blocking(ctx, func, qual, aliases.aliases)
+            yield from self._await_under_lock(
+                ctx, func, qual, classes.get(id(func)), aliases.aliases
+            )
+
+    # -- direct blocking calls ---------------------------------------------
+
+    def _direct_blocking(
+        self, ctx: FileContext, func, qual: str, aliases: dict[str, str]
+    ) -> Iterator[Finding]:
+        queue_names = NoBlockingUnderLockRule._queue_locals(func, aliases)
+        thread_names = NoBlockingUnderLockRule._thread_locals(func, aliases)
+        lock_tokens = _sync_lock_tokens(func, None, aliases)
+        for node in _walk_skipping_defs(func):
+            if not isinstance(node, ast.Call):
+                continue
+            why = self._blocking_reason(
+                node, thread_names, queue_names, lock_tokens, aliases
+            )
+            if why is None:
+                continue
+            head = why.split(" ")[0]
+            suggestion = _SUGGESTIONS.get(
+                "acquire" if ".acquire" in why else head, _DEFAULT_SUGGESTION
+            )
+            yield ctx.finding(
+                self,
+                node,
+                f"{why} inside async def {func.name}; {suggestion}",
+                symbol=f"{qual}:{head}",
+            )
+
+    @staticmethod
+    def _blocking_reason(
+        node: ast.Call,
+        thread_names: set[str],
+        queue_names: set[str],
+        lock_tokens: set[str],
+        aliases: dict[str, str],
+    ) -> str | None:
+        why = NoBlockingUnderLockRule._blocking_reason(
+            node, thread_names, queue_names, aliases
+        )
+        if why is not None:
+            # Rephrase for the event-loop context.
+            return why.replace("while holding a lock", "").replace(
+                " blocks", " blocks the event loop"
+            )
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "acquire":
+            token = _lock_token(node.func.value)
+            if token is not None and (
+                token in lock_tokens or token.lower().endswith("lock")
+            ):
+                nonblocking = any(
+                    kw.arg == "blocking"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    for kw in node.keywords
+                ) or any(
+                    isinstance(a, ast.Constant) and a.value is False
+                    for a in node.args
+                )
+                if not nonblocking:
+                    return f"{token}.acquire() blocks the event loop"
+        resolved = resolve_dotted(node.func, aliases)
+        if resolved in _NUMPY_IO:
+            return f"{resolved} does file I/O on the event loop"
+        return None
+
+    # -- await while holding a sync lock -----------------------------------
+
+    def _await_under_lock(
+        self,
+        ctx: FileContext,
+        func,
+        qual: str,
+        cls: ast.ClassDef | None,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        sync_tokens = _sync_lock_tokens(func, cls, aliases)
+        if not sync_tokens:
+            return
+        cfg = build_cfg(func)
+        flagged: dict[int, tuple[ast.AST, frozenset]] = {}
+
+        def awaits_in(stmt: ast.AST) -> list[ast.Await]:
+            return [
+                n for n in _walk_skipping_defs(stmt) if isinstance(n, ast.Await)
+            ]
+
+        def transfer(node, held: frozenset) -> frozenset:
+            stmt = node.stmt
+            if node.kind == "with" and isinstance(stmt, ast.With):
+                added = {
+                    t
+                    for item in stmt.items
+                    if (t := _lock_token(item.context_expr)) in sync_tokens
+                }
+                return held | added
+            if node.kind == "with_exit" and isinstance(stmt, ast.With):
+                removed = {
+                    t
+                    for item in stmt.items
+                    if (t := _lock_token(item.context_expr)) in sync_tokens
+                }
+                return held - removed
+            if stmt is None:
+                return held
+            if held and (
+                (node.kind == "with" and isinstance(stmt, ast.AsyncWith))
+                or (node.kind == "loop_head" and isinstance(stmt, ast.AsyncFor))
+            ):
+                # `async with` / `async for` headers await implicitly.
+                flagged.setdefault(node.index, (stmt, held))
+            if held and node.kind in ("stmt", "branch", "loop_head"):
+                shallow = stmt
+                if node.kind in ("branch", "loop_head"):
+                    # Only the header expression runs at this node.
+                    shallow = getattr(stmt, "test", None) or getattr(
+                        stmt, "iter", None
+                    )
+                if shallow is not None and awaits_in(shallow):
+                    flagged.setdefault(node.index, (stmt, held))
+            if isinstance(stmt, (ast.Expr, ast.Assign)):
+                value = stmt.value
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "acquire"
+                    and _lock_token(value.func.value) in sync_tokens
+                ):
+                    return held | {_lock_token(value.func.value)}
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "release"
+                    and _lock_token(value.func.value) in sync_tokens
+                ):
+                    return held - {_lock_token(value.func.value)}
+            return held
+
+        def merge(a: frozenset, b: frozenset) -> frozenset:
+            return a | b
+
+        analyze_forward(cfg, frozenset(), transfer, merge)
+        for _, (stmt, held) in sorted(flagged.items()):
+            locks = ", ".join(sorted(held))
+            yield ctx.finding(
+                self,
+                stmt,
+                f"await while holding sync lock {locks}; release the lock "
+                "before awaiting (or switch to asyncio.Lock)",
+                symbol=f"{qual}:await-under-lock",
+            )
+
+    # -- cross-file annotated-blocking calls -------------------------------
+
+    def _collect_annotated(self, ctx: FileContext) -> None:
+        lines = ctx.source.splitlines()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            # The directive may sit on the `def` line or the line opening
+            # the argument list's closing paren (multi-line signatures).
+            last = getattr(node, "body", [node])[0].lineno - 1
+            for lineno in range(node.lineno, min(last, len(lines)) + 1):
+                if _BLOCKING_MARK_RE.search(lines[lineno - 1]):
+                    self._annotated.setdefault(
+                        node.name, (ctx.relpath, node.lineno)
+                    )
+                    break
+
+    def _collect_async_calls(self, ctx: FileContext, func, qual: str) -> None:
+        for node in _walk_skipping_defs(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            else:
+                continue
+            self._async_calls.append((ctx.relpath, node.lineno, name, qual))
+
+    def finish(self) -> Iterator[Finding]:
+        """Match collected async call sites against blocking annotations."""
+        if not self._annotated:
+            return
+        for path, lineno, name, qual in self._async_calls:
+            mark = self._annotated.get(name)
+            if mark is None:
+                continue
+            where, defline = mark
+            yield Finding(
+                rule=self.id,
+                path=path,
+                line=lineno,
+                message=(
+                    f"call to {name}() (annotated blocking at "
+                    f"{where}:{defline}) from async code; offload it with "
+                    "`await loop.run_in_executor(...)`"
+                ),
+                symbol=f"{qual}:blocking-call:{name}",
+            )

@@ -1,0 +1,528 @@
+"""REP012: array contracts -- ``# shape:`` / ``# dtype:`` comments, checked.
+
+The batched ocean kernels, covfile column writers and tile payload
+builders all live or die on array-layout conventions (``(state_dim,
+n_members)`` column order, ``float64`` covariance columns, ``(tj, ti,
+block*block)`` tile payloads).  A trailing contract comment documents
+the convention *and* is verified by propagating shape/dtype facts
+through the dataflow engine:
+
+    out = np.empty((self.size, n_members))   # shape: (size, n_members)
+    packed = arr.reshape(n_members, -1).T    # shape: (*, n_members)
+    return out                               # shape: (size, n_members)
+
+Propagation understands transposes (``.T`` / ``transpose``), ``reshape``
+/ ``ravel``, axis reductions (``sum``/``mean``/``max``/... with a
+constant ``axis``), elementwise arithmetic, ``astype`` / ``asarray``
+dtype changes, the ``empty``/``zeros``/``ones``/``*_like`` constructors
+and rank-2 ``@`` matmul.  Dimensions are compared leniently: a numeric
+dim conflicts only with a different numeric dim, a symbolic dim (``n``)
+only with a different symbol; anything unresolvable is a wildcard.  The
+rule therefore only fires on *provable* contradictions -- a dropped
+transpose, a reduction over the wrong axis, a dtype downcast -- not on
+unknown shapes.
+
+A contract on an assignment both checks the inferred fact of the value
+and (re)declares the variable's fact from the comment; a contract on a
+``return`` checks the returned expression.  Malformed contract comments
+are flagged so typos do not silently disable checking.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Iterator
+
+from tools.lint.core import (
+    FileContext,
+    Finding,
+    ImportAliases,
+    Rule,
+    enclosing_symbols,
+    register,
+    resolve_dotted,
+)
+from tools.lint.dataflow import analyze_forward, build_cfg, iter_function_defs
+
+_SHAPE_RE = re.compile(r"#\s*shape:\s*(\([^)#]*\))")
+_SHAPE_MARK_RE = re.compile(r"#\s*shape:")
+_DTYPE_RE = re.compile(r"#\s*dtype:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+_DTYPE_MARK_RE = re.compile(r"#\s*dtype:")
+
+_WILD = "*"
+
+#: Python scalar constructors normalized to numpy dtype names.
+_DTYPE_NORMALIZE = {
+    "float": "float64",
+    "int": "int64",
+    "bool": "bool_",
+    "complex": "complex128",
+}
+
+#: Reductions accepting ``axis=`` that drop the reduced dimension.
+_REDUCTIONS = {
+    "sum", "mean", "max", "min", "std", "var", "prod", "any", "all",
+    "amax", "amin", "nanmax", "nanmin", "nansum", "nanmean", "argmax",
+    "argmin", "count_nonzero",
+}
+
+#: Elementwise numpy unaries that preserve shape and dtype.
+_ELEMENTWISE = {
+    "sqrt", "abs", "absolute", "exp", "log", "log10", "square", "sign",
+    "clip", "nan_to_num", "negative", "maximum", "minimum", "where",
+    "isfinite", "isnan", "tanh", "cos", "sin",
+}
+
+
+def _norm_dim(text: str) -> str:
+    """Normalize one dimension token for comparison."""
+    dim = text.strip().replace("self.", "")
+    if dim in ("-1", "...", "?", ""):
+        return _WILD
+    return dim
+
+
+def _dim_kind(dim: str) -> str:
+    if dim == _WILD:
+        return "wild"
+    if re.fullmatch(r"\d+", dim):
+        return "num"
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", dim):
+        return "sym"
+    return "wild"
+
+
+def _dims_conflict(a: str, b: str) -> bool:
+    ka, kb = _dim_kind(a), _dim_kind(b)
+    if ka != kb or ka == "wild":
+        return False
+    return a != b
+
+
+def _shapes_conflict(a: tuple | None, b: tuple | None) -> bool:
+    if a is None or b is None:
+        return False
+    if len(a) != len(b):
+        return True
+    return any(_dims_conflict(x, y) for x, y in zip(a, b))
+
+
+def _norm_dtype(text: str | None) -> str | None:
+    if text is None:
+        return None
+    name = text.strip()
+    for prefix in ("numpy.", "np."):
+        if name.startswith(prefix):
+            name = name[len(prefix):]
+    return _DTYPE_NORMALIZE.get(name, name) or None
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """(lineno, text) of every real comment token in the source.
+
+    Contract directives must live in comments -- ``# shape:`` inside a
+    string literal (docstrings, rule explanations) is prose, not a
+    contract.
+    """
+    out: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass  # unparseable files already fail in make_context
+    return out
+
+
+#: A fact is (shape tuple | None, dtype str | None); None = unknown.
+Fact = tuple
+
+
+def _fact(shape=None, dtype=None) -> Fact:
+    return (tuple(shape) if shape is not None else None, dtype)
+
+
+def _parse_contract(text: str) -> tuple[Fact | None, str | None]:
+    """Parse a source line's contract; returns (fact, error)."""
+    has_shape = bool(_SHAPE_MARK_RE.search(text))
+    has_dtype = bool(_DTYPE_MARK_RE.search(text))
+    if not has_shape and not has_dtype:
+        return None, None
+    shape = None
+    if has_shape:
+        m = _SHAPE_RE.search(text)
+        if m is None:
+            return None, "malformed # shape: contract (want `# shape: (a, b)`)"
+        body = m.group(1).strip()[1:-1]
+        dims = tuple(_norm_dim(d) for d in body.split(",") if d.strip() != "")
+        shape = dims
+    dtype = None
+    if has_dtype:
+        m = _DTYPE_RE.search(text)
+        if m is None:
+            return None, "malformed # dtype: contract (want `# dtype: float64`)"
+        dtype = _norm_dtype(m.group(1))
+    return _fact(shape, dtype), None
+
+
+def _const_axis(call: ast.Call) -> int | None | str:
+    """The constant ``axis`` argument: int, None (absent), or "?"."""
+    for kw in call.keywords:
+        if kw.arg == "axis":
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, int
+            ):
+                return kw.value.value
+            return "?"
+    return None
+
+
+def _shape_from_expr(expr: ast.expr) -> tuple | None:
+    """Shape tuple from a literal shape argument (tuple/list/scalar).
+
+    A bare name or attribute (``np.full(counts.shape, ...)``) may itself
+    be a tuple of any rank, so only literal ints pin the rank to 1.
+    """
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return tuple(_norm_dim(ast.unparse(e)) for e in expr.elts)
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+        return (_norm_dim(ast.unparse(expr)),)
+    return None
+
+
+def _dtype_kw(call: ast.Call) -> str | None:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return _norm_dtype(ast.unparse(kw.value))
+    return None
+
+
+class _Inference:
+    """Expression-level shape/dtype inference over a variable-fact env."""
+
+    def __init__(self, aliases: dict[str, str]):
+        self.aliases = aliases
+
+    def infer(self, expr: ast.expr, env: dict) -> Fact:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, _fact())
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "T":
+                shape, dtype = self.infer(expr.value, env)
+                return _fact(tuple(reversed(shape)) if shape else None, dtype)
+            return _fact()
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr, env)
+        if isinstance(expr, ast.UnaryOp):
+            return self.infer(expr.operand, env)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, env)
+        return _fact()
+
+    def _binop(self, expr: ast.BinOp, env: dict) -> Fact:
+        left = self.infer(expr.left, env)
+        right = self.infer(expr.right, env)
+        if isinstance(expr.op, ast.MatMult):
+            ls, rs = left[0], right[0]
+            if ls is not None and rs is not None and len(ls) == 2 and len(rs) == 2:
+                dtype = left[1] if left[1] == right[1] else None
+                return _fact((ls[0], rs[1]), dtype)
+            return _fact()
+        l_known, r_known = left[0] is not None, right[0] is not None
+        if l_known and not r_known:
+            scalar = isinstance(expr.right, ast.Constant)
+            return _fact(left[0], left[1] if scalar else None)
+        if r_known and not l_known:
+            scalar = isinstance(expr.left, ast.Constant)
+            return _fact(right[0], right[1] if scalar else None)
+        if l_known and r_known and not _shapes_conflict(left[0], right[0]):
+            return _fact(left[0], left[1] if left[1] == right[1] else None)
+        return _fact()
+
+    def _call(self, call: ast.Call, env: dict) -> Fact:
+        resolved = resolve_dotted(call.func, self.aliases)
+        if resolved is not None and resolved.startswith("numpy."):
+            return self._numpy_call(call, resolved.split(".")[-1], env)
+        if isinstance(call.func, ast.Attribute):
+            return self._method_call(call, env)
+        return _fact()
+
+    def _numpy_call(self, call: ast.Call, name: str, env: dict) -> Fact:
+        args = call.args
+        if name in ("empty", "zeros", "ones", "full") and args:
+            shape = _shape_from_expr(args[0])
+            dtype = _dtype_kw(call) or ("float64" if name != "full" else None)
+            return _fact(shape, dtype)
+        if name in ("empty_like", "zeros_like", "ones_like", "full_like") and args:
+            shape, dtype = self.infer(args[0], env)
+            return _fact(shape, _dtype_kw(call) or dtype)
+        if name in ("asarray", "ascontiguousarray", "array") and args:
+            shape, dtype = self.infer(args[0], env)
+            return _fact(shape, _dtype_kw(call) or dtype)
+        if name == "reshape" and len(args) >= 2:
+            _, dtype = self.infer(args[0], env)
+            return _fact(_shape_from_expr(args[1]), dtype)
+        if name == "transpose" and args:
+            return self._transpose(args[0], call.args[1:], env)
+        if name in _REDUCTIONS and args:
+            return self._reduce(call, args[0], env)
+        if name in _ELEMENTWISE and args:
+            return self.infer(args[0], env)
+        return _fact()
+
+    def _method_call(self, call: ast.Call, env: dict) -> Fact:
+        recv = call.func.value
+        name = call.func.attr
+        if name == "reshape":
+            _, dtype = self.infer(recv, env)
+            if len(call.args) == 1:
+                shape = _shape_from_expr(call.args[0])
+            else:
+                shape = tuple(_norm_dim(ast.unparse(a)) for a in call.args)
+            return _fact(shape, dtype)
+        if name == "transpose":
+            return self._transpose(recv, call.args, env)
+        if name in ("ravel", "flatten"):
+            _, dtype = self.infer(recv, env)
+            return _fact((_WILD,), dtype)
+        if name == "astype" and call.args:
+            shape, _ = self.infer(recv, env)
+            return _fact(shape, _norm_dtype(ast.unparse(call.args[0])))
+        if name == "copy":
+            return self.infer(recv, env)
+        if name in _REDUCTIONS:
+            return self._reduce(call, recv, env)
+        return _fact()
+
+    def _transpose(self, src: ast.expr, axes_args: list, env: dict) -> Fact:
+        shape, dtype = self.infer(src, env)
+        if shape is None:
+            return _fact(None, dtype)
+        axes: list[int] | None
+        if not axes_args:
+            axes = list(reversed(range(len(shape))))
+        else:
+            elts = (
+                axes_args[0].elts
+                if len(axes_args) == 1
+                and isinstance(axes_args[0], (ast.Tuple, ast.List))
+                else axes_args
+            )
+            axes = []
+            for e in elts:
+                if isinstance(e, ast.Constant) and isinstance(e.value, int):
+                    axes.append(e.value)
+                else:
+                    return _fact(None, dtype)
+        if sorted(axes) != list(range(len(shape))):
+            return _fact(None, dtype)
+        return _fact(tuple(shape[a] for a in axes), dtype)
+
+    def _reduce(self, call: ast.Call, src: ast.expr, env: dict) -> Fact:
+        shape, dtype = self.infer(src, env)
+        axis = _const_axis(call)
+        name = (
+            call.func.attr
+            if isinstance(call.func, ast.Attribute)
+            else getattr(call.func, "id", "")
+        )
+        if name in ("argmax", "argmin", "count_nonzero"):
+            dtype = "int64"
+        if name in ("any", "all", "isfinite", "isnan"):
+            dtype = "bool_"
+        if axis is None:
+            return _fact((), dtype)
+        if axis == "?" or shape is None:
+            return _fact(None, dtype)
+        if -len(shape) <= axis < len(shape):
+            out = list(shape)
+            out.pop(axis if axis >= 0 else len(shape) + axis)
+            return _fact(tuple(out), dtype)
+        return _fact(None, dtype)
+
+
+@register
+class ArrayContractRule(Rule):
+    """Verify ``# shape:`` / ``# dtype:`` contract comments by dataflow."""
+
+    id = "REP012"
+    name = "array-contracts"
+    summary = (
+        "`# shape: (a, b)` / `# dtype: float64` contract comments on "
+        "array code are checked by shape/dtype propagation; provable "
+        "contradictions fail"
+    )
+    explanation = """\
+Array-layout bugs (a dropped transpose, a reduction over the wrong axis,
+a float32 downcast in a float64 pipeline) pass every type checker and
+corrupt results silently.  A trailing contract comment states the
+intended layout where it matters; the linter propagates shape/dtype
+facts through the function and flags provable contradictions.
+
+Bad:
+    out = np.empty((self.size, n))
+    out[:] = arr.reshape(n, -1)          # missing .T
+    return out.sum(axis=0)               # shape: (size,)  <- conflicts
+
+Good:
+    out = np.empty((self.size, n))       # shape: (size, n)
+    out[:] = arr.reshape(n, -1).T
+    return out.sum(axis=1)               # shape: (size,)
+
+Only *provable* conflicts fire: symbolic dims (`n`) conflict with other
+symbols, numeric dims with other numerics; unknown shapes stay silent.
+The comment also (re)declares the variable's fact, so downstream checks
+build on it.
+"""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Check contract comments in every function that has any."""
+        contract_lines: dict[int, tuple[Fact | None, str | None]] = {}
+        for lineno, text in _comment_tokens(ctx.source):
+            if _SHAPE_MARK_RE.search(text) or _DTYPE_MARK_RE.search(text):
+                contract_lines[lineno] = _parse_contract(text)
+        if not contract_lines:
+            return
+        aliases = ImportAliases()
+        aliases.visit(ctx.tree)
+        symbols = enclosing_symbols(ctx.tree)
+        covered: set[int] = set()
+        for func in iter_function_defs(ctx.tree):
+            span = range(func.lineno, (func.end_lineno or func.lineno) + 1)
+            if not any(ln in contract_lines for ln in span):
+                continue
+            covered.update(ln for ln in span if ln in contract_lines)
+            yield from self._check_function(
+                ctx, func, aliases.aliases, symbols, contract_lines
+            )
+        # Malformed contracts outside any function still deserve a report.
+        for lineno, (_, error) in sorted(contract_lines.items()):
+            if error is not None and lineno not in covered:
+                yield Finding(
+                    rule=self.id,
+                    path=ctx.relpath,
+                    line=lineno,
+                    message=error,
+                    symbol=f"<module>:contract:{lineno}",
+                )
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func,
+        aliases: dict[str, str],
+        symbols,
+        contract_lines: dict,
+    ) -> Iterator[Finding]:
+        qual = symbols.get(id(func), func.name)
+        infer = _Inference(aliases)
+        cfg = build_cfg(func)
+        reported: dict[int, tuple[ast.AST, str]] = {}
+
+        def contract_for(stmt: ast.AST) -> tuple[Fact | None, str | None]:
+            end = getattr(stmt, "end_lineno", stmt.lineno)
+            for lineno in range(stmt.lineno, end + 1):
+                if lineno in contract_lines:
+                    return contract_lines[lineno]
+            return None, None
+
+        def transfer(node, env: dict) -> dict:
+            out = dict(env)
+            stmt = node.stmt
+            if stmt is None or node.kind not in ("stmt",):
+                if node.kind == "loop_head" and isinstance(
+                    stmt, (ast.For, ast.AsyncFor)
+                ) and isinstance(stmt.target, ast.Name):
+                    out.pop(stmt.target.id, None)
+                return out
+            declared, error = contract_for(stmt)
+            if error is not None:
+                reported.setdefault(stmt.lineno, (stmt, error))
+                return out
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                inferred = infer.infer(stmt.value, out)
+                if isinstance(target, ast.Name):
+                    out[target.id] = inferred
+                    if declared is not None:
+                        self._compare(stmt, declared, inferred, reported)
+                        # The comment is authoritative for propagation.
+                        out[target.id] = self._refine(declared, inferred)
+                elif declared is not None:
+                    # Contract on a subscript/attribute store checks the rhs.
+                    self._compare(stmt, declared, inferred, reported)
+            elif isinstance(stmt, ast.AugAssign):
+                pass  # shape-preserving; facts stay
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                if declared is not None:
+                    inferred = infer.infer(stmt.value, out)
+                    self._compare(stmt, declared, inferred, reported)
+            return out
+
+        def merge(a: dict, b: dict) -> dict:
+            out = {}
+            for var in set(a) & set(b):
+                fa, fb = a[var], b[var]
+                shape = fa[0] if fa[0] == fb[0] else None
+                dtype = fa[1] if fa[1] == fb[1] else None
+                if shape is not None or dtype is not None:
+                    out[var] = (shape, dtype)
+            return out
+
+        analyze_forward(cfg, {}, transfer, merge)
+        for _, (stmt, message) in sorted(reported.items()):
+            yield ctx.finding(
+                self,
+                stmt,
+                message,
+                symbol=f"{qual}:contract:{self._anchor(stmt)}",
+            )
+
+    @staticmethod
+    def _anchor(stmt: ast.AST) -> str:
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.targets[0], ast.Name):
+            return stmt.targets[0].id
+        if isinstance(stmt, ast.Return):
+            return "return"
+        return "stmt"
+
+    @staticmethod
+    def _refine(declared: Fact, inferred: Fact) -> Fact:
+        shape = declared[0] if declared[0] is not None else inferred[0]
+        dtype = declared[1] if declared[1] is not None else inferred[1]
+        return (shape, dtype)
+
+    @staticmethod
+    def _compare(
+        stmt: ast.AST, declared: Fact, inferred: Fact, reported: dict
+    ) -> None:
+        d_shape, d_dtype = declared
+        i_shape, i_dtype = inferred
+        if _shapes_conflict(d_shape, i_shape):
+            reported.setdefault(
+                stmt.lineno,
+                (
+                    stmt,
+                    f"shape contract {_render_shape(d_shape)} conflicts with "
+                    f"inferred {_render_shape(i_shape)}",
+                ),
+            )
+            return
+        if d_dtype is not None and i_dtype is not None and d_dtype != i_dtype:
+            reported.setdefault(
+                stmt.lineno,
+                (
+                    stmt,
+                    f"dtype contract {d_dtype} conflicts with inferred "
+                    f"{i_dtype}",
+                ),
+            )
+
+
+def _render_shape(shape: tuple | None) -> str:
+    if shape is None:
+        return "(unknown)"
+    return "(" + ", ".join(shape) + ("," if len(shape) == 1 else "") + ")"

@@ -1,0 +1,207 @@
+"""SARIF 2.1.0 output for repro-lint (GitHub code-scanning ingestion).
+
+:func:`render_sarif` turns a list of findings into a SARIF log object;
+``python -m tools.lint --format sarif`` prints it.  :func:`validate_sarif`
+is a structural validator for the subset of the SARIF 2.1.0 schema the
+renderer emits -- CI runs it on the freshly rendered log so a renderer
+regression fails the build before GitHub rejects the upload.
+
+SARIF notes
+-----------
+- ``partialFingerprints`` carries the baseline fingerprint (path::rule::
+  symbol) under the key ``reproLint/v1`` so code-scanning tracks a
+  finding across line drift exactly like the baseline does.
+- Rules are deduplicated into ``tool.driver.rules`` and referenced by
+  ``ruleIndex``; unregistered rule ids (never expected) still render
+  with a bare ``ruleId``.
+- Every location is repo-relative with ``uriBaseId: SRCROOT``, the
+  conventional base GitHub resolves against the repository root.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: partialFingerprints key; bump the suffix if the fingerprint recipe changes.
+FINGERPRINT_KEY = "reproLint/v1"
+
+_LEVELS = ("none", "note", "warning", "error")
+
+
+def render_sarif(findings: Iterable, rules: dict) -> dict:
+    """A SARIF ``log`` object for *findings*.
+
+    Parameters
+    ----------
+    findings:
+        :class:`~tools.lint.core.Finding` objects (new, non-baselined).
+    rules:
+        Rule-id -> rule instance map (``all_rules()``); used to emit the
+        ``tool.driver.rules`` metadata table.
+    """
+    rule_ids = sorted(rules)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    driver_rules = []
+    for rule_id in rule_ids:
+        rule = rules[rule_id]
+        driver_rules.append(
+            {
+                "id": rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.explanation.strip()},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+            "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif(doc) -> list[str]:
+    """Structural problems in a SARIF log; empty list means valid.
+
+    Checks the SARIF 2.1.0 constraints that matter for code-scanning
+    ingestion: version pinning, the required tool/driver/rules shape,
+    result messages, level vocabulary, location regions and that every
+    ``ruleIndex`` points at the matching ``ruleId``.
+    """
+    problems: list[str] = []
+
+    def err(path: str, msg: str) -> None:
+        problems.append(f"{path}: {msg}")
+
+    if not isinstance(doc, dict):
+        return ["$: SARIF log must be a JSON object"]
+    if doc.get("version") != SARIF_VERSION:
+        err("$.version", f"must be {SARIF_VERSION!r}, got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        err("$.runs", "must be a non-empty array")
+        return problems
+
+    for ri, run in enumerate(runs):
+        base = f"$.runs[{ri}]"
+        if not isinstance(run, dict):
+            err(base, "must be an object")
+            continue
+        driver = (run.get("tool") or {}).get("driver")
+        if not isinstance(driver, dict) or not driver.get("name"):
+            err(f"{base}.tool.driver", "must be an object with a 'name'")
+            driver = {}
+        rules = driver.get("rules", [])
+        rule_ids: list[str] = []
+        if not isinstance(rules, list):
+            err(f"{base}.tool.driver.rules", "must be an array")
+            rules = []
+        for qi, rule in enumerate(rules):
+            rpath = f"{base}.tool.driver.rules[{qi}]"
+            if not isinstance(rule, dict) or not rule.get("id"):
+                err(rpath, "must be an object with an 'id'")
+                rule_ids.append("")
+                continue
+            rule_ids.append(rule["id"])
+            short = rule.get("shortDescription")
+            if short is not None and not (
+                isinstance(short, dict) and isinstance(short.get("text"), str)
+            ):
+                err(f"{rpath}.shortDescription", "must be {'text': <string>}")
+
+        results = run.get("results")
+        if not isinstance(results, list):
+            err(f"{base}.results", "must be an array")
+            continue
+        for si, result in enumerate(results):
+            spath = f"{base}.results[{si}]"
+            if not isinstance(result, dict):
+                err(spath, "must be an object")
+                continue
+            if not isinstance(result.get("ruleId"), str) or not result["ruleId"]:
+                err(f"{spath}.ruleId", "must be a non-empty string")
+            message = result.get("message")
+            if not (
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str)
+                and message["text"]
+            ):
+                err(f"{spath}.message", "must be {'text': <non-empty string>}")
+            level = result.get("level", "warning")
+            if level not in _LEVELS:
+                err(f"{spath}.level", f"must be one of {_LEVELS}, got {level!r}")
+            index = result.get("ruleIndex")
+            if index is not None:
+                if not isinstance(index, int) or not 0 <= index < len(rule_ids):
+                    err(f"{spath}.ruleIndex", f"out of range: {index!r}")
+                elif rule_ids[index] != result.get("ruleId"):
+                    err(
+                        f"{spath}.ruleIndex",
+                        f"points at {rule_ids[index]!r}, ruleId is "
+                        f"{result.get('ruleId')!r}",
+                    )
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                err(f"{spath}.locations", "must be a non-empty array")
+                continue
+            for li, loc in enumerate(locations):
+                lpath = f"{spath}.locations[{li}].physicalLocation"
+                phys = loc.get("physicalLocation") if isinstance(loc, dict) else None
+                if not isinstance(phys, dict):
+                    err(lpath, "must be an object")
+                    continue
+                artifact = phys.get("artifactLocation")
+                if not (
+                    isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str)
+                    and artifact["uri"]
+                    and not artifact["uri"].startswith("/")
+                ):
+                    err(
+                        f"{lpath}.artifactLocation.uri",
+                        "must be a non-empty relative URI",
+                    )
+                region = phys.get("region")
+                if region is not None:
+                    start = region.get("startLine") if isinstance(region, dict) else None
+                    if not isinstance(start, int) or start < 1:
+                        err(f"{lpath}.region.startLine", "must be an int >= 1")
+    return problems
