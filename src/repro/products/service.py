@@ -141,7 +141,7 @@ class ProductService:
 
     # -- request entry point -------------------------------------------------
 
-    def handle(  # repro-lint: blocking -- cache misses read and decode snapshot files
+    def handle(
         self, method: str, target: str, headers: dict[str, str] | None = None
     ) -> ServiceResponse:
         """Answer one request; never raises for client-visible conditions.

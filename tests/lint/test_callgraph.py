@@ -1,0 +1,373 @@
+"""Call-graph extraction/linking edge cases (tools/lint/callgraph.py).
+
+Each test builds a tiny multi-file project IR and asserts the resolver
+binds (or conservatively refuses to bind) the interesting call shapes:
+aliased imports, package re-exports, decorated functions, closures,
+``self.`` dispatch across inheritance, typed receivers and the
+unresolvable fallback.
+"""
+
+import ast
+import textwrap
+
+from tools.lint.callgraph import CallGraph, FileIR, module_name_for_relpath
+from tools.lint.summaries import extract_ir
+
+
+def build(files: dict[str, str]) -> CallGraph:
+    """Link a dict of ``relpath -> source`` into a CallGraph."""
+    irs = {}
+    for relpath, source in files.items():
+        source = textwrap.dedent(source)
+        irs[relpath] = extract_ir(ast.parse(source), source, relpath)
+    return CallGraph(irs)
+
+
+def edges_of(graph: CallGraph, key: str) -> list[str]:
+    return graph.edges[key]
+
+
+class TestModuleNaming:
+    def test_src_prefix_stripped(self):
+        assert module_name_for_relpath("src/repro/util/fsio.py") == "repro.util.fsio"
+
+    def test_package_init_is_the_package(self):
+        assert module_name_for_relpath("src/repro/sched/__init__.py") == "repro.sched"
+
+    def test_out_of_tree_paths_get_path_names(self):
+        assert module_name_for_relpath("tools/lint/core.py") == "tools.lint.core"
+
+
+class TestAliasedImports:
+    def test_from_import_as_binds_to_definition(self):
+        graph = build(
+            {
+                "src/repro/util/helpers.py": """\
+                    def fetch(path):
+                        return path
+                    """,
+                "src/repro/app.py": """\
+                    from repro.util.helpers import fetch as get
+
+                    def run(p):
+                        return get(p)
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:run") == ["repro.util.helpers:fetch"]
+
+    def test_import_module_as_prefix(self):
+        graph = build(
+            {
+                "src/repro/util/helpers.py": """\
+                    def fetch(path):
+                        return path
+                    """,
+                "src/repro/app.py": """\
+                    import repro.util.helpers as h
+
+                    def run(p):
+                        return h.fetch(p)
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:run") == ["repro.util.helpers:fetch"]
+
+
+class TestReExports:
+    def test_package_init_reexport_chased(self):
+        graph = build(
+            {
+                "src/repro/pkg/__init__.py": """\
+                    from repro.pkg.impl import helper
+                    """,
+                "src/repro/pkg/impl.py": """\
+                    def helper(x):
+                        return x
+                    """,
+                "src/repro/app.py": """\
+                    from repro.pkg import helper
+
+                    def run(x):
+                        return helper(x)
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:run") == ["repro.pkg.impl:helper"]
+
+    def test_reexport_cycle_bounded(self):
+        # a re-exports from b, b from a: resolution must terminate (None).
+        graph = build(
+            {
+                "src/repro/a.py": "from repro.b import ghost\n",
+                "src/repro/b.py": "from repro.a import ghost\n",
+                "src/repro/app.py": """\
+                    from repro.a import ghost
+
+                    def run():
+                        return ghost()
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:run") == []
+        assert graph.unresolved["repro.app:run"] == 1
+
+
+class TestDecoratedFunctions:
+    def test_decorated_def_still_resolves_by_name(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    import functools
+
+                    def deco(fn):
+                        return fn
+
+                    @deco
+                    @functools.lru_cache
+                    def work(x):
+                        return x
+
+                    def run(x):
+                        return work(x)
+                    """,
+            }
+        )
+        assert "repro.app:work" in edges_of(graph, "repro.app:run")
+
+
+class TestClosures:
+    def test_inner_def_wins_over_module_level(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    def helper():
+                        return "module"
+
+                    def outer():
+                        def helper():
+                            return "inner"
+                        return helper()
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:outer") == [
+            "repro.app:outer.<locals>.helper"
+        ]
+
+    def test_enclosing_scope_def_found_from_nested(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    def outer():
+                        def a():
+                            return 1
+                        def b():
+                            return a()
+                        return b()
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:outer.<locals>.b") == [
+            "repro.app:outer.<locals>.a"
+        ]
+
+
+class TestSelfDispatch:
+    def test_self_call_binds_to_own_method(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    class Service:
+                        def handle(self):
+                            return self._dispatch()
+
+                        def _dispatch(self):
+                            return 1
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:Service.handle") == [
+            "repro.app:Service._dispatch"
+        ]
+
+    def test_self_call_resolves_through_inheritance(self):
+        graph = build(
+            {
+                "src/repro/base.py": """\
+                    class Base:
+                        def shared(self):
+                            return 1
+                    """,
+                "src/repro/app.py": """\
+                    from repro.base import Base
+
+                    class Child(Base):
+                        def run(self):
+                            return self.shared()
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:Child.run") == ["repro.base:Base.shared"]
+
+    def test_override_shadows_base_method(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    class Base:
+                        def shared(self):
+                            return 1
+
+                    class Child(Base):
+                        def shared(self):
+                            return 2
+
+                        def run(self):
+                            return self.shared()
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:Child.run") == ["repro.app:Child.shared"]
+
+
+class TestTypedReceivers:
+    def test_attr_type_from_init_resolves_method(self):
+        graph = build(
+            {
+                "src/repro/store.py": """\
+                    class Reader:
+                        def fetch(self, v):
+                            return v
+                    """,
+                "src/repro/app.py": """\
+                    from repro.store import Reader
+
+                    class Service:
+                        def __init__(self):
+                            self.reader = Reader()
+
+                        def get(self, v):
+                            return self.reader.fetch(v)
+                    """,
+            }
+        )
+        assert "repro.store:Reader.fetch" in edges_of(graph, "repro.app:Service.get")
+
+    def test_local_var_type_resolves_method(self):
+        graph = build(
+            {
+                "src/repro/store.py": """\
+                    class Store:
+                        def publish(self, x):
+                            return x
+                    """,
+                "src/repro/app.py": """\
+                    from repro.store import Store
+
+                    def run(x):
+                        store = Store()
+                        return store.publish(x)
+                    """,
+            }
+        )
+        assert "repro.store:Store.publish" in edges_of(graph, "repro.app:run")
+
+
+class TestConstructors:
+    def test_ctor_call_binds_to_init(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    class Widget:
+                        def __init__(self, n):
+                            self.n = n
+
+                    def make(n):
+                        return Widget(n)
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:make") == ["repro.app:Widget.__init__"]
+
+
+class TestUnresolvableFallback:
+    def test_foreign_calls_count_as_unresolved(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    import json
+
+                    def run(cb, x):
+                        json.dumps(x)
+                        cb(x)
+                        return x
+                    """,
+            }
+        )
+        assert edges_of(graph, "repro.app:run") == []
+        assert graph.unresolved["repro.app:run"] == 2
+
+    def test_untyped_receiver_is_unresolved_not_misbound(self):
+        graph = build(
+            {
+                "src/repro/store.py": """\
+                    class Store:
+                        def publish(self, x):
+                            return x
+                    """,
+                "src/repro/app.py": """\
+                    def run(store, x):
+                        return store.publish(x)
+                    """,
+            }
+        )
+        # `store` is a parameter with no known type: never guess by name.
+        assert edges_of(graph, "repro.app:run") == []
+        assert graph.unresolved["repro.app:run"] == 1
+
+
+class TestSCCsAndSerialization:
+    def test_sccs_bottom_up_order(self):
+        graph = build(
+            {
+                "src/repro/app.py": """\
+                    def leaf():
+                        return 1
+
+                    def a():
+                        return b() + leaf()
+
+                    def b():
+                        return a()
+
+                    def top():
+                        return a()
+                    """,
+            }
+        )
+        sccs = graph.sccs_bottom_up()
+        flat = {k: i for i, scc in enumerate(sccs) for k in scc}
+        cycle = next(s for s in sccs if len(s) == 2)
+        assert set(cycle) == {"repro.app:a", "repro.app:b"}
+        assert flat["repro.app:leaf"] < flat["repro.app:a"]
+        assert flat["repro.app:a"] < flat["repro.app:top"]
+
+    def test_file_ir_round_trips_through_json_dict(self):
+        import json
+
+        source = textwrap.dedent(
+            """\
+            from repro.store import Store
+
+            class Service:
+                def __init__(self):
+                    self.store = Store()
+
+                def run(self, x):
+                    return self.store.publish(x)
+            """
+        )
+        ir = extract_ir(ast.parse(source), source, "src/repro/app.py")
+        rebuilt = FileIR.from_dict(json.loads(json.dumps(ir.to_dict())))
+        assert rebuilt.to_dict() == ir.to_dict()
+        assert rebuilt.classes["Service"].attr_types == {"store": "repro.store.Store"}

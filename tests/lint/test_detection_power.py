@@ -7,7 +7,7 @@ If a refactor of the rules breaks one of these, the rule has lost the
 power that justified it.
 """
 
-from tests.lint.test_rules import lint
+from tests.lint.test_rules import lint, lint_files
 
 
 class TestREP011CatchesUnfsyncedHeadPublish:
@@ -191,5 +191,219 @@ class TestREP012CatchesRankConfusedContract:
     def test_shipped_contract_is_quiet(self, tmp_path):
         report = lint(
             tmp_path, "src/repro/products/tiles.py", self.FIXED, select=["REP012"]
+        )
+        assert report.findings == []
+
+
+class TestREP011CatchesReplaceHiddenInHelper:
+    """The cross-function shape of the unfsynced-publish defect.
+
+    Refactoring the bare ``os.replace`` into an unannotated helper hides
+    the publish from per-function analysis entirely -- the caller shows a
+    dirty temp path and no replace, the helper shows a replace of a
+    parameter it knows nothing about.  Only the effect summary
+    (``replace_src_params``) reconnects them.
+    """
+
+    HELPER_BAD = """\
+        import os
+
+        def commit_head(tmp, final):
+            os.replace(tmp, final)
+        """
+
+    HELPER_FIXED = """\
+        import os
+
+        def commit_head(tmp, final):
+            _fsync_path(tmp)
+            os.replace(tmp, final)
+
+        def _fsync_path(path):
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        """
+
+    CALLER = """\
+        import json
+
+        from repro.products.headio import commit_head
+
+        class ProductStore:
+            def _publish_head(self, head):
+                tmp = self.head_path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(head))
+                commit_head(tmp, self.head_path)
+        """
+
+    def files(self, helper):
+        return {
+            "src/repro/products/headio.py": helper,
+            "src/repro/products/store.py": self.CALLER,
+        }
+
+    def test_caught_interprocedurally(self, tmp_path):
+        report = lint_files(
+            tmp_path, self.files(self.HELPER_BAD), select=["REP011"]
+        )
+        assert [f.rule for f in report.findings] == ["REP011"]
+        assert report.findings[0].path.endswith("store.py")
+
+    def test_missed_per_function(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            self.files(self.HELPER_BAD),
+            select=["REP011"],
+            use_summaries=False,
+        )
+        assert report.findings == []
+
+    def test_fsyncing_helper_is_quiet(self, tmp_path):
+        report = lint_files(
+            tmp_path, self.files(self.HELPER_FIXED), select=["REP011"]
+        )
+        assert report.findings == []
+
+
+class TestREP010CatchesBlockingThroughHelperChain:
+    """Transitive blocking with no annotation anywhere.
+
+    The async connection handler calls a sync helper that reaches
+    ``open()`` two hops down; no ``# repro-lint: blocking`` mark exists,
+    so per-function analysis has nothing to match -- only the inferred
+    summary chain convicts the call.
+    """
+
+    SERVICE = """\
+        import json
+
+        def load_snapshot(version):
+            return _read(version)
+
+        def _read(version):
+            with open(version) as fh:
+                return json.load(fh)
+        """
+
+    SERVER_BAD = """\
+        from repro.products.service import load_snapshot
+
+        class ProductServer:
+            async def _handle(self, version):
+                return load_snapshot(version)
+        """
+
+    SERVER_FIXED = """\
+        import asyncio
+
+        from repro.products.service import load_snapshot
+
+        class ProductServer:
+            async def _handle(self, version):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(None, load_snapshot, version)
+        """
+
+    def files(self, server):
+        return {
+            "src/repro/products/service.py": self.SERVICE,
+            "src/repro/products/server.py": server,
+        }
+
+    def test_caught_interprocedurally(self, tmp_path):
+        report = lint_files(
+            tmp_path, self.files(self.SERVER_BAD), select=["REP010"]
+        )
+        assert [f.rule for f in report.findings] == ["REP010"]
+        assert "transitively" in report.findings[0].message
+        assert "load_snapshot -> _read" in report.findings[0].message
+
+    def test_missed_per_function(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            self.files(self.SERVER_BAD),
+            select=["REP010"],
+            use_summaries=False,
+        )
+        assert report.findings == []
+
+    def test_executor_offload_is_quiet(self, tmp_path):
+        report = lint_files(
+            tmp_path, self.files(self.SERVER_FIXED), select=["REP010"]
+        )
+        assert report.findings == []
+
+
+class TestREP009CatchesLeakThroughAcquiringHelper:
+    """The covfile read-leak with the acquisition behind a helper.
+
+    ``open_columns`` returns an open handle; the caller validates after
+    acquiring, so the truncated-snapshot raise leaks the handle.
+    Per-function analysis never sees an acquisition in the caller; the
+    helper's ``returns_resource`` summary plants the obligation.
+    """
+
+    HELPER = """\
+        def open_columns(path):
+            handle = open(path, "rb")
+            return handle
+        """
+
+    CALLER_BAD = """\
+        import numpy as np
+
+        from repro.workflow.snapio import open_columns
+
+        def read_snapshot(path, count):
+            columns = open_columns(path)
+            member_ids = np.fromfile(path, dtype=np.int64, count=count)
+            if member_ids.size != count:
+                raise ValueError("truncated snapshot")
+            columns.close()
+            return member_ids
+        """
+
+    CALLER_FIXED = """\
+        import numpy as np
+
+        from repro.workflow.snapio import open_columns
+
+        def read_snapshot(path, count):
+            member_ids = np.fromfile(path, dtype=np.int64, count=count)
+            if member_ids.size != count:
+                raise ValueError("truncated snapshot")
+            columns = open_columns(path)
+            columns.close()
+            return member_ids
+        """
+
+    def files(self, caller):
+        return {
+            "src/repro/workflow/snapio.py": self.HELPER,
+            "src/repro/workflow/covfile.py": caller,
+        }
+
+    def test_caught_interprocedurally(self, tmp_path):
+        report = lint_files(
+            tmp_path, self.files(self.CALLER_BAD), select=["REP009"]
+        )
+        assert [f.rule for f in report.findings] == ["REP009"]
+        assert "'columns'" in report.findings[0].message
+
+    def test_missed_per_function(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            self.files(self.CALLER_BAD),
+            select=["REP009"],
+            use_summaries=False,
+        )
+        assert report.findings == []
+
+    def test_validate_before_acquire_is_quiet(self, tmp_path):
+        report = lint_files(
+            tmp_path, self.files(self.CALLER_FIXED), select=["REP009"]
         )
         assert report.findings == []

@@ -1,0 +1,229 @@
+"""Interprocedural run behavior: lifted REP001, annotation precedence,
+the summary cache, ``--jobs`` parity and the github renderer.
+
+The rule-by-rule cross-function contrasts live in
+``test_detection_power.py``; this file covers the machinery those
+contrasts ride on.
+"""
+
+from tools.lint.core import Finding, all_rules, run_lint
+from tools.lint.github import render_github
+
+from tests.lint.test_rules import lint_files
+
+
+class TestREP001TaintAcrossFunctions:
+    FILES = {
+        "src/repro/obs/noise.py": """\
+            import numpy as np
+
+            def perturb(field):
+                return field + np.random.standard_normal(field.shape)
+            """,
+        "src/repro/obs/sampler.py": """\
+            from repro.obs.noise import perturb
+
+            def sample(field):
+                return perturb(field)
+            """,
+    }
+
+    def test_caller_of_tainted_helper_flagged(self, tmp_path):
+        report = lint_files(tmp_path, self.FILES, select=["REP001"])
+        by_path = {f.path.rsplit("/", 1)[-1] for f in report.findings}
+        # The helper's own legacy-global call fires either way; the
+        # caller-side taint finding is the interprocedural gain.
+        assert by_path == {"noise.py", "sampler.py"}
+        taint = [f for f in report.findings if f.path.endswith("sampler.py")]
+        assert "perturb ->" in taint[0].message
+
+    def test_caller_clean_without_summaries(self, tmp_path):
+        report = lint_files(
+            tmp_path, self.FILES, select=["REP001"], use_summaries=False
+        )
+        assert all(f.path.endswith("noise.py") for f in report.findings)
+
+
+class TestBlockingAnnotationPrecedence:
+    """The manual mark is now an *override*, not the only signal."""
+
+    def test_annotation_convicts_uninferable_callee(self, tmp_path):
+        # The callee's body is pure Python arithmetic -- inference sees
+        # nothing blocking -- but the author knows better (say, it spins
+        # on a C extension).  The annotation must still win.
+        report = lint_files(
+            tmp_path,
+            {
+                "src/repro/products/api.py": """\
+                    def crunch(n):  # repro-lint: blocking -- spins in a C extension
+                        return n * n
+
+                    class Server:
+                        async def handle(self, n):
+                            return crunch(n)
+                    """,
+            },
+            select=["REP010"],
+        )
+        assert [f.rule for f in report.findings] == ["REP010"]
+        assert "annotated blocking" in report.findings[0].message
+
+    def test_annotation_matching_still_works_without_summaries(self, tmp_path):
+        # The pre-interprocedural fallback: cross-file name matching of
+        # annotated functions, no call graph required.
+        report = lint_files(
+            tmp_path,
+            {
+                "src/repro/products/impl.py": """\
+                    def crunch(n):  # repro-lint: blocking -- spins in a C extension
+                        return n * n
+                    """,
+                "src/repro/products/api.py": """\
+                    from repro.products.impl import crunch
+
+                    class Server:
+                        async def handle(self, n):
+                            return crunch(n)
+                    """,
+            },
+            select=["REP010"],
+            use_summaries=False,
+        )
+        assert [f.rule for f in report.findings] == ["REP010"]
+
+
+class TestSummaryCache:
+    FILES = {
+        "src/repro/util/io.py": """\
+            def helper(path):
+                return path
+            """,
+        "src/repro/products/api.py": """\
+            from repro.util.io import helper
+
+            class Server:
+                async def handle(self, path):
+                    return helper(path)
+            """,
+    }
+
+    def test_warm_run_replays_from_cache(self, tmp_path):
+        cache_dir = tmp_path / ".lintcache"
+        cold = lint_files(
+            tmp_path, self.FILES, select=["REP010"], cache_dir=cache_dir
+        )
+        assert cold.n_from_cache == 0
+        warm = lint_files(
+            tmp_path, self.FILES, select=["REP010"], cache_dir=cache_dir
+        )
+        assert warm.n_from_cache == warm.n_files
+        assert warm.findings == cold.findings
+
+    def test_dependency_change_invalidates_caller(self, tmp_path):
+        cache_dir = tmp_path / ".lintcache"
+        lint_files(tmp_path, self.FILES, select=["REP010"], cache_dir=cache_dir)
+        # Make the helper blocking: api.py's bytes are unchanged but its
+        # dependency signature is not -- the cached findings must NOT be
+        # replayed for it.
+        changed = dict(self.FILES)
+        changed["src/repro/util/io.py"] = """\
+            def helper(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        warm = lint_files(
+            tmp_path, changed, select=["REP010"], cache_dir=cache_dir
+        )
+        assert [f.rule for f in warm.findings] == ["REP010"]
+        assert warm.findings[0].path.endswith("api.py")
+
+    def test_unrelated_file_still_replays(self, tmp_path):
+        cache_dir = tmp_path / ".lintcache"
+        files = dict(self.FILES)
+        files["src/repro/util/other.py"] = "def lonely():\n    return 1\n"
+        lint_files(tmp_path, files, select=["REP010"], cache_dir=cache_dir)
+        changed = dict(files)
+        changed["src/repro/util/other.py"] = "def lonely():\n    return 2\n"
+        warm = lint_files(
+            tmp_path, changed, select=["REP010"], cache_dir=cache_dir
+        )
+        # Only the edited file left the cache; the untouched pair replays.
+        assert warm.n_from_cache == warm.n_files - 1
+
+
+class TestJobsParity:
+    def test_parallel_findings_match_serial(self, tmp_path):
+        files = {
+            f"src/repro/mod{i}.py": f"""\
+                import time
+
+                def helper{i}():
+                    time.sleep(1)
+
+                async def handler{i}():
+                    helper{i}()
+                """
+            for i in range(6)
+        }
+        serial = lint_files(tmp_path, files, select=["REP010"], jobs=1)
+        parallel = lint_files(tmp_path, files, select=["REP010"], jobs=3)
+        key = lambda f: (f.path, f.line, f.rule, f.message)
+        assert sorted(map(key, parallel.findings)) == sorted(
+            map(key, serial.findings)
+        )
+        assert len(serial.findings) == 6
+
+
+class TestGithubRenderer:
+    def test_annotation_line_shape(self):
+        findings = [
+            Finding(
+                rule="REP010",
+                path="src/repro/products/server.py",
+                line=12,
+                message="call to handle() blocks the event loop",
+                symbol="Server.handle:blocking-call:handle",
+            )
+        ]
+        (line,) = render_github(findings, all_rules())
+        assert line.startswith(
+            "::error file=src/repro/products/server.py,line=12,"
+        )
+        assert "title=REP010 async-discipline" in line
+        assert line.endswith("::REP010 call to handle() blocks the event loop")
+
+    def test_escaping_of_newlines_commas_and_colons(self):
+        findings = [
+            Finding(
+                rule="REP013",
+                path="src/repro/a,b.py",
+                line=3,
+                message="first line\nsecond: line, with commas",
+                symbol="f:staged-publish",
+            )
+        ]
+        (line,) = render_github(findings, all_rules())
+        assert "file=src/repro/a%2Cb.py" in line
+        assert line.endswith("::REP013 first line%0Asecond: line, with commas")
+        assert "\n" not in line
+
+    def test_cli_format_github(self, tmp_path, capsys):
+        from tools.lint.cli import main
+
+        target = tmp_path / "src" / "repro" / "x.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import numpy as np\n\nrng = np.random.default_rng()\n")
+        code = main(
+            [
+                str(target),
+                "--root",
+                str(tmp_path),
+                "--select",
+                "REP001",
+                "--format",
+                "github",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.startswith("::error file=src/repro/x.py,line=3,")

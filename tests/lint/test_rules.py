@@ -20,6 +20,26 @@ def lint(tmp_path, relpath, source, select):
     return run_lint([path], root=tmp_path, select=select)
 
 
+def lint_files(
+    tmp_path, files, select, *, use_summaries=True, jobs=1, cache_dir=None
+):
+    """Write a multi-file scratch project and lint all of it."""
+    paths = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        paths.append(path)
+    return run_lint(
+        paths,
+        root=tmp_path,
+        select=select,
+        jobs=jobs,
+        use_summaries=use_summaries,
+        cache_dir=cache_dir,
+    )
+
+
 class TestREP001Determinism:
     def test_unseeded_default_rng_fires(self, tmp_path):
         report = lint(

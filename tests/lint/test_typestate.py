@@ -1,0 +1,302 @@
+"""Typestate machines (tools/lint/typestate.py) and REP013 integration.
+
+Checker-level tests drive :class:`ProtocolChecker` /
+:class:`AttrProtocolChecker` straight over parsed functions; the
+integration tests go through ``run_lint`` with ``REP013`` selected,
+including the helper-mediated events that only effect summaries see.
+"""
+
+import ast
+import textwrap
+
+from tools.lint.typestate import (
+    JOB_LIFECYCLE,
+    SHM_BUFFER,
+    STAGED_PUBLISH,
+    AttrProtocolChecker,
+    ProtocolChecker,
+)
+
+from tests.lint.test_rules import lint, lint_files
+
+
+def check(spec, source, attr=False):
+    """Run one machine over the first def in ``source``."""
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    checker = AttrProtocolChecker(spec) if attr else ProtocolChecker(spec)
+    return checker.check(func)
+
+
+class TestStagedPublish:
+    def test_leaked_temp_file_reported_at_exit(self):
+        findings = check(
+            STAGED_PUBLISH,
+            """\
+            def write_only(target, payload):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+            """,
+        )
+        assert len(findings) == 1
+        assert "never published" in findings[0][1]
+
+    def test_double_publish_reported(self):
+        findings = check(
+            STAGED_PUBLISH,
+            """\
+            def publish_twice(target, payload):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                tmp.replace(target)
+                tmp.replace(target)
+            """,
+        )
+        assert [m for _, m in findings] == ["tmp published twice"]
+
+    def test_write_after_publish_reported(self):
+        findings = check(
+            STAGED_PUBLISH,
+            """\
+            def late_write(target, payload):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                tmp.replace(target)
+                tmp.write_text(payload)
+            """,
+        )
+        assert len(findings) == 1
+        assert "written after publish" in findings[0][1]
+
+    def test_good_protocol_is_quiet(self):
+        findings = check(
+            STAGED_PUBLISH,
+            """\
+            def publish(target, payload):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                tmp.replace(target)
+            """,
+        )
+        assert findings == []
+
+    def test_must_semantics_on_diamond_merge(self):
+        # One branch already published: the final replace is still legal
+        # along the not-taken branch, so no *must* violation exists.
+        findings = check(
+            STAGED_PUBLISH,
+            """\
+            def maybe_early(target, payload, early):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                if early:
+                    tmp.replace(target)
+                tmp.replace(target)
+            """,
+        )
+        assert findings == []
+
+    def test_publish_only_on_one_branch_leaks_other(self):
+        findings = check(
+            STAGED_PUBLISH,
+            """\
+            def forgets_else(target, payload, ok):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                if ok:
+                    tmp.replace(target)
+            """,
+        )
+        # The fall-through path leaks the temp file; flagged at exit.
+        assert len(findings) == 1
+        assert "never published" in findings[0][1]
+
+    def test_returned_token_escapes(self):
+        findings = check(
+            STAGED_PUBLISH,
+            """\
+            def stage_for_caller(target, payload):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                return tmp
+            """,
+        )
+        assert findings == []
+
+
+class TestShmBuffer:
+    def test_use_after_close_reported(self):
+        findings = check(
+            SHM_BUFFER,
+            """\
+            def reader(spec):
+                buf = SharedEnsembleBuffer(spec)
+                buf.close()
+                return buf.gather()
+            """,
+        )
+        assert len(findings) == 1
+        assert "used after close" in findings[0][1]
+
+    def test_double_close_reported(self):
+        findings = check(
+            SHM_BUFFER,
+            """\
+            def sloppy(spec):
+                buf = SharedEnsembleBuffer(spec)
+                buf.close()
+                buf.close()
+            """,
+        )
+        assert len(findings) == 1
+        assert "closed twice" in findings[0][1]
+
+    def test_owner_teardown_close_then_unlink_is_quiet(self):
+        findings = check(
+            SHM_BUFFER,
+            """\
+            def owner(spec):
+                buf = SharedEnsembleBuffer(spec)
+                buf.scatter(spec)
+                buf.close()
+                buf.unlink()
+            """,
+        )
+        assert findings == []
+
+    def test_use_only_on_closed_branch_is_must_quiet(self):
+        # The token may still be open on the else path: not a must-bug.
+        findings = check(
+            SHM_BUFFER,
+            """\
+            def maybe(spec, done):
+                buf = SharedEnsembleBuffer(spec)
+                if done:
+                    buf.close()
+                buf.unlink()
+            """,
+        )
+        assert findings == []
+
+
+class TestJobLifecycle:
+    def test_done_is_terminal(self):
+        findings = check(
+            JOB_LIFECYCLE,
+            """\
+            def recycle(job):
+                job.state = JobState.DONE
+                job.state = JobState.QUEUED
+            """,
+            attr=True,
+        )
+        assert len(findings) == 1
+        assert "DONE -> QUEUED" in findings[0][1]
+
+    def test_declared_lifecycle_is_quiet(self):
+        findings = check(
+            JOB_LIFECYCLE,
+            """\
+            def run(job, ok):
+                job.state = JobState.RUNNING
+                if ok:
+                    job.state = JobState.DONE
+                else:
+                    job.state = JobState.FAILED
+            """,
+            attr=True,
+        )
+        assert findings == []
+
+    def test_loop_rebinding_does_not_self_transition(self):
+        # Each iteration cancels a *different* job; the back edge must
+        # not turn that into CANCELLED -> CANCELLED.
+        findings = check(
+            JOB_LIFECYCLE,
+            """\
+            def drain(jobs):
+                for job in jobs:
+                    job.state = JobState.CANCELLED
+            """,
+            attr=True,
+        )
+        assert findings == []
+
+    def test_setter_method_counts_as_assignment(self):
+        findings = check(
+            JOB_LIFECYCLE,
+            """\
+            def retry_then_finish(job):
+                job.state = JobState.FAILED
+                job.reset_for_retry()
+                job.state = JobState.DONE
+            """,
+            attr=True,
+        )
+        # reset_for_retry moves FAILED -> QUEUED; QUEUED -> DONE is not
+        # declared (a job must run before it completes).
+        assert len(findings) == 1
+        assert "QUEUED -> DONE" in findings[0][1]
+
+
+class TestREP013Integration:
+    def test_rule_reports_protocol_name_and_symbol(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "src/repro/products/example.py",
+            """\
+            def publish_twice(target, payload):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                tmp.replace(target)
+                tmp.replace(target)
+            """,
+            select=["REP013"],
+        )
+        assert [f.rule for f in report.findings] == ["REP013"]
+        assert "[staged-publish]" in report.findings[0].message
+        assert report.findings[0].symbol == "publish_twice:staged-publish"
+
+    def test_helper_mediated_publish_needs_summaries(self, tmp_path):
+        files = {
+            "src/repro/util/fsio.py": """\
+                import os
+
+                def commit(tmp, final):
+                    os.replace(tmp, final)
+                """,
+            "src/repro/products/example.py": """\
+                from repro.util.fsio import commit
+
+                def publish_twice(target, payload):
+                    tmp = target.with_suffix(".tmp")
+                    tmp.write_text(payload)
+                    commit(tmp, target)
+                    commit(tmp, target)
+                """,
+        }
+        with_summaries = lint_files(tmp_path, files, select=["REP013"])
+        assert any(
+            "published twice" in f.message for f in with_summaries.findings
+        )
+        without = lint_files(
+            tmp_path, files, select=["REP013"], use_summaries=False
+        )
+        # Per-function analysis cannot classify commit(): it must drop
+        # the token conservatively rather than guess.
+        assert without.findings == []
+
+    def test_suppression_comment_silences_rep013(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "src/repro/products/example.py",
+            """\
+            def publish_twice(target, payload):
+                tmp = target.with_suffix(".tmp")
+                tmp.write_text(payload)
+                tmp.replace(target)
+                tmp.replace(target)  # repro-lint: disable=REP013 -- re-publish is idempotent here
+            """,
+            select=["REP013"],
+        )
+        assert report.findings == []
+        assert report.n_suppressed == 1

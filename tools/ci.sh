@@ -21,11 +21,19 @@ set -e
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
+# Summary cache: warm runs replay unchanged files (plus their
+# reverse-dependency frontier) instead of re-linting them.  The dir is
+# gitignored; point LINT_CACHE_DIR elsewhere to relocate it.  --jobs
+# fans the rule pass out over worker processes where cores exist.
+LINT_CACHE_DIR="${LINT_CACHE_DIR:-.lint-cache}"
+LINT_JOBS="${LINT_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+LINT_FLAGS="--jobs $LINT_JOBS --cache-dir $LINT_CACHE_DIR"
+
 # --quick: the pre-commit loop.  Lint only what changed vs HEAD (strict
 # about stale baseline entries so fixes prune their debt), then the
 # tier-1 suite.  Full CI below always lints everything.
 if [ "${1:-}" = "--quick" ]; then
-    python -m tools.lint --changed-only --strict-baseline
+    python -m tools.lint --changed-only --strict-baseline $LINT_FLAGS
     echo "repro-lint (changed files): clean"
     python -m pytest -x -q
     echo "quick check: ok"
@@ -44,7 +52,7 @@ REPRO_SANITIZE=1 python -m pytest tests/workflow tests/telemetry tests/products 
 echo "sanitizer: clean"
 
 python -m tools.lint src/repro tests benchmarks tools --strict-baseline \
-    --format json > /dev/null
+    $LINT_FLAGS --format json > /dev/null
 echo "repro-lint: clean"
 
 # SARIF smoke: the same run rendered as SARIF 2.1.0 must pass the
@@ -52,7 +60,7 @@ echo "repro-lint: clean"
 # code-scanning upload).
 lint_sarif="$(mktemp)"
 python -m tools.lint src/repro tests benchmarks tools --strict-baseline \
-    --format sarif > "$lint_sarif"
+    $LINT_FLAGS --format sarif > "$lint_sarif"
 python - "$lint_sarif" <<'EOF'
 import json, sys
 from tools.lint.sarif import validate_sarif

@@ -1,0 +1,140 @@
+"""Warm-run cache for the interprocedural lint pipeline.
+
+One JSON file (``lint-cache.json`` inside the ``--cache-dir``) holds, per
+linted file:
+
+- the extracted :class:`~tools.lint.callgraph.FileIR`, keyed on the
+  file's content hash -- a warm run rebuilds the project call graph and
+  effect summaries from cached IRs without re-parsing unchanged files;
+- the post-suppression findings, keyed on content hash **plus** the
+  file's *dependency signature* (a digest of every resolved callee's
+  effect summary and the global annotation set).  Editing one file
+  therefore invalidates exactly that file and its reverse-dependency
+  frontier: callers whose callee summaries changed get a different
+  signature and re-lint, everyone else replays cached findings.
+
+The whole cache is scoped to an *engine hash* (the content hash of every
+``tools/lint`` source file), so upgrading the linter or editing a rule
+discards stale results wholesale.  Content hashes -- never timestamps --
+keep the cache deterministic and honest under REP002.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from tools.lint.callgraph import FileIR
+
+_CACHE_VERSION = 1
+_CACHE_NAME = "lint-cache.json"
+
+
+def content_hash(data: str | bytes) -> str:
+    """sha256 hex digest of file content (str content is utf-8 encoded)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def engine_hash() -> str:
+    """Digest of every ``tools/lint`` source file (the engine version).
+
+    Any edit to the framework, a rule, or a protocol spec changes this
+    hash and invalidates the whole cache.
+    """
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Load/update/save the single-file lint cache (see module docstring).
+
+    A ``None`` directory degrades every method to a miss/no-op, so the
+    driver never branches on whether caching is enabled.
+    """
+
+    def __init__(self, cache_dir: str | Path | None):
+        self.path = (
+            Path(cache_dir) / _CACHE_NAME if cache_dir is not None else None
+        )
+        self.engine = engine_hash()
+        self._irs: dict[str, dict] = {}
+        self._findings: dict[str, dict] = {}
+        self._dirty = False
+        if self.path is not None and self.path.is_file():
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # unreadable/corrupt cache == empty cache
+        if raw.get("version") != _CACHE_VERSION or raw.get("engine") != self.engine:
+            return
+        self._irs = raw.get("irs", {})
+        self._findings = raw.get("findings", {})
+
+    # -- IRs ----------------------------------------------------------------
+
+    def get_ir(self, relpath: str, sha: str) -> FileIR | None:
+        """Cached IR of an unchanged file, or None."""
+        entry = self._irs.get(relpath)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        return FileIR.from_dict(entry["ir"])
+
+    def put_ir(self, relpath: str, sha: str, ir: FileIR) -> None:
+        """Record a freshly extracted IR."""
+        self._irs[relpath] = {"sha": sha, "ir": ir.to_dict()}
+        self._dirty = True
+
+    # -- findings -----------------------------------------------------------
+
+    @staticmethod
+    def findings_key(sha: str, dep_signature: str, select_key: str) -> str:
+        """The composite invalidation key of one file's findings."""
+        return f"{sha}:{content_hash(dep_signature)}:{select_key}"
+
+    def get_findings(self, relpath: str, key: str) -> tuple[list[dict], int] | None:
+        """Cached (finding dicts, n_suppressed) for a key, or None."""
+        entry = self._findings.get(relpath)
+        if entry is None or entry.get("key") != key:
+            return None
+        return entry["findings"], entry["n_suppressed"]
+
+    def put_findings(
+        self, relpath: str, key: str, findings: list[dict], n_suppressed: int
+    ) -> None:
+        """Record one file's post-suppression findings."""
+        self._findings[relpath] = {
+            "key": key,
+            "findings": findings,
+            "n_suppressed": n_suppressed,
+        }
+        self._dirty = True
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache back (no-op when disabled or unchanged)."""
+        if self.path is None or not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _CACHE_VERSION,
+            "engine": self.engine,
+            "irs": self._irs,
+            "findings": self._findings,
+        }
+        # A torn write is harmless: _load treats a corrupt cache as empty
+        # and the next run is simply cold, so no staging dance is needed.
+        self.path.write_text(json.dumps(payload), encoding="utf-8")
+        self._dirty = False

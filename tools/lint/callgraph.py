@@ -1,0 +1,825 @@
+"""Project-wide call graph with qualified-name resolution.
+
+This module is the first interprocedural layer of ``repro-lint``: it
+extracts, per file, a pure-data *intermediate representation* (:class:`FileIR`)
+of every function definition and call site, then links the whole project
+into one call graph whose nodes are qualified function names
+(``module:Class.method``).  :mod:`tools.lint.summaries` computes effect
+summaries bottom-up over this graph; the dataflow rules consult both.
+
+Design constraints
+------------------
+- **Pure data.**  A :class:`FileIR` holds no AST nodes, so it round-trips
+  through JSON (the summary cache keys it on file-content hash) and
+  pickles cheaply into ``--jobs`` worker processes.
+- **Conservative resolution.**  A call that cannot be bound to a project
+  definition resolves to ``None``; callers record ``unknown_calls`` and
+  every summary consumer treats unknown callees pessimistically for its
+  own lattice (see the rule docstrings).  Resolution covers:
+
+  * bare names: function-local ``def``s (closures), module-level ``def``s,
+    ``from x import y`` (aliases), re-exports through package
+    ``__init__`` chains;
+  * dotted names: ``import pkg.mod as m; m.f()`` through the alias map;
+  * ``self.m()`` / ``cls.m()``: the enclosing class, then its project-
+    resolvable base classes in MRO-ish order (first match wins);
+  * instance-typed receivers: ``self.reader.fetch()`` resolves through
+    the attribute-type map (``self.reader = ProductReader(...)`` in any
+    method, bases included) and ``store.publish()`` through the caller's
+    local-variable type map (``store = MemmapCovarianceStore(...)``);
+  * constructor calls: ``ClassName(...)`` binds to
+    ``ClassName.__init__`` when the class defines or inherits one;
+  * decorated functions: the *definition* stays callable under its name
+    (decorators are assumed name-preserving, which holds for the repo's
+    ``@register`` / ``@property`` / ``@dataclass`` idioms).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Call-descriptor kinds stored in :class:`CallSite.target`.
+_NAME, _DOTTED, _SELF, _ATTR, _UNKNOWN = "name", "dotted", "self", "attr", "unknown"
+
+
+def module_name_for_relpath(relpath: str) -> str:
+    """Dotted pseudo-module name of a repo-relative path.
+
+    ``src/repro/util/fsio.py`` -> ``repro.util.fsio`` (importable name);
+    files outside ``src/`` get a path-derived name (``tests.lint.x``)
+    that is unique within the project even if not importable.
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class ArgRef:
+    """How one call argument maps back to the caller's scope.
+
+    ``kind`` is ``"param"`` (value of the caller's parameter ``index``),
+    ``"name"`` (a local variable, ``text`` holds it) or ``"other"``.
+    ``keyword`` carries the keyword-argument name (None = positional).
+    """
+
+    kind: str
+    index: int = -1
+    text: str = ""
+    keyword: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON form (compact: defaults omitted)."""
+        out: dict = {"k": self.kind}
+        if self.index >= 0:
+            out["i"] = self.index
+        if self.text:
+            out["t"] = self.text
+        if self.keyword is not None:
+            out["kw"] = self.keyword
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ArgRef":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=d["k"], index=d.get("i", -1), text=d.get("t", ""),
+            keyword=d.get("kw"),
+        )
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body.
+
+    ``target`` is a pre-resolution descriptor ``(kind, text)``:
+    ``("name", "helper")``, ``("dotted", "pkg.mod.helper")``,
+    ``("self", "method")`` or ``("unknown", "")``.  ``line``/``col``
+    anchor the *call node* so rules can look up the resolved callee of
+    an :class:`ast.Call` they are holding.
+    """
+
+    line: int
+    col: int
+    target: tuple[str, str]
+    args: list[ArgRef] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON form."""
+        return {
+            "line": self.line,
+            "col": self.col,
+            "target": list(self.target),
+            "args": [a.to_dict() for a in self.args],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CallSite":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            line=d["line"],
+            col=d["col"],
+            target=tuple(d["target"]),
+            args=[ArgRef.from_dict(a) for a in d["args"]],
+        )
+
+
+@dataclass
+class FunctionIR:
+    """Pure-data record of one function/method definition."""
+
+    qualname: str  # Class.meth / func / outer.<locals>.inner
+    line: int
+    is_async: bool
+    params: list[str]
+    owner_class: str | None  # enclosing class name (methods only)
+    calls: list[CallSite] = field(default_factory=list)
+    local_defs: dict[str, str] = field(default_factory=dict)  # name -> qualname
+    #: Local variable -> class descriptor (``store = MemmapCovarianceStore(...)``).
+    local_types: dict[str, str] = field(default_factory=dict)
+    #: Names of local effect facts harvested at extraction time
+    #: (:mod:`tools.lint.summaries` interprets them).
+    local_effects: dict = field(default_factory=dict)
+    annotated_blocking: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON form."""
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "is_async": self.is_async,
+            "params": self.params,
+            "owner_class": self.owner_class,
+            "calls": [c.to_dict() for c in self.calls],
+            "local_defs": self.local_defs,
+            "local_types": self.local_types,
+            "local_effects": self.local_effects,
+            "annotated_blocking": self.annotated_blocking,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FunctionIR":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            qualname=d["qualname"],
+            line=d["line"],
+            is_async=d["is_async"],
+            params=d["params"],
+            owner_class=d["owner_class"],
+            calls=[CallSite.from_dict(c) for c in d["calls"]],
+            local_defs=d["local_defs"],
+            local_types=d.get("local_types", {}),
+            local_effects=d["local_effects"],
+            annotated_blocking=d["annotated_blocking"],
+        )
+
+
+@dataclass
+class ClassIR:
+    """Pure-data record of one class definition: name, bases, methods."""
+
+    name: str
+    bases: list[str]  # descriptor strings: bare names or dotted paths
+    methods: list[str]  # method simple names defined directly on the class
+    #: Instance attribute -> class descriptor, harvested from
+    #: ``self.X = ClassName(...)`` assignments in any method body.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON form."""
+        return {
+            "name": self.name,
+            "bases": self.bases,
+            "methods": self.methods,
+            "attr_types": self.attr_types,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClassIR":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=d["name"],
+            bases=d["bases"],
+            methods=d["methods"],
+            attr_types=d.get("attr_types", {}),
+        )
+
+
+@dataclass
+class FileIR:
+    """Everything the interprocedural layer knows about one file."""
+
+    relpath: str
+    module: str
+    functions: dict[str, FunctionIR] = field(default_factory=dict)
+    classes: dict[str, ClassIR] = field(default_factory=dict)
+    #: local name -> dotted path (``from x import y`` / ``import a.b as c``).
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON form for the summary cache."""
+        return {
+            "relpath": self.relpath,
+            "module": self.module,
+            "functions": {k: f.to_dict() for k, f in self.functions.items()},
+            "classes": {k: c.to_dict() for k, c in self.classes.items()},
+            "aliases": self.aliases,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FileIR":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            relpath=d["relpath"],
+            module=d["module"],
+            functions={
+                k: FunctionIR.from_dict(f) for k, f in d["functions"].items()
+            },
+            classes={k: ClassIR.from_dict(c) for k, c in d["classes"].items()},
+            aliases=d["aliases"],
+        )
+
+
+# -- extraction ----------------------------------------------------------------
+
+
+def _dotted_of(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` attribute chain as parts, or None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _call_target(call: ast.Call, aliases: dict[str, str]) -> tuple[str, str]:
+    """Pre-resolution descriptor of a call's callee expression."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in aliases:
+            return (_DOTTED, aliases[name])
+        return (_NAME, name)
+    parts = _dotted_of(func)
+    if parts is None:
+        return (_UNKNOWN, "")
+    if parts[0] in ("self", "cls") and len(parts) == 2:
+        return (_SELF, parts[1])
+    base = aliases.get(parts[0])
+    if base is not None:
+        return (_DOTTED, ".".join([base] + parts[1:]))
+    # Typed receivers: self.attr.meth() / localvar.meth().  The receiver
+    # token goes into the descriptor; resolution consults the attribute-
+    # and local-variable type maps.
+    if parts[0] == "self" and len(parts) == 3:
+        return (_ATTR, f"self.{parts[1]}|{parts[2]}")
+    if len(parts) == 2:
+        return (_ATTR, f"{parts[0]}|{parts[1]}")
+    return (_UNKNOWN, ".".join(parts))
+
+
+def _ctor_descriptor(value: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Class descriptor of a plausible constructor call, or None.
+
+    ``ClassName(...)`` -> ``ClassName`` (resolved through aliases when
+    imported); ``mod.Class(...)`` -> the alias-resolved dotted path.
+    Non-calls and non-name callees yield None.
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    parts = _dotted_of(value.func)
+    if parts is None:
+        return None
+    if len(parts) == 1:
+        return aliases.get(parts[0], parts[0])
+    base = aliases.get(parts[0])
+    if base is not None:
+        return ".".join([base] + parts[1:])
+    return ".".join(parts)
+
+
+def _arg_refs(call: ast.Call, params: list[str]) -> list[ArgRef]:
+    """Argument descriptors of one call (positional order, then keywords)."""
+    refs: list[ArgRef] = []
+
+    def ref_of(expr: ast.expr, keyword: str | None) -> ArgRef:
+        if isinstance(expr, ast.Name):
+            if expr.id in params:
+                return ArgRef(
+                    kind="param", index=params.index(expr.id),
+                    text=expr.id, keyword=keyword,
+                )
+            return ArgRef(kind="name", text=expr.id, keyword=keyword)
+        return ArgRef(kind="other", keyword=keyword)
+
+    for arg in call.args:
+        refs.append(ref_of(arg, None))
+    for kw in call.keywords:
+        if kw.arg is not None:
+            refs.append(ref_of(kw.value, kw.arg))
+    return refs
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Positional parameter names (posonly + regular), ``self`` included."""
+    args = func.args
+    return [a.arg for a in list(args.posonlyargs) + list(args.args)]
+
+
+class _Extractor:
+    """One-pass AST walk building a :class:`FileIR`."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        source: str,
+        relpath: str,
+        module: str,
+        local_effect_fn=None,
+        blocking_mark_lines: set[int] | None = None,
+    ):
+        self.tree = tree
+        self.source_lines = source.splitlines()
+        self.ir = FileIR(relpath=relpath, module=module)
+        self.local_effect_fn = local_effect_fn
+        self.blocking_mark_lines = blocking_mark_lines or set()
+        import_walker = _ImportWalker()
+        import_walker.visit(tree)
+        self.ir.aliases = import_walker.aliases
+
+    def run(self) -> FileIR:
+        """Extract the file IR."""
+        self._walk_block(self.tree.body, prefix="", owner_class=None)
+        return self.ir
+
+    def _walk_block(
+        self, body: list[ast.stmt], prefix: str, owner_class: str | None
+    ) -> dict[str, str]:
+        local: dict[str, str] = {}
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{stmt.name}"
+                local[stmt.name] = qual
+                self._extract_function(stmt, qual, owner_class)
+            elif isinstance(stmt, ast.ClassDef):
+                self._extract_class(stmt, prefix)
+        return local
+
+    def _extract_class(self, cls: ast.ClassDef, prefix: str) -> None:
+        bases: list[str] = []
+        for base in cls.bases:
+            parts = _dotted_of(base)
+            if parts is None:
+                continue
+            head = self.ir.aliases.get(parts[0])
+            if head is not None:
+                bases.append(".".join([head] + parts[1:]))
+            else:
+                bases.append(".".join(parts))
+        methods = [
+            m.name
+            for m in cls.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        attr_types: dict[str, str] = {}
+        for member in cls.body:
+            if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in self._walk_own_body(member):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                descriptor = _ctor_descriptor(node.value, self.ir.aliases)
+                if descriptor is not None:
+                    attr_types.setdefault(target.attr, descriptor)
+        qual = f"{prefix}{cls.name}"
+        self.ir.classes[qual] = ClassIR(
+            name=qual, bases=bases, methods=methods, attr_types=attr_types
+        )
+        for member in cls.body:
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_function(
+                    member, f"{qual}.{member.name}", owner_class=qual
+                )
+            elif isinstance(member, ast.ClassDef):
+                self._extract_class(member, prefix=f"{qual}.")
+
+    def _extract_function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        qual: str,
+        owner_class: str | None,
+    ) -> None:
+        params = _param_names(func)
+        fir = FunctionIR(
+            qualname=qual,
+            line=func.lineno,
+            is_async=isinstance(func, ast.AsyncFunctionDef),
+            params=params,
+            owner_class=owner_class,
+            annotated_blocking=self._has_blocking_mark(func),
+        )
+        # Nested defs are their own IR entries; the body walk below stops
+        # at them so their calls are attributed to the inner function.
+        for stmt in ast.walk(func):
+            if stmt is func:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._direct_parent_function(stmt, func):
+                    inner_qual = f"{qual}.<locals>.{stmt.name}"
+                    fir.local_defs[stmt.name] = inner_qual
+                    self._extract_function(stmt, inner_qual, owner_class)
+        for node in self._walk_own_body(func):
+            if isinstance(node, ast.Call):
+                fir.calls.append(
+                    CallSite(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        target=_call_target(node, self.ir.aliases),
+                        args=_arg_refs(node, params),
+                    )
+                )
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                descriptor = _ctor_descriptor(node.value, self.ir.aliases)
+                if descriptor is not None:
+                    fir.local_types.setdefault(node.targets[0].id, descriptor)
+        if self.local_effect_fn is not None:
+            fir.local_effects = self.local_effect_fn(
+                func, self.ir.aliases, self._walk_own_body
+            )
+        self.ir.functions[qual] = fir
+
+    def _has_blocking_mark(self, func: ast.AST) -> bool:
+        """True when the signature lines carry ``# repro-lint: blocking``."""
+        if not self.blocking_mark_lines:
+            return False
+        last = getattr(func, "body", [func])[0].lineno - 1
+        last = min(last, len(self.source_lines))
+        return any(
+            lineno in self.blocking_mark_lines
+            for lineno in range(func.lineno, last + 1)
+        )
+
+    @staticmethod
+    def _direct_parent_function(inner: ast.AST, outer: ast.AST) -> bool:
+        """True when ``inner`` is nested in ``outer`` with no def between."""
+        for node in ast.walk(outer):
+            if node is inner:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is outer:
+                    continue
+                if any(n is inner for n in ast.walk(node)):
+                    return False
+        return True
+
+    @staticmethod
+    def _walk_own_body(func: ast.AST):
+        """Walk a function body without descending into nested defs/classes."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                stack.extend(ast.iter_child_nodes(node))
+
+
+class _ImportWalker(ast.NodeVisitor):
+    """Collect local-name -> dotted-path aliases (top-level and nested)."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """``import a.b as c``: c -> a.b; ``import a.b``: a -> a."""
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                head = alias.name.split(".")[0]
+                self.aliases[head] = head
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """``from a.b import c as d``: d -> a.b.c (absolute imports only)."""
+        if node.level or node.module is None:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+
+def extract_file_ir(
+    tree: ast.Module,
+    source: str,
+    relpath: str,
+    local_effect_fn=None,
+    blocking_mark_lines: set[int] | None = None,
+) -> FileIR:
+    """Extract the pure-data IR of one parsed file.
+
+    ``local_effect_fn(func_node, aliases, walk_own_body) -> dict`` lets
+    :mod:`tools.lint.summaries` harvest rule-facing local effects during
+    the same walk (kept out of this module so the call graph stays
+    vocabulary-free).
+    """
+    return _Extractor(
+        tree,
+        source,
+        relpath,
+        module_name_for_relpath(relpath),
+        local_effect_fn=local_effect_fn,
+        blocking_mark_lines=blocking_mark_lines,
+    ).run()
+
+
+# -- linking -------------------------------------------------------------------
+
+
+class CallGraph:
+    """The linked project: qualified names, edges, SCC condensation.
+
+    Function keys are ``"<module>:<qualname>"`` strings.  ``edges`` maps
+    caller key -> ordered unique callee keys; ``unresolved`` counts the
+    call sites per caller that could not be bound to a project definition
+    (the conservative-fallback signal).
+    """
+
+    def __init__(self, irs: dict[str, FileIR]):
+        self.irs = irs  # relpath -> FileIR
+        self.functions: dict[str, FunctionIR] = {}
+        self.file_of: dict[str, str] = {}
+        self.module_files: dict[str, FileIR] = {}
+        self.classes: dict[str, tuple[str, ClassIR]] = {}  # key -> (module, ir)
+        for ir in irs.values():
+            self.module_files[ir.module] = ir
+            for qual, fir in ir.functions.items():
+                key = f"{ir.module}:{qual}"
+                self.functions[key] = fir
+                self.file_of[key] = ir.relpath
+            for cqual, cir in ir.classes.items():
+                self.classes[f"{ir.module}:{cqual}"] = (ir.module, cir)
+        self.edges: dict[str, list[str]] = {}
+        self.unresolved: dict[str, int] = {}
+        #: (relpath, line, col) -> callee key, for rule-side lookups.
+        self.callsite_index: dict[tuple[str, int, int], str] = {}
+        self._link()
+
+    # -- name resolution ----------------------------------------------------
+
+    def _resolve_export(self, dotted: str, depth: int = 0) -> str | None:
+        """Resolve a dotted path to a function key, following re-exports.
+
+        ``pkg.helper`` where ``pkg/__init__`` does ``from pkg.impl import
+        helper`` chases the alias into ``pkg.impl:helper`` (bounded depth
+        guards against alias cycles).
+        """
+        if depth > 8:
+            return None
+        # Longest-prefix module match, remainder is the qualname path.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            ir = self.module_files.get(module)
+            if ir is None:
+                continue
+            rest = ".".join(parts[cut:])
+            key = f"{module}:{rest}"
+            if key in self.functions:
+                return key
+            cls_key = f"{module}:{rest}"
+            if cls_key in self.classes:
+                return self._resolve_method(cls_key, "__init__")
+            # Method path  module:Class.meth  spelled from outside.
+            if "." in rest:
+                head, tail = rest.rsplit(".", 1)
+                owner = f"{module}:{head}"
+                if owner in self.classes:
+                    return self._resolve_method(owner, tail)
+            # Re-export: the module aliases this name onward.
+            target = ir.aliases.get(parts[cut])
+            if target is not None:
+                remainder = parts[cut + 1 :]
+                return self._resolve_export(
+                    ".".join([target] + remainder), depth + 1
+                )
+        return None
+
+    def _resolve_class_descriptor(
+        self, descriptor: str, ir: FileIR
+    ) -> str | None:
+        """Class key of a base-class descriptor as seen from ``ir``."""
+        if "." not in descriptor:
+            if descriptor in ir.classes:
+                return f"{ir.module}:{descriptor}"
+            dotted = ir.aliases.get(descriptor)
+            if dotted is None:
+                return None
+            descriptor = dotted
+        parts = descriptor.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            sub = self.module_files.get(module)
+            if sub is None:
+                continue
+            rest = ".".join(parts[cut:])
+            if f"{module}:{rest}" in self.classes:
+                return f"{module}:{rest}"
+            target = sub.aliases.get(parts[cut])
+            if target is not None:
+                chased = ".".join([target] + parts[cut + 1 :])
+                if chased != descriptor:
+                    return self._resolve_class_descriptor(chased, sub)
+        return None
+
+    def _resolve_method(self, cls_key: str, method: str, depth: int = 0) -> str | None:
+        """Find ``method`` on a class or its project-resolvable bases."""
+        if depth > 12 or cls_key not in self.classes:
+            return None
+        module, cir = self.classes[cls_key]
+        if method in cir.methods:
+            return f"{module}:{cir.name}.{method}"
+        owner_ir = self.module_files.get(module)
+        for base in cir.bases:
+            base_key = (
+                self._resolve_class_descriptor(base, owner_ir)
+                if owner_ir is not None
+                else None
+            )
+            if base_key is not None:
+                found = self._resolve_method(base_key, method, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _attr_type(self, cls_key: str, attr: str, depth: int = 0) -> str | None:
+        """Descriptor of ``self.<attr>``'s type on a class or its bases."""
+        if depth > 12 or cls_key not in self.classes:
+            return None
+        module, cir = self.classes[cls_key]
+        if attr in cir.attr_types:
+            return cir.attr_types[attr]
+        owner_ir = self.module_files.get(module)
+        for base in cir.bases:
+            base_key = (
+                self._resolve_class_descriptor(base, owner_ir)
+                if owner_ir is not None
+                else None
+            )
+            if base_key is not None:
+                found = self._attr_type(base_key, attr, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def resolve_call(
+        self, ir: FileIR, caller: FunctionIR, site: CallSite
+    ) -> str | None:
+        """Callee key of one call site, or None when unresolvable."""
+        kind, text = site.target
+        if kind == _ATTR:
+            recv, method = text.split("|", 1)
+            if recv.startswith("self."):
+                if caller.owner_class is None:
+                    return None
+                descriptor = self._attr_type(
+                    f"{ir.module}:{caller.owner_class}", recv[len("self."):]
+                )
+            else:
+                descriptor = caller.local_types.get(recv)
+            if descriptor is None:
+                return None
+            cls_key = self._resolve_class_descriptor(descriptor, ir)
+            if cls_key is None:
+                return None
+            return self._resolve_method(cls_key, method)
+        if kind == _SELF:
+            if caller.owner_class is None:
+                return None
+            return self._resolve_method(
+                f"{ir.module}:{caller.owner_class}", text
+            )
+        if kind == _NAME:
+            # Closures: innermost local def wins, then enclosing defs.
+            if text in caller.local_defs:
+                return f"{ir.module}:{caller.local_defs[text]}"
+            outer = caller.qualname
+            while ".<locals>." in outer:
+                outer = outer.rsplit(".<locals>.", 1)[0]
+                outer_fir = ir.functions.get(outer)
+                if outer_fir is not None and text in outer_fir.local_defs:
+                    return f"{ir.module}:{outer_fir.local_defs[text]}"
+            if text in ir.functions:
+                return f"{ir.module}:{text}"
+            if text in ir.classes:
+                return self._resolve_method(f"{ir.module}:{text}", "__init__")
+            return None
+        if kind == _DOTTED:
+            return self._resolve_export(text)
+        return None
+
+    # -- linking and SCCs ---------------------------------------------------
+
+    def _link(self) -> None:
+        for ir in self.irs.values():
+            for qual, fir in ir.functions.items():
+                key = f"{ir.module}:{qual}"
+                callees: list[str] = []
+                unresolved = 0
+                for site in fir.calls:
+                    target = self.resolve_call(ir, fir, site)
+                    if target is None:
+                        unresolved += 1
+                    else:
+                        self.callsite_index[(ir.relpath, site.line, site.col)] = target
+                        if target not in callees:
+                            callees.append(target)
+                self.edges[key] = callees
+                self.unresolved[key] = unresolved
+
+    def sccs_bottom_up(self) -> list[list[str]]:
+        """Tarjan SCCs of the call graph in reverse-topological order.
+
+        The returned order visits callees before callers, so a bottom-up
+        summary pass can fold each SCC once (with a fixpoint inside the
+        component for recursion cycles).
+        """
+        index_of: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            # Iterative Tarjan: (node, iterator state) frames.
+            work = [(root, 0)]
+            while work:
+                node, child_i = work[-1]
+                if child_i == 0:
+                    index_of[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recursed = False
+                children = self.edges.get(node, [])
+                while child_i < len(children):
+                    child = children[child_i]
+                    child_i += 1
+                    if child not in self.edges:
+                        continue  # callee outside the project scope
+                    if child not in index_of:
+                        work[-1] = (node, child_i)
+                        work.append((child, 0))
+                        recursed = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[child])
+                if recursed:
+                    continue
+                if lowlink[node] == index_of[node]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(component)
+                work.pop()
+                if work:
+                    parent, _ = work[-1]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+        for key in self.edges:
+            if key not in index_of:
+                strongconnect(key)
+        return sccs
+
+    def reverse_edges(self) -> dict[str, set[str]]:
+        """Callee key -> caller keys (the reverse-dependency frontier)."""
+        out: dict[str, set[str]] = {}
+        for caller, callees in self.edges.items():
+            for callee in callees:
+                out.setdefault(callee, set()).add(caller)
+        return out

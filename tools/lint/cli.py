@@ -52,10 +52,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "sarif"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="report format (default: text); sarif emits a SARIF 2.1.0 log "
-        "for GitHub code scanning",
+        "for GitHub code scanning, github emits workflow-command "
+        "annotations (::error file=...)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-file rule pass (the summary "
+        "pass stays serial); default 1",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="enable the warm-run cache in DIR (IRs by content hash, "
+        "findings by content hash + dependency signature)",
+    )
+    parser.add_argument(
+        "--no-summaries",
+        action="store_true",
+        help="disable the interprocedural layer (call graph + effect "
+        "summaries + cache); rules fall back to per-function analysis",
     )
     parser.add_argument(
         "--root",
@@ -173,7 +196,16 @@ def main(argv: list[str] | None = None) -> int:
                 p for p in iter_python_files(paths, root)
                 if p.resolve() in changed
             ]
-        report = run_lint(paths, root=root, select=select)
+        if args.jobs < 1:
+            raise LintError(f"--jobs must be >= 1, got {args.jobs}")
+        report = run_lint(
+            paths,
+            root=root,
+            select=select,
+            jobs=args.jobs,
+            use_summaries=not args.no_summaries,
+            cache_dir=args.cache_dir,
+        )
     except LintError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
@@ -200,6 +232,11 @@ def main(argv: list[str] | None = None) -> int:
         from tools.lint.sarif import render_sarif
 
         print(json.dumps(render_sarif(split.new, all_rules()), indent=2))
+    elif args.format == "github":
+        from tools.lint.github import render_github
+
+        for line in render_github(split.new, all_rules()):
+            print(line)
     elif args.format == "json":
         print(
             json.dumps(

@@ -1,0 +1,53 @@
+"""GitHub Actions workflow-command renderer (``--format github``).
+
+Emits one ``::error`` annotation per finding, in the `workflow command
+syntax <https://docs.github.com/actions/reference/workflow-commands>`_
+GitHub's runner scrapes from job stdout::
+
+    ::error file=src/repro/x.py,line=12,title=REP010 async-discipline::message
+
+Properties (``file=``/``line=``/``title=``) escape ``%``, CR, LF, ``:``
+and ``,``; the message escapes ``%``, CR and LF -- the documented
+percent-encoding, so multi-line messages survive the round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from tools.lint.core import Finding, Rule
+
+
+def _escape_data(value: str) -> str:
+    """Escape a workflow-command message value."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (file=, title=, ...)."""
+    return (
+        _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def render_github(
+    findings: Iterable[Finding], rules: dict[str, Rule]
+) -> list[str]:
+    """Render findings as GitHub Actions ``::error`` annotation lines."""
+    lines: list[str] = []
+    for finding in findings:
+        rule = rules.get(finding.rule)
+        title = (
+            f"{finding.rule} {rule.name}" if rule is not None else finding.rule
+        )
+        lines.append(
+            "::error file={file},line={line},title={title}::{message}".format(
+                file=_escape_property(finding.path),
+                line=finding.line,
+                title=_escape_property(title),
+                message=_escape_data(f"{finding.rule} {finding.message}"),
+            )
+        )
+    return lines

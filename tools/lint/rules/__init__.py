@@ -14,6 +14,7 @@ from tools.lint.rules import (  # noqa: F401  -- imported for registration
     docstrings,
     layering,
     locks,
+    protocols,
     publish,
     resources,
 )

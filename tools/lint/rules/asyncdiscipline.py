@@ -16,6 +16,15 @@ Three checks over ``async def`` bodies:
   called directly from an ``async def`` anywhere in the linted tree; the
   call belongs behind ``loop.run_in_executor``.  Matching is by function
   name, collected during the per-file pass and reported in ``finish()``.
+- **Transitively blocking calls** (interprocedural, when
+  ``FileContext.project`` is set): a call from an ``async def`` into a
+  synchronous project function whose *effect summary* blocks -- directly
+  or through any chain of synchronous callees -- is flagged with the
+  inferred chain (``handle -> _snapshot -> read_text``).  Manual
+  ``# repro-lint: blocking`` annotations become optional overrides: an
+  annotated function is always treated as blocking even when inference
+  sees nothing, and the name-based ``finish()`` matching is kept only
+  for the ``--no-summaries`` fallback.
 """
 
 from __future__ import annotations
@@ -170,13 +179,18 @@ direct call from an `async def` anywhere in the tree is then flagged.
     def __init__(self) -> None:
         self._annotated: dict[str, tuple[str, int]] = {}
         self._async_calls: list[tuple[str, int, str, str]] = []
+        self._use_project = False
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Per-file pass: direct blocking + await-under-lock + collection."""
         aliases = ImportAliases()
         aliases.visit(ctx.tree)
         symbols = enclosing_symbols(ctx.tree)
-        self._collect_annotated(ctx)
+        project = getattr(ctx, "project", None)
+        if project is not None:
+            self._use_project = True
+        else:
+            self._collect_annotated(ctx)
 
         classes = {
             id(fn): node
@@ -189,7 +203,12 @@ direct call from an `async def` anywhere in the tree is then flagged.
             if not isinstance(func, ast.AsyncFunctionDef):
                 continue
             qual = symbols.get(id(func), func.name)
-            self._collect_async_calls(ctx, func, qual)
+            if project is None:
+                self._collect_async_calls(ctx, func, qual)
+            else:
+                yield from self._transitive_blocking(
+                    ctx, func, qual, aliases.aliases, project
+                )
             yield from self._direct_blocking(ctx, func, qual, aliases.aliases)
             yield from self._await_under_lock(
                 ctx, func, qual, classes.get(id(func)), aliases.aliases
@@ -345,6 +364,71 @@ direct call from an `async def` anywhere in the tree is then flagged.
                 symbol=f"{qual}:await-under-lock",
             )
 
+    # -- interprocedural: calls into transitively blocking functions --------
+
+    def _transitive_blocking(
+        self, ctx: FileContext, func, qual: str, aliases: dict[str, str], project
+    ) -> Iterator[Finding]:
+        """Flag async calls whose resolved callee summary blocks.
+
+        Direct-vocabulary blocking calls are skipped here -- they are
+        already reported (with a better message) by ``_direct_blocking``.
+        Unresolvable calls fall back to the project-wide annotated-name
+        match so an annotation never loses power under inference.
+        """
+        queue_names = NoBlockingUnderLockRule._queue_locals(func, aliases)
+        thread_names = NoBlockingUnderLockRule._thread_locals(func, aliases)
+        lock_tokens = _sync_lock_tokens(func, None, aliases)
+        for node in _walk_skipping_defs(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                self._blocking_reason(
+                    node, thread_names, queue_names, lock_tokens, aliases
+                )
+                is not None
+            ):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            else:
+                continue
+            key = project.callee_of(ctx.relpath, node)
+            summ = project.summary(key)
+            if summ is not None:
+                if summ.is_async or summ.blocking is None:
+                    continue
+                where = project.graph.file_of[key]
+                fir = project.graph.functions[key]
+                if summ.annotated_blocking:
+                    detail = f"annotated blocking at {where}:{fir.line}"
+                else:
+                    detail = (
+                        "blocks the event loop transitively: "
+                        f"{name} -> {summ.blocking}"
+                    )
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"call to {name}() from async def {func.name} "
+                    f"({detail}); {_DEFAULT_SUGGESTION}",
+                    symbol=f"{qual}:blocking-call:{name}",
+                )
+            else:
+                mark = project.annotated_blocking.get(name)
+                if mark is not None:
+                    where, defline = mark
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"call to {name}() (annotated blocking at "
+                        f"{where}:{defline}) from async code; "
+                        f"{_DEFAULT_SUGGESTION}",
+                        symbol=f"{qual}:blocking-call:{name}",
+                    )
+
     # -- cross-file annotated-blocking calls -------------------------------
 
     def _collect_annotated(self, ctx: FileContext) -> None:
@@ -375,8 +459,14 @@ direct call from an `async def` anywhere in the tree is then flagged.
             self._async_calls.append((ctx.relpath, node.lineno, name, qual))
 
     def finish(self) -> Iterator[Finding]:
-        """Match collected async call sites against blocking annotations."""
-        if not self._annotated:
+        """Match collected async call sites against blocking annotations.
+
+        Only the ``--no-summaries`` fallback path: with a project, the
+        per-file :meth:`_transitive_blocking` pass already covers every
+        annotated (and inferred) blocking callee with resolution instead
+        of name matching.
+        """
+        if self._use_project or not self._annotated:
             return
         for path, lineno, name, qual in self._async_calls:
             mark = self._annotated.get(name)

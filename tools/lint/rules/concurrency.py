@@ -37,6 +37,7 @@ from tools.lint.core import (
     register,
     resolve_dotted,
 )
+from tools.lint import vocab
 from tools.lint.rules.locks import LOCK_FACTORY_KINDS, _self_attr
 
 #: Statement fields holding nested statement blocks.
@@ -602,43 +603,19 @@ def _acquire_guarded_by_enclosing_try(tree: ast.Module) -> set[int]:
 
 # -- REP008: no blocking operations under a held lock -------------------------
 
-#: Resolved dotted names (or prefixes ending in ".") that block.
-_BLOCKING_RESOLVED = (
-    "time.sleep",
-    "subprocess.",
-    "socket.",
-    "os.system",
-    "os.popen",
-    "os.waitpid",
-)
+#: Blocking-call vocabulary, shared with the interprocedural effect
+#: summaries so REP008/REP010 and the summary engine classify calls
+#: identically (see :mod:`tools.lint.vocab`).
+_BLOCKING_RESOLVED = vocab.BLOCKING_RESOLVED
 
 #: pathlib-style I/O method names that hit the filesystem.
-_IO_METHODS = {
-    "read_text",
-    "write_text",
-    "read_bytes",
-    "write_bytes",
-}
+_IO_METHODS = vocab.IO_METHODS
 
 #: numpy file I/O, resolved through import aliases.
-_NUMPY_IO = {
-    "numpy.load",
-    "numpy.save",
-    "numpy.savez",
-    "numpy.savez_compressed",
-    "numpy.loadtxt",
-    "numpy.savetxt",
-}
+_NUMPY_IO = vocab.NUMPY_IO
 
 #: Constructors marking a local/attribute as a blocking queue.
-_QUEUE_FACTORIES = {
-    "queue.Queue",
-    "queue.LifoQueue",
-    "queue.PriorityQueue",
-    "queue.SimpleQueue",
-    "multiprocessing.Queue",
-    "multiprocessing.JoinableQueue",
-}
+_QUEUE_FACTORIES = vocab.QUEUE_FACTORIES
 
 
 @register

@@ -1,0 +1,112 @@
+"""REP013: typestate protocols -- tokens obey their declared state machine.
+
+The repo's lifecycle invariants are written down as declarative protocol
+machines in :mod:`tools.lint.typestate` and checked here through the CFG
+dataflow framework:
+
+- **staged-publish**: a temp path staged with ``with_suffix``/``with_name``
+  moves staged -> (written/fsynced) -> published exactly once; writing it
+  after the replace, publishing twice, or leaking it unpublished on every
+  path are violations (docs/COVFILE_PROTOCOL.md, docs/PRODUCT_SERVICE.md).
+- **shm-buffer**: a ``SharedEnsembleBuffer`` slot is never used after
+  ``close()``/``unlink()`` and never closed twice (owner closes then
+  unlinks; workers only close their attached mapping).
+- **job-lifecycle**: ``Job.state`` assignments follow the scheduler's
+  QUEUED -> RUNNING -> DONE/FAILED/CANCELLED machine; DONE is terminal.
+
+The checkers use *must*-violation semantics -- an event is flagged only
+when **every** control-flow path reaching it leaves the token in a state
+with no such transition -- so merges never manufacture false positives.
+With the interprocedural layer, helper calls act on tokens through their
+effect summaries (a helper that closes its parameter fires ``close`` at
+the call site); tokens passed to unresolvable calls conservatively
+escape the machine.
+
+Declaring a new protocol is data, not code: add a ``ProtocolSpec`` (or
+``AttrProtocolSpec``) to ``typestate.BUILTIN_PROTOCOLS`` -- see
+docs/STATIC_ANALYSIS.md for a worked example.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.lint.core import FileContext, Finding, Rule, enclosing_symbols, register
+from tools.lint.dataflow import iter_function_defs
+from tools.lint.typestate import (
+    BUILTIN_ATTR_PROTOCOLS,
+    BUILTIN_PROTOCOLS,
+    AttrProtocolChecker,
+    ProtocolChecker,
+)
+
+
+@register
+class TypestateProtocolRule(Rule):
+    """Run every built-in protocol machine over every function."""
+
+    id = "REP013"
+    name = "typestate-protocol"
+    summary = (
+        "staged temp paths, shared-memory buffers and Job.state must follow "
+        "their declared protocol state machines (no use-after-close, no "
+        "double publish, no illegal job transitions)"
+    )
+    explanation = """\
+Lifecycle bugs hide in the orderings a type system cannot see: a staged
+covariance file renamed twice, a shared-memory slot read after unlink, a
+DONE job silently re-queued.  Each protocol is a small declarative state
+machine (tools/lint/typestate.py); the rule walks every function's CFG
+and flags an operation only when *every* path reaching it puts the token
+in a state with no such transition.
+
+Bad:
+    buf = SharedEnsembleBuffer(dim, k)
+    buf.close()
+    buf.write_member(0, x)        # use after close
+
+    tmp = path.with_suffix(".tmp")
+    tmp.write_bytes(data)
+    durable_replace(tmp, path)
+    tmp.write_bytes(more)         # temp path no longer exists
+
+    job.state = JobState.DONE
+    job.state = JobState.QUEUED   # DONE is terminal
+
+Good:
+    buf = SharedEnsembleBuffer(dim, k)
+    try:
+        buf.write_member(0, x)
+    finally:
+        buf.close()
+        buf.unlink()
+
+New machines are declared as data (ProtocolSpec); see
+docs/STATIC_ANALYSIS.md for how to add one.
+"""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Run token and attribute machines over each function."""
+        project = getattr(ctx, "project", None)
+        symbols = enclosing_symbols(ctx.tree)
+        for func in iter_function_defs(ctx.tree):
+            qual = symbols.get(id(func), func.name)
+            for spec in BUILTIN_PROTOCOLS:
+                checker = ProtocolChecker(spec, project=project, relpath=ctx.relpath)
+                for line, message in checker.check(func):
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.relpath,
+                        line=line,
+                        message=f"[{spec.name}] {message}",
+                        symbol=f"{qual}:{spec.name}",
+                    )
+            for spec in BUILTIN_ATTR_PROTOCOLS:
+                for line, message in AttrProtocolChecker(spec).check(func):
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.relpath,
+                        line=line,
+                        message=f"[{spec.name}] {message}",
+                        symbol=f"{qual}:{spec.name}",
+                    )

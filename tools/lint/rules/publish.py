@@ -20,6 +20,13 @@ Two checks:
   as a replace *destination* somewhere in the file is store-visible; a
   direct ``write_text``/``write_bytes``/numpy save onto it bypasses the
   staging idiom entirely and is flagged wherever it happens.
+
+With the interprocedural layer (``FileContext.project``) the dataflow
+check sees through project helpers via their effect summaries: a helper
+that fsyncs its parameter cleans the token, one that writes it dirties
+it, and one that hides the ``os.replace`` inside (without fsyncing) is a
+flagged replace at the *call site* -- exactly the defect a per-function
+view cannot see.
 """
 
 from __future__ import annotations
@@ -36,26 +43,19 @@ from tools.lint.core import (
     register,
     resolve_dotted,
 )
+from tools.lint import vocab
 from tools.lint.dataflow import analyze_forward, build_cfg, iter_function_defs
+from tools.lint.summaries import call_param_effects
 
 #: numpy savers whose first positional argument is the target path.
-_NUMPY_SAVERS = {
-    "numpy.save",
-    "numpy.savez",
-    "numpy.savez_compressed",
-    "numpy.savetxt",
-}
+#: (Shared with the effect-summary engine -- see :mod:`tools.lint.vocab`.)
+_NUMPY_SAVERS = vocab.NUMPY_SAVERS
 
 #: shutil copiers whose second positional argument is the target path.
-_SHUTIL_COPIERS = {
-    "shutil.copyfile",
-    "shutil.copy",
-    "shutil.copy2",
-    "shutil.copytree",
-}
+_SHUTIL_COPIERS = vocab.SHUTIL_COPIERS
 
 #: Path methods that write their receiver.
-_WRITE_METHODS = {"write_text", "write_bytes"}
+_WRITE_METHODS = vocab.WRITE_METHODS
 
 _DIRTY, _CLEAN = "dirty", "clean"
 
@@ -267,6 +267,8 @@ Good:
         self, ctx: FileContext, func, aliases: dict[str, str], symbols
     ) -> Iterator[Finding]:
         handle_paths = self._handle_paths(func, aliases)
+        project = getattr(ctx, "project", None)
+        relpath = ctx.relpath
         cfg = build_cfg(func)
         flagged: dict[int, tuple[ast.Call, str]] = {}
 
@@ -294,7 +296,10 @@ Good:
                     out.pop(t, None)  # rebinding forgets old facts
             for root in roots:
                 if root is not None:
-                    self._apply_calls(root, node, out, aliases, handle_paths, flagged)
+                    self._apply_calls(
+                        root, node, out, aliases, handle_paths, flagged,
+                        project, relpath,
+                    )
             return out
 
         def merge(a: dict, b: dict) -> dict:
@@ -326,10 +331,36 @@ Good:
         aliases: dict[str, str],
         handle_paths: dict[str, str],
         flagged: dict,
+        project=None,
+        relpath: str = "",
     ) -> None:
         """Apply the token effects of every call under one executed expr."""
         for call in _calls_in_order(root):
             fx = _classify(call, aliases, handle_paths)
+            if (
+                not fx.dirty
+                and not fx.clean
+                and fx.replace is None
+                and project is not None
+            ):
+                # The lexical vocabulary saw nothing: consult the resolved
+                # callee's effect summary so helpers that write / fsync /
+                # replace their parameters act at this call site.
+                summ, pairs = call_param_effects(project, relpath, call)
+                if summ is not None:
+                    for arg, idx in pairs:
+                        t = _base_token(arg)
+                        if t is None:
+                            continue
+                        if idx in summ.write_params:
+                            out[t] = _DIRTY
+                        if idx in summ.fsync_params:
+                            out[t] = _CLEAN
+                        if idx in summ.replace_src_params:
+                            if out.get(t) == _DIRTY:
+                                flagged.setdefault(node.index, (call, t))
+                            out.pop(t, None)  # the staged name is gone
+                continue
             for t in fx.dirty:
                 out[t] = _DIRTY
             for t in fx.clean:

@@ -18,6 +18,16 @@ the function's responsibility:
 - it is passed to a call on a line annotated
   ``# repro-lint: takes-ownership -- why``.
 
+With the interprocedural layer (``FileContext.project``), ownership also
+follows *calls*: ``x = make_buffer()`` is an acquire site when the
+helper's effect summary says it returns a tracked resource; ``release(x)``
+discharges the obligation when the helper closes its parameter;
+``registry.stash(x)`` escapes it when the callee stores the parameter on
+long-lived state; and ``y = passthrough(x)`` keeps the obligation alive
+on ``y`` when the callee returns its argument.  A resolved callee that
+touches none of these leaves the obligation PENDING -- passing a buffer
+to a pure helper no longer launders the leak.
+
 A site still PENDING at the function exit (on any path: merge keeps the
 leak) is reported at the acquire line.  Exceptional edges from arbitrary
 expressions are deliberately not modelled (see ``dataflow``): the rule
@@ -39,36 +49,23 @@ from tools.lint.core import (
     register,
     resolve_dotted,
 )
+from tools.lint import vocab
 from tools.lint.dataflow import analyze_forward, build_cfg, iter_function_defs
 
 #: Resolved dotted constructors whose result carries a release obligation.
-RESOURCE_FACTORIES = {
-    "numpy.memmap",
-    "numpy.lib.format.open_memmap",
-    "multiprocessing.shared_memory.SharedMemory",
-    "socket.socket",
-    "socket.create_connection",
-    "os.open",
-    "concurrent.futures.ThreadPoolExecutor",
-    "concurrent.futures.ProcessPoolExecutor",
-}
+#: (Shared with the effect-summary engine -- see :mod:`tools.lint.vocab`.)
+RESOURCE_FACTORIES = vocab.RESOURCE_FACTORIES
 
 #: Bare class names that carry an obligation even when the import cannot
 #: be resolved (the repo's own resource classes are imported many ways).
-RESOURCE_CLASS_NAMES = {
-    "SharedEnsembleBuffer",
-    "MemmapCovarianceStore",
-    "SharedMemory",
-    "ThreadPoolExecutor",
-    "ProcessPoolExecutor",
-}
+RESOURCE_CLASS_NAMES = vocab.RESOURCE_CLASS_NAMES
 
 #: Method calls that discharge the obligation on their receiver.
-RELEASE_METHODS = {"close", "unlink", "shutdown", "cleanup", "terminate"}
+RELEASE_METHODS = vocab.RELEASE_METHODS
 
 #: Method calls that store their argument for later cleanup (ownership
 #: moves to the receiver: ExitStack.enter_context, list.append, ...).
-SINK_METHODS = {"append", "add", "push", "register", "enter_context", "callback"}
+SINK_METHODS = vocab.SINK_METHODS
 
 _OWNERSHIP_MARK = "takes-ownership"
 
@@ -101,6 +98,13 @@ def _acquire_call(call: ast.expr, aliases: dict[str, str]) -> str | None:
 def _names_in(node: ast.AST) -> set[str]:
     """All bare ``Name`` identifiers appearing under a node."""
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _summary_effects(project, relpath: str, call: ast.Call):
+    """Resolved-call effect lookup (see :func:`summaries.call_param_effects`)."""
+    from tools.lint.summaries import call_param_effects
+
+    return call_param_effects(project, relpath, call)
 
 
 class _State:
@@ -206,13 +210,16 @@ or transfer ownership explicitly:
         symbols: dict[int, str],
         ownership_lines: set[int],
     ) -> Iterator[Finding]:
-        sites = self._acquire_sites(func, aliases)
+        project = getattr(ctx, "project", None)
+        sites = self._acquire_sites(func, aliases, project, ctx.relpath)
         if not sites:
             return
         cfg = build_cfg(func)
 
         def transfer(node, state: _State) -> _State:
-            return self._transfer(node, state, sites, aliases, ownership_lines)
+            return self._transfer(
+                node, state, sites, aliases, ownership_lines, project, ctx.relpath
+            )
 
         in_states = analyze_forward(cfg, _State({}, {}), transfer, _merge)
         exit_state = in_states.get(cfg.exit)
@@ -237,8 +244,14 @@ or transfer ownership explicitly:
             )
 
     @staticmethod
-    def _acquire_sites(func, aliases: dict[str, str]) -> dict[int, tuple]:
-        """Map Assign-node id -> site key for tracked acquires."""
+    def _acquire_sites(
+        func, aliases: dict[str, str], project=None, relpath: str = ""
+    ) -> dict[int, tuple]:
+        """Map Assign-node id -> site key for tracked acquires.
+
+        With a project, ``x = make_buffer()`` acquires when the callee's
+        summary says the return value carries a release obligation.
+        """
         sites: dict[int, tuple] = {}
         for node in ast.walk(func):
             if (
@@ -247,6 +260,10 @@ or transfer ownership explicitly:
                 and isinstance(node.targets[0], ast.Name)
             ):
                 label = _acquire_call(node.value, aliases)
+                if label is None and isinstance(node.value, ast.Call):
+                    summ, _ = _summary_effects(project, relpath, node.value)
+                    if summ is not None and summ.returns_resource is not None:
+                        label = f"{summ.returns_resource} (via helper)"
                 if label is not None:
                     var = node.targets[0].id
                     sites[id(node)] = (node.lineno, var, label)
@@ -259,6 +276,8 @@ or transfer ownership explicitly:
         sites: dict[int, tuple],
         aliases: dict[str, str],
         ownership_lines: set[int],
+        project=None,
+        relpath: str = "",
     ) -> _State:
         out = state.copy()
         stmt = node.stmt
@@ -271,12 +290,12 @@ or transfer ownership explicitly:
         if stmt is None:
             return out
         if isinstance(stmt, ast.Assign):
-            self._assign(out, stmt, sites, ownership_lines)
+            self._assign(out, stmt, sites, ownership_lines, project, relpath)
         elif isinstance(stmt, (ast.Return, ast.Raise)):
             if stmt_value := getattr(stmt, "value", None):
                 self._escape_names(out, _names_in(stmt_value))
         elif isinstance(stmt, ast.Expr):
-            self._expr(out, stmt.value, ownership_lines, aliases)
+            self._expr(out, stmt.value, ownership_lines, aliases, project, relpath)
         elif isinstance(stmt, (ast.If, ast.While)) or node.kind == "branch":
             pass  # tests don't move ownership
         return out
@@ -300,7 +319,13 @@ or transfer ownership explicitly:
             out.env.pop(item.optional_vars.id, None)
 
     def _assign(
-        self, out: _State, stmt: ast.Assign, sites, ownership_lines
+        self,
+        out: _State,
+        stmt: ast.Assign,
+        sites,
+        ownership_lines,
+        project=None,
+        relpath: str = "",
     ) -> None:
         site = sites.get(id(stmt))
         if site is not None:
@@ -319,16 +344,64 @@ or transfer ownership explicitly:
                 else:
                     out.env.pop(target.id, None)
                 return
-            # wrapped = Wrapper(buf): the wrapper owns it now.
             if isinstance(stmt.value, ast.Call):
-                self._escape_call_args(out, stmt.value, always=True)
+                marked = stmt.value.lineno in ownership_lines or getattr(
+                    stmt.value, "end_lineno", stmt.value.lineno
+                ) in ownership_lines
+                if marked:
+                    # The explicit annotation always wins over inference.
+                    self._escape_call_args(out, stmt.value, always=True)
+                elif self._call_moves(out, stmt.value, target, project, relpath):
+                    return  # target aliases a still-live site
             out.env.pop(target.id, None)
             return
         # Attribute/subscript/tuple target: everything on the rhs escapes
         # into longer-lived storage.
         self._escape_names(out, _names_in(stmt.value))
 
-    def _expr(self, out: _State, value: ast.expr, ownership_lines, aliases) -> None:
+    def _call_moves(
+        self, out: _State, call: ast.Call, target: ast.Name, project, relpath
+    ) -> bool:
+        """Apply a call's ownership effects on its arguments.
+
+        Returns True when the callee returns one of its arguments and the
+        assignment target therefore aliases that argument's site (the
+        obligation stays live under the new name).  Without a resolved
+        summary the call is treated as ``wrapped = Wrapper(buf)``: the
+        wrapper owns every argument now (conservative escape).
+        """
+        summ, pairs = _summary_effects(project, relpath, call)
+        if summ is None or summ.unknown_calls:
+            self._escape_call_args(out, call, always=True)
+            return False
+        aliased = False
+        for arg, idx in pairs:
+            if not isinstance(arg, ast.Name):
+                self._escape_names(out, _names_in(arg))
+                continue
+            site = out.env.get(arg.id)
+            if site is None:
+                continue
+            if idx in summ.close_params:
+                out.status[site] = _RELEASED
+            elif idx in summ.store_params:
+                out.status[site] = _ESCAPED
+            elif idx in summ.returns_params:
+                out.env[target.id] = site
+                aliased = True
+            # Untouched parameters keep their pending obligation: the
+            # resolved callee provably neither releases nor stores them.
+        return aliased
+
+    def _expr(
+        self,
+        out: _State,
+        value: ast.expr,
+        ownership_lines,
+        aliases,
+        project=None,
+        relpath: str = "",
+    ) -> None:
         if not isinstance(value, ast.Call):
             return
         func = value.func
@@ -353,7 +426,30 @@ or transfer ownership explicitly:
         if value.lineno in ownership_lines or getattr(
             value, "end_lineno", value.lineno
         ) in ownership_lines:
+            # The explicit human annotation always wins over inference.
             self._escape_call_args(out, value, always=True)
+            return
+        summ, pairs = _summary_effects(project, relpath, value)
+        if summ is not None:
+            # Receiver of a bound method is the callee's parameter 0
+            # (self): `buf.release_all()` where release_all closes self.
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                site = out.env.get(func.value.id)
+                if site is not None:
+                    if 0 in summ.close_params:
+                        out.status[site] = _RELEASED
+                    elif 0 in summ.store_params:
+                        out.status[site] = _ESCAPED
+            for arg, idx in pairs:
+                if not isinstance(arg, ast.Name):
+                    continue
+                site = out.env.get(arg.id)
+                if site is None:
+                    continue
+                if idx in summ.close_params:
+                    out.status[site] = _RELEASED
+                elif idx in summ.store_params or summ.unknown_calls:
+                    out.status[site] = _ESCAPED
 
     def _escape_call_args(self, out: _State, call: ast.Call, always: bool) -> None:
         for arg in list(call.args) + [kw.value for kw in call.keywords]:

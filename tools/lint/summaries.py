@@ -1,0 +1,589 @@
+"""Per-function effect summaries, computed bottom-up over the call graph.
+
+An :class:`EffectSummary` condenses what one function *does to the world*
+into the few facts the dataflow rules care about:
+
+``blocking``
+    The function (or anything it transitively calls through synchronous
+    project code) sleeps, touches the filesystem, spawns a subprocess or
+    talks to a socket.  Carries a human-readable call chain
+    (``handle -> _dispatch -> read_text``).  A ``# repro-lint: blocking``
+    annotation on the ``def`` line forces the effect (the manual override
+    always wins over inference).
+``rng``
+    Transitively constructs an unseeded generator or draws from numpy's
+    hidden global state (the REP001 taint).
+``fsync_params`` / ``replace_src_params`` / ``write_params``
+    Parameter indices the function fsyncs / uses as the source of an
+    atomic replace / writes to -- how REP011 and the staged-publish
+    typestate machine see ``util.fsio.durable_replace`` (and any
+    hand-rolled helper) through the call boundary.
+``close_params`` / ``store_params`` / ``returns_params``
+    Parameter indices the function releases, stores on long-lived state,
+    or returns -- how REP009 follows ownership transfer through calls.
+``returns_resource``
+    The function's return value carries a release obligation (it acquired
+    a tracked resource and handed it back), making the *caller's*
+    assignment an acquire site.
+``may_raise``
+    The body contains a ``raise`` or calls something that does.
+
+Summaries are computed bottom-up over the Tarjan SCCs of the project
+call graph; inside a cyclic component the member summaries iterate to a
+fixpoint (all effects are monotone, so convergence is guaranteed).
+Unresolvable calls leave ``unknown_calls`` set and contribute nothing --
+each rule chooses its own conservative interpretation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.lint import vocab
+from tools.lint.callgraph import CallGraph, FileIR, FunctionIR, extract_file_ir
+
+#: Maximum fixpoint sweeps inside one SCC (effects are monotone; real
+#: components converge in two or three).
+_MAX_SCC_PASSES = 24
+
+
+@dataclass
+class EffectSummary:
+    """The interprocedural facts of one function (see module docstring)."""
+
+    key: str
+    is_async: bool = False
+    annotated_blocking: bool = False
+    blocking: str | None = None
+    rng: str | None = None
+    may_raise: bool = False
+    unknown_calls: bool = False
+    fsync_params: set[int] = field(default_factory=set)
+    replace_src_params: set[int] = field(default_factory=set)
+    write_params: set[int] = field(default_factory=set)
+    close_params: set[int] = field(default_factory=set)
+    store_params: set[int] = field(default_factory=set)
+    returns_params: set[int] = field(default_factory=set)
+    returns_resource: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON form (sets become sorted lists)."""
+        return {
+            "key": self.key,
+            "is_async": self.is_async,
+            "annotated_blocking": self.annotated_blocking,
+            "blocking": self.blocking,
+            "rng": self.rng,
+            "may_raise": self.may_raise,
+            "unknown_calls": self.unknown_calls,
+            "fsync_params": sorted(self.fsync_params),
+            "replace_src_params": sorted(self.replace_src_params),
+            "write_params": sorted(self.write_params),
+            "close_params": sorted(self.close_params),
+            "store_params": sorted(self.store_params),
+            "returns_params": sorted(self.returns_params),
+            "returns_resource": self.returns_resource,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EffectSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            key=d["key"],
+            is_async=d["is_async"],
+            annotated_blocking=d["annotated_blocking"],
+            blocking=d["blocking"],
+            rng=d["rng"],
+            may_raise=d["may_raise"],
+            unknown_calls=d["unknown_calls"],
+            fsync_params=set(d["fsync_params"]),
+            replace_src_params=set(d["replace_src_params"]),
+            write_params=set(d.get("write_params", ())),
+            close_params=set(d["close_params"]),
+            store_params=set(d["store_params"]),
+            returns_params=set(d["returns_params"]),
+            returns_resource=d["returns_resource"],
+        )
+
+    def signature(self) -> str:
+        """Stable serialization used in cache dependency signatures."""
+        d = self.to_dict()
+        return "|".join(f"{k}={d[k]!r}" for k in sorted(d))
+
+
+# -- local effect harvest (plugged into callgraph extraction) ------------------
+
+
+def _dotted(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _resolve(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    parts = _dotted(node)
+    if parts is None:
+        return None
+    return vocab.resolve_dotted_parts(parts, aliases)
+
+
+def _blocking_reason_local(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Why this single call blocks, or None (summary-engine vocabulary)."""
+    resolved = _resolve(call.func, aliases)
+    if resolved is not None:
+        for pattern in vocab.BLOCKING_RESOLVED:
+            if resolved == pattern or (
+                pattern.endswith(".") and resolved.startswith(pattern)
+            ):
+                return resolved
+        if resolved in vocab.NUMPY_IO:
+            return resolved
+    if isinstance(call.func, ast.Name) and call.func.id == "open":
+        if "open" not in aliases:
+            return "open()"
+    if isinstance(call.func, ast.Attribute) and call.func.attr in vocab.IO_METHODS:
+        return f".{call.func.attr}()"
+    return None
+
+
+def _rng_reason_local(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Why this single call breaks RNG discipline, or None."""
+    resolved = _resolve(call.func, aliases)
+    if resolved is None:
+        return None
+    if resolved == "numpy.random.default_rng" and not (call.args or call.keywords):
+        return "unseeded default_rng()"
+    if resolved == "numpy.random.RandomState":
+        return "legacy RandomState"
+    if (
+        resolved.startswith("numpy.random.")
+        and resolved.rsplit(".", 1)[1] in vocab.LEGACY_GLOBAL_FNS
+    ):
+        return f"global-state {resolved}()"
+    return None
+
+
+def _param_index(expr: ast.expr, params: list[str]) -> int | None:
+    """Index of a bare-Name expression among ``params``, else None."""
+    if isinstance(expr, ast.Name) and expr.id in params:
+        return params.index(expr.id)
+    return None
+
+
+def _resource_label(call: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Label of the tracked resource a call acquires, or None."""
+    if not isinstance(call, ast.Call):
+        return None
+    resolved = _resolve(call.func, aliases)
+    if resolved in vocab.RESOURCE_FACTORIES:
+        return resolved
+    if isinstance(call.func, ast.Name):
+        if call.func.id == "open" and "open" not in aliases:
+            return "open()"
+        if call.func.id in vocab.RESOURCE_CLASS_NAMES:
+            return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        if call.func.attr in vocab.RESOURCE_CLASS_NAMES:
+            return call.func.attr
+    return None
+
+
+def make_local_effect_fn(suppressed_lines: dict[int, set[str]]):
+    """Build the harvest hook for :func:`callgraph.extract_file_ir`.
+
+    ``suppressed_lines`` maps line numbers to the rule ids disabled there
+    (from :class:`tools.lint.core.Suppressions`): an explicitly suppressed
+    construction site does not propagate its taint to callers -- the
+    ``-- why`` justification covers the whole chain.
+    """
+
+    def suppressed(lineno: int, rule: str) -> bool:
+        rules = suppressed_lines.get(lineno, set())
+        return "all" in rules or rule in rules
+
+    def harvest(func, aliases: dict[str, str], walk_own_body) -> dict:
+        args = func.args
+        params = [a.arg for a in list(args.posonlyargs) + list(args.args)]
+        fx: dict = {
+            "blocking": None,
+            "rng": None,
+            "may_raise": False,
+            "fsync_params": [],
+            "replace_src_params": [],
+            "write_params": [],
+            "close_params": [],
+            "store_params": [],
+            "returns_params": [],
+            "returns_resource": None,
+            "return_calls": [],
+        }
+        # Pre-pass: bind resource-acquiring locals first, since the body
+        # walk makes no ordering promise and `return handle` must see the
+        # earlier `handle = open(...)` regardless of visit order.
+        resource_vars: dict[str, str] = {}
+        for node in walk_own_body(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                label = _resource_label(node.value, aliases)
+                if label is not None:
+                    resource_vars[node.targets[0].id] = label
+        for node in walk_own_body(func):
+            if isinstance(node, ast.Raise):
+                fx["may_raise"] = True
+            elif isinstance(node, ast.Return) and node.value is not None:
+                i = _param_index(node.value, params)
+                if i is not None and i not in fx["returns_params"]:
+                    fx["returns_params"].append(i)
+                if isinstance(node.value, ast.Name):
+                    label = resource_vars.get(node.value.id)
+                    if label is not None:
+                        fx["returns_resource"] = label
+                elif isinstance(node.value, ast.Call):
+                    label = _resource_label(node.value, aliases)
+                    if label is not None:
+                        fx["returns_resource"] = label
+                    else:
+                        fx["return_calls"].append(
+                            [node.value.lineno, node.value.col_offset]
+                        )
+            elif isinstance(node, ast.Assign):
+                self_targets = [
+                    t
+                    for t in node.targets
+                    if isinstance(t, (ast.Attribute, ast.Subscript))
+                ]
+                if self_targets:
+                    i = _param_index(node.value, params)
+                    if i is not None and i not in fx["store_params"]:
+                        fx["store_params"].append(i)
+            elif isinstance(node, ast.Call):
+                if fx["blocking"] is None and not suppressed(node.lineno, "REP010"):
+                    fx["blocking"] = _blocking_reason_local(node, aliases)
+                if fx["rng"] is None and not suppressed(node.lineno, "REP001"):
+                    fx["rng"] = _rng_reason_local(node, aliases)
+                _harvest_param_effects(node, params, aliases, fx)
+        return fx
+
+    return harvest
+
+
+def _harvest_param_effects(
+    call: ast.Call, params: list[str], aliases: dict[str, str], fx: dict
+) -> None:
+    """Record fsync/replace/close/store effects of one call on parameters."""
+
+    def add(kind: str, expr: ast.expr | None) -> None:
+        i = _param_index(expr, params) if expr is not None else None
+        if i is not None and i not in fx[kind]:
+            fx[kind].append(i)
+
+    func = call.func
+    resolved = _resolve(func, aliases)
+    terminal = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id if isinstance(func, ast.Name) else None
+    )
+    if terminal == "durable_replace":
+        if call.args:
+            add("fsync_params", call.args[0])
+            add("replace_src_params", call.args[0])
+        return
+    if terminal is not None and "fsync" in terminal:
+        for arg in call.args:
+            add("fsync_params", arg)
+        return
+    if resolved in ("os.replace", "os.rename"):
+        if call.args:
+            add("replace_src_params", call.args[0])
+        return
+    if resolved == "os.close" and call.args:
+        add("close_params", call.args[0])
+        return
+    if resolved in vocab.NUMPY_SAVERS and call.args:
+        add("write_params", call.args[0])
+        return
+    if isinstance(func, ast.Name) and func.id == "open" and call.args:
+        mode = ""
+        if len(call.args) > 1 and isinstance(call.args[1], ast.Constant):
+            mode = str(call.args[1].value)
+        for kw in call.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = str(kw.value.value)
+        if any(ch in mode for ch in "wax+"):
+            add("write_params", call.args[0])
+        return
+    if isinstance(func, ast.Attribute):
+        if func.attr in ("replace", "rename") and len(call.args) == 1:
+            add("replace_src_params", func.value)
+        elif func.attr in ("flush", "fsync"):
+            add("fsync_params", func.value)
+        elif func.attr in vocab.WRITE_METHODS:
+            add("write_params", func.value)
+        elif func.attr in vocab.RELEASE_METHODS:
+            add("close_params", func.value)
+        elif func.attr in vocab.SINK_METHODS:
+            for arg in call.args:
+                add("store_params", arg)
+
+
+# -- the project object handed to rules ----------------------------------------
+
+
+class ProjectSummaries:
+    """Call graph + converged effect summaries of the linted project.
+
+    Rules reach it through ``FileContext.project`` and use three lookups:
+    :meth:`callee_of` (resolved callee of an ``ast.Call``),
+    :meth:`summary` (the callee's effects) and :attr:`annotated_blocking`
+    (the cross-file ``# repro-lint: blocking`` name set).
+    """
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.summaries: dict[str, EffectSummary] = {}
+        #: Simple names carrying a manual blocking annotation anywhere in
+        #: the project, with their (path, line) definition anchor.
+        self.annotated_blocking: dict[str, tuple[str, int]] = {}
+        for key, fir in graph.functions.items():
+            if fir.annotated_blocking:
+                simple = fir.qualname.rsplit(".", 1)[-1]
+                self.annotated_blocking.setdefault(
+                    simple, (graph.file_of[key], fir.line)
+                )
+        self._compute()
+
+    # -- lookups -----------------------------------------------------------
+
+    def callee_of(self, relpath: str, call: ast.Call) -> str | None:
+        """Resolved callee key of a call node in ``relpath`` (or None)."""
+        return self.graph.callsite_index.get(
+            (relpath, call.lineno, call.col_offset)
+        )
+
+    def summary(self, key: str | None) -> EffectSummary | None:
+        """Summary of a function key (None for unresolved/foreign calls)."""
+        if key is None:
+            return None
+        return self.summaries.get(key)
+
+    def summary_for_call(
+        self, relpath: str, call: ast.Call
+    ) -> EffectSummary | None:
+        """Shorthand: resolve a call node and return its callee summary."""
+        return self.summary(self.callee_of(relpath, call))
+
+    def dependency_signature(self, relpath: str) -> str:
+        """Hashable digest of everything external this file's lint depends on.
+
+        Covers the summaries of every resolved callee of the file plus the
+        global annotated-blocking name set; when any of those change, the
+        file is in the changed files' reverse-dependency frontier and its
+        cached findings must be recomputed.
+        """
+        ir = self.graph.irs.get(relpath)
+        if ir is None:
+            return "-"
+        keys: set[str] = set()
+        for fir in ir.functions.values():
+            for site in fir.calls:
+                callee = self.graph.callsite_index.get(
+                    (relpath, site.line, site.col)
+                )
+                if callee is not None:
+                    keys.add(callee)
+        parts = [
+            self.summaries[k].signature() for k in sorted(keys) if k in self.summaries
+        ]
+        parts.append("annotated:" + ",".join(sorted(self.annotated_blocking)))
+        return "\n".join(parts)
+
+    # -- computation -------------------------------------------------------
+
+    def _initial(self, key: str, fir: FunctionIR) -> EffectSummary:
+        fx = fir.local_effects or {}
+        blocking = fx.get("blocking")
+        if fir.annotated_blocking:
+            blocking = blocking or "annotated blocking"
+        return EffectSummary(
+            key=key,
+            is_async=fir.is_async,
+            annotated_blocking=fir.annotated_blocking,
+            blocking=blocking,
+            rng=fx.get("rng"),
+            may_raise=bool(fx.get("may_raise")),
+            unknown_calls=self.graph.unresolved.get(key, 0) > 0,
+            fsync_params=set(fx.get("fsync_params", ())),
+            replace_src_params=set(fx.get("replace_src_params", ())),
+            write_params=set(fx.get("write_params", ())),
+            close_params=set(fx.get("close_params", ())),
+            store_params=set(fx.get("store_params", ())),
+            returns_params=set(fx.get("returns_params", ())),
+            returns_resource=fx.get("returns_resource"),
+        )
+
+    def _compute(self) -> None:
+        for key, fir in self.graph.functions.items():
+            self.summaries[key] = self._initial(key, fir)
+        for scc in self.graph.sccs_bottom_up():
+            for _ in range(_MAX_SCC_PASSES):
+                changed = False
+                for key in scc:
+                    if self._fold_callees(key):
+                        changed = True
+                if not changed:
+                    break
+
+    def _callee_param_index(
+        self, site, arg, callee: FunctionIR
+    ) -> int | None:
+        """Map one argument of a call site onto the callee's param index."""
+        if arg.keyword is not None:
+            if arg.keyword in callee.params:
+                return callee.params.index(arg.keyword)
+            return None
+        pos = 0
+        for other in site.args:
+            if other is arg:
+                break
+            if other.keyword is None:
+                pos += 1
+        offset = (
+            1
+            if callee.owner_class is not None
+            and callee.params
+            and callee.params[0] in ("self", "cls")
+            else 0
+        )
+        index = pos + offset
+        return index if index < len(callee.params) else None
+
+    def _fold_callees(self, key: str) -> bool:
+        """One propagation sweep for ``key``; True when anything grew."""
+        summ = self.summaries[key]
+        fir = self.graph.functions[key]
+        ir = self.graph.irs[self.graph.file_of[key]]
+        changed = False
+        for site in fir.calls:
+            callee_key = self.graph.callsite_index.get(
+                (ir.relpath, site.line, site.col)
+            )
+            if callee_key is None:
+                continue
+            callee_summ = self.summaries.get(callee_key)
+            callee_fir = self.graph.functions.get(callee_key)
+            if callee_summ is None or callee_fir is None:
+                continue
+            callee_name = callee_fir.qualname.rsplit(".", 1)[-1]
+            if (
+                summ.blocking is None
+                and not callee_summ.is_async
+                and callee_summ.blocking is not None
+            ):
+                summ.blocking = f"{callee_name} -> {callee_summ.blocking}"
+                changed = True
+            if summ.rng is None and callee_summ.rng is not None:
+                summ.rng = f"{callee_name} -> {callee_summ.rng}"
+                changed = True
+            if callee_summ.may_raise and not summ.may_raise:
+                summ.may_raise = True
+                changed = True
+            if (
+                summ.returns_resource is None
+                and callee_summ.returns_resource is not None
+                and [site.line, site.col]
+                in (fir.local_effects or {}).get("return_calls", [])
+            ):
+                summ.returns_resource = callee_summ.returns_resource
+                changed = True
+            for arg in site.args:
+                if arg.kind != "param":
+                    continue
+                callee_i = self._callee_param_index(site, arg, callee_fir)
+                if callee_i is None:
+                    continue
+                for attr in (
+                    "fsync_params",
+                    "replace_src_params",
+                    "write_params",
+                    "close_params",
+                    "store_params",
+                ):
+                    if callee_i in getattr(callee_summ, attr) and arg.index not in getattr(
+                        summ, attr
+                    ):
+                        getattr(summ, attr).add(arg.index)
+                        changed = True
+        return changed
+
+
+def call_param_effects(project, relpath: str, call: ast.Call):
+    """``(summary, [(arg_expr, callee_param_index)])`` of a resolved call.
+
+    The rule-side complement of :meth:`ProjectSummaries._callee_param_index`:
+    returns ``(None, [])`` when no interprocedural project is active or the
+    call does not resolve to a project-local function.  Keyword arguments
+    map by name; positional arguments get the ``self``/``cls`` offset of
+    bound methods so the indices line up with the callee's effect-summary
+    parameter sets.
+    """
+    if project is None:
+        return None, []
+    key = project.callee_of(relpath, call)
+    summ = project.summary(key)
+    callee = project.graph.functions.get(key) if key is not None else None
+    if summ is None or callee is None:
+        return None, []
+    offset = (
+        1
+        if callee.owner_class is not None
+        and callee.params
+        and callee.params[0] in ("self", "cls")
+        else 0
+    )
+    pairs: list[tuple[ast.expr, int]] = []
+    for pos, arg in enumerate(call.args):
+        pairs.append((arg, pos + offset))
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in callee.params:
+            pairs.append((kw.value, callee.params.index(kw.arg)))
+    return summ, pairs
+
+
+def build_project(irs: dict[str, FileIR]) -> ProjectSummaries:
+    """Link the file IRs and converge the effect summaries."""
+    return ProjectSummaries(CallGraph(irs))
+
+
+def extract_ir(tree: ast.Module, source: str, relpath: str) -> FileIR:
+    """Extract one file's IR with the summary-engine effect harvest.
+
+    The convenience entry point used by ``run_lint`` and the cache: wires
+    :func:`make_local_effect_fn` (with the file's suppression lines) and
+    the ``# repro-lint: blocking`` mark scan into
+    :func:`callgraph.extract_file_ir`.
+    """
+    from tools.lint.core import Suppressions
+
+    supp = Suppressions.parse(source)
+    blocking_lines = {
+        lineno
+        for lineno, text in enumerate(source.splitlines(), start=1)
+        if "repro-lint:" in text and "blocking" in text and "disable" not in text
+    }
+    return extract_file_ir(
+        tree,
+        source,
+        relpath,
+        local_effect_fn=make_local_effect_fn(supp.by_line),
+        blocking_mark_lines=blocking_lines,
+    )

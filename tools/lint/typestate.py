@@ -1,0 +1,650 @@
+"""Typestate engine: declarative protocol state machines over the CFG.
+
+A *protocol machine* declares how a tracked value may move through a
+small set of states, and REP013 (:mod:`tools.lint.rules.protocols`)
+reports any CFG path that drives a machine through an undeclared
+transition or leaves it in a forbidden state at function exit.
+
+Two machine families cover the repo's protocols:
+
+:class:`ProtocolSpec` (token machines)
+    The token is a local variable bound by a *creator* (a constructor
+    call like ``SharedEnsembleBuffer(...)`` or a staging call like
+    ``target.with_suffix(".tmp")``).  *Events* advance it: method calls
+    on the token, calls taking the token as first argument
+    (``durable_replace(tmp, dst)``), and -- when interprocedural
+    summaries are available -- calls passing the token to any project
+    function whose effect summary touches that parameter (an fsync
+    hidden in a helper is still an fsync).  Escapes (return, store into
+    an attribute, aliasing, passing to an unresolvable call) drop the
+    token: ownership left the function, conservatively nothing to check.
+
+:class:`AttrProtocolSpec` (attribute-value machines)
+    Tracks ``obj.<attr> = Enum.MEMBER`` assignments (the ``Job`` attempt
+    lifecycle): consecutive assignments to the same object must follow
+    the declared transition relation; named setter methods
+    (``reset_for_retry``) count as assignments of their declared state.
+
+Declaring a new machine
+-----------------------
+Append a spec to :data:`BUILTIN_PROTOCOLS` (or
+:data:`BUILTIN_ATTR_PROTOCOLS`).  A token machine needs: the creators,
+the event vocabulary (method names / first-arg function terminals / the
+summary field that carries the event through helpers), the declared
+``transitions[state][event] -> state`` relation, per-event violation
+messages for undeclared transitions, and optional ``exit_errors`` for
+states that must not reach function exit.  Everything else (CFG walk,
+merging, interprocedural event lookup) is shared machinery.
+
+Violations are *must* errors: an event is only reported when **every**
+state the token may be in lacks a declared transition, so a diamond
+merge where one branch already closed a buffer does not flag the other.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from tools.lint.dataflow import FuncDef, analyze_forward, build_cfg
+
+# -- declarative specs ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Creator:
+    """How a protocol token comes into existence.
+
+    ``kind`` is ``"ctor"`` (call whose callee name -- bare, dotted
+    terminal, or ``Class.attach``-style head -- is in ``names``) or
+    ``"method_result"`` (result of a receiver method in ``names``).
+    """
+
+    kind: str
+    names: tuple[str, ...]
+    state: str
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """One event of a token machine and the calls that trigger it.
+
+    ``methods`` fire on ``token.m(...)``; ``terminals`` fire on
+    ``f(token, ...)`` by callee terminal name; ``summary_attr`` names the
+    :class:`~tools.lint.summaries.EffectSummary` parameter-index field
+    that carries the event through project helpers.  ``any_method`` makes
+    this the catch-all for method calls not matched by other events
+    (the "use" event of use-after-close checking).
+    """
+
+    event: str
+    methods: tuple[str, ...] = ()
+    terminals: tuple[str, ...] = ()
+    summary_attr: str | None = None
+    any_method: bool = False
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A declarative token state machine (see module docstring)."""
+
+    name: str
+    description: str
+    creators: tuple[Creator, ...]
+    events: tuple[EventDef, ...]
+    #: state -> event -> next state; an event undeclared for every state
+    #: the token may occupy is a violation.
+    transitions: Mapping[str, Mapping[str, str]]
+    #: event -> message template ({token}/{state} substituted).
+    messages: Mapping[str, str]
+    #: state -> message for tokens still in that state at function exit.
+    exit_errors: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AttrProtocolSpec:
+    """A declarative attribute-value machine (``obj.attr = Enum.X``)."""
+
+    name: str
+    description: str
+    attr: str
+    enum: str
+    #: member -> members reachable from it by direct assignment.
+    transitions: Mapping[str, tuple[str, ...]]
+    #: method name -> member it assigns (``reset_for_retry`` -> QUEUED).
+    setters: Mapping[str, str] = field(default_factory=dict)
+    message: str = "{token}.{attr} may move {old} -> {new}, not declared"
+
+
+# -- the built-in machines -----------------------------------------------------
+
+STAGED_PUBLISH = ProtocolSpec(
+    name="staged-publish",
+    description=(
+        "a temp path staged with with_suffix/with_name and written must be "
+        "published exactly once (covfile / product-HEAD commit protocol)"
+    ),
+    creators=(
+        Creator(kind="method_result", names=("with_suffix", "with_name"), state="staged"),
+    ),
+    events=(
+        EventDef(
+            event="write",
+            methods=("write_text", "write_bytes"),
+            terminals=("open", "save", "savez", "savez_compressed", "savetxt",
+                       "open_memmap"),
+            summary_attr="write_params",
+        ),
+        EventDef(
+            event="fsync",
+            methods=("flush",),
+            terminals=("fsync_path", "fsync", "durable_replace"),
+            summary_attr="fsync_params",
+        ),
+        EventDef(
+            event="replace",
+            methods=("replace", "rename"),
+            terminals=("durable_replace",),
+            summary_attr="replace_src_params",
+        ),
+    ),
+    transitions={
+        # REP011 owns the fsync-before-replace ordering; replace is
+        # declared from every pre-publish state here so the two rules
+        # never double-report one defect.
+        "staged": {"write": "dirty", "fsync": "fsynced", "replace": "published"},
+        "dirty": {"write": "dirty", "fsync": "fsynced", "replace": "published"},
+        "fsynced": {"write": "dirty", "fsync": "fsynced", "replace": "published"},
+        "published": {},
+    },
+    messages={
+        "write": "{token} written after publish (temp path no longer exists)",
+        "fsync": "{token} fsynced after publish",
+        "replace": "{token} published twice",
+    },
+    exit_errors={
+        "dirty": (
+            "{token} staged and written but never published "
+            "(leaked temp file on every path through here)"
+        ),
+        "fsynced": (
+            "{token} staged and fsynced but never published "
+            "(leaked temp file on every path through here)"
+        ),
+    },
+)
+
+SHM_BUFFER = ProtocolSpec(
+    name="shm-buffer",
+    description=(
+        "a shared-memory ensemble buffer slot must not be touched after "
+        "close()/unlink() and must not be closed twice"
+    ),
+    creators=(
+        Creator(kind="ctor", names=("SharedEnsembleBuffer",), state="open"),
+    ),
+    events=(
+        EventDef(event="close", methods=("close",), summary_attr="close_params"),
+        EventDef(event="unlink", methods=("unlink",)),
+        EventDef(event="use", any_method=True),
+    ),
+    transitions={
+        "open": {"close": "closed", "unlink": "unlinked", "use": "open"},
+        # owner-side teardown: close the mapping, then unlink the segment.
+        "closed": {"unlink": "unlinked"},
+        "unlinked": {},
+    },
+    messages={
+        "close": "{token} closed twice ({state} already)",
+        "unlink": "{token} unlinked twice",
+        "use": "{token} used after close/unlink ({state})",
+    },
+)
+
+BUILTIN_PROTOCOLS: tuple[ProtocolSpec, ...] = (STAGED_PUBLISH, SHM_BUFFER)
+
+JOB_LIFECYCLE = AttrProtocolSpec(
+    name="job-lifecycle",
+    description=(
+        "Job.state must follow QUEUED -> RUNNING -> DONE/FAILED/CANCELLED "
+        "with retries re-queueing only unfinished jobs"
+    ),
+    attr="state",
+    enum="JobState",
+    transitions={
+        "QUEUED": ("RUNNING", "FAILED", "CANCELLED", "QUEUED"),
+        "RUNNING": ("DONE", "FAILED", "CANCELLED", "QUEUED"),
+        "FAILED": ("QUEUED", "CANCELLED"),
+        "CANCELLED": ("QUEUED",),
+        "DONE": (),  # terminal: a completed job is never recycled
+    },
+    setters={"reset_for_retry": "QUEUED"},
+)
+
+BUILTIN_ATTR_PROTOCOLS: tuple[AttrProtocolSpec, ...] = (JOB_LIFECYCLE,)
+
+
+# -- shared AST plumbing -------------------------------------------------------
+
+
+def _shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk without descending into nested function/class bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if not isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            stack.extend(ast.iter_child_nodes(current))
+
+
+def _node_exprs(node) -> list[ast.AST]:
+    """The expressions a CFG node actually evaluates (kind-aware)."""
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.kind == "stmt":
+        return [stmt]
+    if node.kind == "branch":
+        if isinstance(stmt, ast.If):
+            return [stmt.test]
+        if isinstance(stmt, ast.Match):
+            return [stmt.subject]
+        return []
+    if node.kind == "loop_head":
+        if isinstance(stmt, ast.While):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        return []
+    if node.kind == "with":
+        return [item.context_expr for item in stmt.items]
+    return []  # with_exit / except / entry / exit evaluate nothing
+
+
+def _call_terminal(call: ast.Call) -> str | None:
+    """Terminal callee name (``pkg.mod.f`` and ``f`` both -> ``f``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _receiver_name(call: ast.Call) -> str | None:
+    """``tok`` of a ``tok.m(...)`` call (bare-Name receivers only)."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return None
+
+
+# -- token machine engine ------------------------------------------------------
+
+#: Analysis state: frozenset of (token_var, creation_line, state) triples.
+_TokenState = frozenset
+
+
+class ProtocolChecker:
+    """Run one :class:`ProtocolSpec` over one function body.
+
+    ``project`` is the optional
+    :class:`~tools.lint.summaries.ProjectSummaries`; without it, calls
+    that take the token and cannot be classified locally drop it (the
+    conservative per-function fallback the detection-power suite pins).
+    """
+
+    def __init__(self, spec: ProtocolSpec, project=None, relpath: str = ""):
+        self.spec = spec
+        self.project = project
+        self.relpath = relpath
+
+    # -- event extraction --------------------------------------------------
+
+    def _creator_state(self, value: ast.expr) -> str | None:
+        """Initial state when ``value`` matches a creator, else None."""
+        if not isinstance(value, ast.Call):
+            return None
+        terminal = _call_terminal(value)
+        for creator in self.spec.creators:
+            if creator.kind == "method_result":
+                if (
+                    isinstance(value.func, ast.Attribute)
+                    and value.func.attr in creator.names
+                ):
+                    return creator.state
+            elif creator.kind == "ctor":
+                if terminal in creator.names:
+                    return creator.state
+                # Class.attach(...)-style alternate constructors.
+                if (
+                    isinstance(value.func, ast.Attribute)
+                    and isinstance(value.func.value, ast.Name)
+                    and value.func.value.id in creator.names
+                ):
+                    return creator.state
+        return None
+
+    def _call_events(self, call: ast.Call, tracked: set[str]) -> list[tuple[str, str]]:
+        """(token, event) pairs this call triggers; tokens it *consumes*
+        without a classifiable event are returned as ``(token, "!drop")``.
+        """
+        out: list[tuple[str, str]] = []
+        recv = _receiver_name(call)
+        terminal = _call_terminal(call)
+        first_arg = (
+            call.args[0].id
+            if call.args and isinstance(call.args[0], ast.Name)
+            else None
+        )
+        matched_method = False
+        if recv in tracked:
+            for ev in self.spec.events:
+                if terminal in ev.methods:
+                    out.append((recv, ev.event))
+                    matched_method = True
+            if not matched_method and recv is not None:
+                for ev in self.spec.events:
+                    if ev.any_method:
+                        out.append((recv, ev.event))
+                        matched_method = True
+                        break
+        arg_tokens = [
+            a.id for a in call.args if isinstance(a, ast.Name) and a.id in tracked
+        ]
+        if not arg_tokens:
+            return out
+        # Terminal-name classification (the per-function vocabulary).
+        terminal_events = [
+            ev.event
+            for ev in self.spec.events
+            if terminal in ev.terminals and first_arg in tracked
+        ]
+        if terminal_events:
+            out.extend((first_arg, event) for event in terminal_events)
+            for token in arg_tokens:
+                if token != first_arg:
+                    pass  # non-first args of a known terminal are targets, kept
+            return out
+        # Interprocedural classification through effect summaries.
+        summ = (
+            self.project.summary_for_call(self.relpath, call)
+            if self.project is not None
+            else None
+        )
+        if summ is not None:
+            offset = 0
+            callee_key = self.project.callee_of(self.relpath, call)
+            callee_fir = self.project.graph.functions.get(callee_key)
+            if (
+                callee_fir is not None
+                and callee_fir.owner_class is not None
+                and callee_fir.params
+                and callee_fir.params[0] in ("self", "cls")
+            ):
+                offset = 1
+            for pos, arg in enumerate(call.args):
+                if not (isinstance(arg, ast.Name) and arg.id in tracked):
+                    continue
+                token = arg.id
+                events = [
+                    ev.event
+                    for ev in self.spec.events
+                    if ev.summary_attr is not None
+                    and (pos + offset) in getattr(summ, ev.summary_attr)
+                ]
+                if events:
+                    out.extend((token, event) for event in events)
+                elif (pos + offset) in summ.store_params:
+                    out.append((token, "!drop"))  # ownership moved into callee
+            return out
+        # Unknown callee consuming the token: conservatively stop tracking.
+        for token in arg_tokens:
+            out.append((token, "!drop"))
+        return out
+
+    # -- transfer ----------------------------------------------------------
+
+    def _drop(self, state: _TokenState, token: str) -> _TokenState:
+        return frozenset(e for e in state if e[0] != token)
+
+    def _apply_event(
+        self, state: _TokenState, token: str, event: str, node: ast.AST, report
+    ) -> _TokenState:
+        entries = [e for e in state if e[0] == token]
+        if not entries:
+            return state
+        if event == "!drop":
+            return self._drop(state, token)
+        moved: list[tuple[str, int, str]] = []
+        for _, line, st in entries:
+            nxt = self.spec.transitions.get(st, {}).get(event)
+            if nxt is not None:
+                moved.append((token, line, nxt))
+        if not moved:
+            # Every possible state lacks the transition: a must-violation.
+            if report is not None:
+                states = "/".join(sorted({e[2] for e in entries}))
+                template = self.spec.messages.get(
+                    event, "{token}: event " + event + " not allowed in {state}"
+                )
+                report(node, template.format(token=token, state=states))
+            return self._drop(state, token)
+        return self._drop(state, token) | frozenset(moved)
+
+    def _transfer(self, node, state: _TokenState, report=None) -> _TokenState:
+        if node.kind == "loop_head" and isinstance(node.stmt, (ast.For, ast.AsyncFor)):
+            # The loop target is rebound to a fresh object each iteration;
+            # token state must not survive the back edge under that name.
+            for name in {
+                n.id for n in ast.walk(node.stmt.target) if isinstance(n, ast.Name)
+            }:
+                state = self._drop(state, name)
+        tracked = {e[0] for e in state}
+        for expr in _node_exprs(node):
+            for sub in _shallow_walk(expr):
+                if isinstance(sub, ast.Call):
+                    for token, event in self._call_events(sub, tracked):
+                        state = self._apply_event(state, token, event, sub, report)
+                        tracked = {e[0] for e in state}
+        stmt = node.stmt
+        if node.kind != "stmt" or stmt is None:
+            return state
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                created = self._creator_state(stmt.value)
+                state = self._drop(state, target.id)
+                if created is not None:
+                    state = state | frozenset(
+                        {(target.id, stmt.lineno, created)}
+                    )
+            elif isinstance(target, (ast.Attribute, ast.Subscript, ast.Tuple)):
+                # Escape: the token became reachable beyond this function.
+                for sub in _shallow_walk(stmt.value):
+                    if isinstance(sub, ast.Name) and sub.id in tracked:
+                        state = self._drop(state, sub.id)
+        elif isinstance(stmt, (ast.Return, ast.Expr)) and isinstance(
+            getattr(stmt, "value", None), ast.Name
+        ):
+            if isinstance(stmt, ast.Return) and stmt.value.id in tracked:
+                state = self._drop(state, stmt.value.id)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state = self._drop(state, target.id)
+        # Aliasing (`b = a`) drops both ends: one obligation, two names.
+        if (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Name)
+            and stmt.value.id in tracked
+        ):
+            state = self._drop(state, stmt.value.id)
+        return state
+
+    # -- entry point -------------------------------------------------------
+
+    def check(self, func: FuncDef) -> list[tuple[int, str]]:
+        """(line, message) violations of this machine in one function."""
+        cfg = build_cfg(func)
+        init: _TokenState = frozenset()
+        in_states = analyze_forward(
+            cfg,
+            init,
+            transfer=lambda node, st: self._transfer(node, st),
+            merge=lambda a, b: a | b,
+        )
+        findings: dict[tuple[int, str], None] = {}
+
+        for node in cfg.nodes:
+            state = in_states[node.index]
+            if state is None:
+                continue
+
+            def report(anchor: ast.AST, message: str) -> None:
+                findings.setdefault(
+                    (getattr(anchor, "lineno", func.lineno), message), None
+                )
+
+            self._transfer(node, state, report=report)
+        exit_state = in_states[cfg.exit]
+        if exit_state:
+            for token, line, st in sorted(exit_state):
+                template = self.spec.exit_errors.get(st)
+                if template is not None:
+                    findings.setdefault(
+                        (line, template.format(token=token, state=st)), None
+                    )
+        return sorted(findings)
+
+
+# -- attribute-value machine engine --------------------------------------------
+
+
+class AttrProtocolChecker:
+    """Run one :class:`AttrProtocolSpec` over one function body."""
+
+    def __init__(self, spec: AttrProtocolSpec):
+        self.spec = spec
+
+    def _assigned_member(self, stmt: ast.stmt) -> tuple[str, str] | None:
+        """(object_var, enum_member) of ``var.attr = Enum.MEMBER``, or None."""
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            return None
+        target = stmt.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and target.attr == self.spec.attr
+            and isinstance(target.value, ast.Name)
+        ):
+            return None
+        value = stmt.value
+        if not (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == self.spec.enum
+        ):
+            return None
+        return target.value.id, value.attr
+
+    def _transfer(self, node, state: _TokenState, report=None) -> _TokenState:
+        stmt = node.stmt
+        if node.kind != "stmt" or stmt is None:
+            if node.kind == "loop_head" and isinstance(stmt, (ast.For, ast.AsyncFor)):
+                # The loop target is rebound to a *fresh* object on every
+                # iteration; tracked state must not survive the back edge
+                # (`for job in jobs: job.state = CANCELLED` is one move
+                # per job, not a self-transition).
+                rebound = {
+                    n.id for n in ast.walk(stmt.target) if isinstance(n, ast.Name)
+                }
+                state = frozenset(e for e in state if e[0] not in rebound)
+            # Expressions in branches/with headers may still consume the
+            # object (pass it somewhere): stop tracking those names.
+            for expr in _node_exprs(node):
+                for sub in _shallow_walk(expr):
+                    if isinstance(sub, ast.Call):
+                        state = self._consume(sub, state)
+            return state
+        assigned = self._assigned_member(stmt)
+        if assigned is not None:
+            var, member = assigned
+            return self._apply(state, var, member, stmt, report)
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            # Rebinding the name points it at a different object.
+            state = frozenset(e for e in state if e[0] != stmt.targets[0].id)
+        for sub in _shallow_walk(stmt):
+            if isinstance(sub, ast.Call):
+                recv = _receiver_name(sub)
+                terminal = _call_terminal(sub)
+                setter_member = (
+                    self.spec.setters.get(terminal) if terminal is not None else None
+                )
+                if recv is not None and setter_member is not None:
+                    state = self._apply(state, recv, setter_member, sub, report)
+                else:
+                    state = self._consume(sub, state)
+        return state
+
+    def _consume(self, call: ast.Call, state: _TokenState) -> _TokenState:
+        """Drop any tracked object handed to a call (escape)."""
+        consumed = {
+            a.id for a in call.args if isinstance(a, ast.Name)
+        }
+        recv = _receiver_name(call)
+        if recv is not None:
+            consumed.add(recv)
+        if not consumed:
+            return state
+        return frozenset(e for e in state if e[0] not in consumed)
+
+    def _apply(
+        self, state: _TokenState, var: str, member: str, anchor, report
+    ) -> _TokenState:
+        entries = [e for e in state if e[0] == var]
+        rest = frozenset(e for e in state if e[0] != var)
+        if entries:
+            allowed = any(
+                member in self.spec.transitions.get(st, ())
+                for _, _, st in entries
+            )
+            if not allowed:
+                if report is not None:
+                    olds = "/".join(sorted({e[2] for e in entries}))
+                    report(
+                        anchor,
+                        self.spec.message.format(
+                            token=var, attr=self.spec.attr, old=olds, new=member
+                        ),
+                    )
+        return rest | frozenset({(var, getattr(anchor, "lineno", 1), member)})
+
+    def check(self, func: FuncDef) -> list[tuple[int, str]]:
+        """(line, message) violations of this machine in one function."""
+        cfg = build_cfg(func)
+        in_states = analyze_forward(
+            cfg,
+            frozenset(),
+            transfer=lambda node, st: self._transfer(node, st),
+            merge=lambda a, b: a | b,
+        )
+        findings: dict[tuple[int, str], None] = {}
+        for node in cfg.nodes:
+            state = in_states[node.index]
+            if state is None:
+                continue
+
+            def report(anchor: ast.AST, message: str) -> None:
+                findings.setdefault(
+                    (getattr(anchor, "lineno", func.lineno), message), None
+                )
+
+            self._transfer(node, state, report=report)
+        return sorted(findings)

@@ -1,0 +1,140 @@
+"""Shared call vocabularies of the repro-lint rules and summary engine.
+
+One place for the "what blocks / what acquires / what writes" tables so
+the per-function rules (REP008-REP011), the interprocedural effect
+summaries (:mod:`tools.lint.summaries`) and the typestate machines
+(:mod:`tools.lint.typestate`) classify calls identically.  This module
+must stay import-free of :mod:`tools.lint.core` and the rule modules --
+it sits below both layers.
+"""
+
+from __future__ import annotations
+
+# -- blocking (REP008 / REP010 / the `blocking` effect) ------------------------
+
+#: Resolved dotted names (or prefixes ending in ".") that block.
+BLOCKING_RESOLVED = (
+    "time.sleep",
+    "subprocess.",
+    "socket.",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+)
+
+#: pathlib-style I/O method names that hit the filesystem.
+IO_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+#: numpy file I/O, resolved through import aliases.
+NUMPY_IO = {
+    "numpy.load",
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.loadtxt",
+    "numpy.savetxt",
+}
+
+#: Constructors marking a local/attribute as a blocking queue.
+QUEUE_FACTORIES = {
+    "queue.Queue",
+    "queue.LifoQueue",
+    "queue.PriorityQueue",
+    "queue.SimpleQueue",
+    "multiprocessing.Queue",
+    "multiprocessing.JoinableQueue",
+}
+
+# -- resources (REP009 / the ownership effects) --------------------------------
+
+#: Resolved dotted constructors whose result carries a release obligation.
+RESOURCE_FACTORIES = {
+    "numpy.memmap",
+    "numpy.lib.format.open_memmap",
+    "multiprocessing.shared_memory.SharedMemory",
+    "socket.socket",
+    "socket.create_connection",
+    "os.open",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+}
+
+#: Bare class names that carry an obligation even when the import cannot
+#: be resolved (the repo's own resource classes are imported many ways).
+RESOURCE_CLASS_NAMES = {
+    "SharedEnsembleBuffer",
+    "MemmapCovarianceStore",
+    "SharedMemory",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+}
+
+#: Method calls that discharge the obligation on their receiver.
+RELEASE_METHODS = {"close", "unlink", "shutdown", "cleanup", "terminate"}
+
+#: Method calls that store their argument for later cleanup (ownership
+#: moves to the receiver: ExitStack.enter_context, list.append, ...).
+SINK_METHODS = {"append", "add", "push", "register", "enter_context", "callback"}
+
+# -- publishing (REP011 / the fsync-replace effects) ---------------------------
+
+#: numpy savers whose first positional argument is the target path.
+NUMPY_SAVERS = {
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.savetxt",
+}
+
+#: shutil copiers whose second positional argument is the target path.
+SHUTIL_COPIERS = {
+    "shutil.copyfile",
+    "shutil.copy",
+    "shutil.copy2",
+    "shutil.copytree",
+}
+
+#: Path methods that write their receiver.
+WRITE_METHODS = {"write_text", "write_bytes"}
+
+# -- randomness (REP001 / the rng effect) --------------------------------------
+
+#: Legacy module-level functions drawing from numpy's hidden global state.
+LEGACY_GLOBAL_FNS = {
+    "seed",
+    "random",
+    "rand",
+    "randn",
+    "randint",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "standard_normal",
+    "uniform",
+    "exponential",
+    "poisson",
+    "binomial",
+    "gamma",
+    "beta",
+    "lognormal",
+    "multivariate_normal",
+}
+
+
+def resolve_dotted_parts(parts: list[str], aliases: dict[str, str]) -> str | None:
+    """Canonical dotted name of pre-split attribute parts, or None."""
+    if not parts:
+        return None
+    base = aliases.get(parts[0])
+    if base is None:
+        return None
+    return ".".join([base] + parts[1:])
