@@ -1,0 +1,196 @@
+"""Global vs localized/tiled ESSE analysis on a dense-observation grid.
+
+The global :class:`~repro.core.assimilation.ESSEAnalysis` pays
+``O(m p^2)`` in the Woodbury products and ``O(n p^2)`` in the posterior
+mode rotation, with every one of the ``m`` observations coupled to all
+``p`` modes.  The :class:`~repro.core.assimilation.TiledESSEAnalysis`
+localizes both factors: each tile solves against only the observations
+inside its Gaspari-Cohn support *and* only the modes with local energy
+above the truncation floor, so the per-tile work is
+``O(m_t k_t^2 + n_t k_t^2)`` with ``m_t << m`` and ``k_t << p`` when the
+error modes are spatially localized -- the regime ESSE targets (paper
+Sec 3: dominant uncertainties live on fronts and eddies, not the whole
+domain).
+
+The bench assimilates a dense SST-like batch (one observation per grid
+cell of each field) into a subspace of compactly supported modes at
+AOSN-II scale (n >= 2e4) and reports wall time and accuracy for both
+engines.  Accuracy is measured against the global analysis: the RMS
+mean difference must stay a small fraction of the RMS analysis
+increment, and the posterior variance field must stay close.
+
+``BENCH_SMOKE=1`` shrinks the problem for CI; the committed
+``BENCH_localized_update.json`` comes from a full-size run.
+"""
+
+import os
+
+import numpy as np
+
+from conftest import print_table
+from record import record_bench
+from repro.core.assimilation import ESSEAnalysis, TiledESSEAnalysis
+from repro.core.localization import GaspariCohnTaper
+from repro.core.state import FieldLayout, FieldSpec
+from repro.core.subspace import ErrorSubspace
+from repro.obs.operators import Observation, ObservationOperator
+from repro.telemetry.clock import MONOTONIC
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+NY, NX = (32, 25) if SMOKE else (128, 100)
+RANK = 24 if SMOKE else 192
+OBS_STRIDE = 2 if SMOKE else 1  # one obs per stride-th cell, per field
+BUMP_RADIUS = 6.0  # mode support radius, grid cells
+TILE_SHAPE = (8, 8) if SMOKE else (16, 16)
+TAPER_RADIUS = 8.0
+ENERGY_FLOOR = 0.02
+FIELDS = ("ssh", "sst")
+
+
+def make_layout():
+    return FieldLayout(
+        [FieldSpec("ssh", (NY, NX), scale=0.5), FieldSpec("sst", (NY, NX), scale=2.0)]
+    )
+
+
+def localized_subspace(layout, rng):
+    """Orthonormal modes built from compactly supported Gaussian bumps.
+
+    Each raw mode is a bump at a random center with support
+    ``BUMP_RADIUS`` on one field; QR orthonormalizes the stack while
+    keeping the energy essentially local (bumps only mix where their
+    supports overlap), which is what the per-tile truncation exploits.
+    """
+    jj, ii = np.meshgrid(np.arange(NY), np.arange(NX), indexing="ij")
+    columns = np.zeros((layout.size, RANK))
+    n_cells = NY * NX
+    for k in range(RANK):
+        cj = rng.uniform(0, NY)
+        ci = rng.uniform(0, NX)
+        r2 = (jj - cj) ** 2 + (ii - ci) ** 2
+        bump = np.exp(-r2 / (2.0 * (BUMP_RADIUS / 2.5) ** 2))
+        bump[r2 > BUMP_RADIUS**2] = 0.0
+        field = k % len(FIELDS)
+        columns[field * n_cells : (field + 1) * n_cells, k] = bump.ravel()
+    q, _ = np.linalg.qr(columns)
+    sigmas = np.geomspace(1.0, 0.25, RANK)
+    return ErrorSubspace(modes=q, sigmas=sigmas, n_samples=200)
+
+
+def dense_operator(layout, truth, rng, noise_std=0.3):
+    """One noisy observation per stride-th grid cell of every field."""
+    observations = []
+    for name in FIELDS:
+        block = truth[layout.slice_of(name)].reshape(NY, NX)
+        for j in range(0, NY, OBS_STRIDE):
+            for i in range(0, NX, OBS_STRIDE):
+                observations.append(
+                    Observation(
+                        field=name,
+                        level=0,
+                        j=j,
+                        i=i,
+                        value=float(block[j, i] + rng.normal(0.0, noise_std)),
+                        noise_std=noise_std,
+                    )
+                )
+    return ObservationOperator(layout, observations)
+
+
+def run_comparison(clock=MONOTONIC):
+    rng = np.random.default_rng(0)
+    layout = make_layout()
+    subspace = localized_subspace(layout, rng)
+    forecast_mean = np.zeros(layout.size)
+    # Truth = forecast + an in-subspace error, so the batch is informative.
+    coeffs = rng.normal(0.0, 1.0, RANK) * subspace.sigmas
+    truth = forecast_mean + layout.denormalize(subspace.modes @ coeffs)
+    operator = dense_operator(layout, truth, rng)
+
+    global_engine = ESSEAnalysis(layout)
+    tiled_engine = TiledESSEAnalysis(
+        layout,
+        (NY, NX),
+        TILE_SHAPE,
+        taper=GaspariCohnTaper(TAPER_RADIUS),
+        local_energy_floor=ENERGY_FLOOR,
+    )
+
+    for engine in (global_engine, tiled_engine):  # warm the BLAS/code paths
+        engine.update(forecast_mean, subspace.truncate(rank=4), operator)
+
+    t0 = clock()
+    global_result = global_engine.update(forecast_mean, subspace, operator)
+    global_s = clock() - t0
+
+    t0 = clock()
+    tiled_result = tiled_engine.update(forecast_mean, subspace, operator)
+    tiled_s = clock() - t0
+
+    increment_rms = float(
+        np.sqrt(np.mean((global_result.mean - forecast_mean) ** 2))
+    )
+    mean_rms_diff = float(
+        np.sqrt(np.mean((tiled_result.mean - global_result.mean) ** 2))
+    )
+    scales = np.repeat([0.5, 2.0], NY * NX)
+    var_global = (scales**2) * global_result.subspace.variance_field()
+    var_tiled = (scales**2) * tiled_result.subspace.variance_field()
+    var_rms_diff = float(np.sqrt(np.mean((var_tiled - var_global) ** 2)))
+    var_rms = float(np.sqrt(np.mean(var_global**2)))
+
+    return {
+        "state_dim": layout.size,
+        "n_obs": operator.size,
+        "rank": RANK,
+        "tile_shape": f"{TILE_SHAPE[0]}x{TILE_SHAPE[1]}",
+        "n_tiles": tiled_engine.decomposition.n_tiles,
+        "taper_radius": TAPER_RADIUS,
+        "local_energy_floor": ENERGY_FLOOR,
+        "global_wall_s": global_s,
+        "tiled_wall_s": tiled_s,
+        "speedup": global_s / tiled_s,
+        "increment_rms": increment_rms,
+        "mean_rms_diff": mean_rms_diff,
+        "mean_rel_err": mean_rms_diff / increment_rms,
+        "variance_rel_err": var_rms_diff / var_rms,
+        "tiled_analysis_rms": tiled_result.analysis_rms,
+        "global_analysis_rms": global_result.analysis_rms,
+        "posterior_rank_tiled": tiled_result.subspace.rank,
+        "smoke": SMOKE,
+    }
+
+
+def test_localized_update(benchmark):
+    values = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    print_table(
+        f"Global vs tiled analysis (n={values['state_dim']}, "
+        f"m={values['n_obs']}, p={values['rank']})",
+        ["engine", "wall", "analysis RMS", "vs global"],
+        [
+            [
+                "global",
+                f"{values['global_wall_s'] * 1e3:.0f} ms",
+                f"{values['global_analysis_rms']:.4f}",
+                "--",
+            ],
+            [
+                f"tiled {values['tile_shape']} (GC r={values['taper_radius']})",
+                f"{values['tiled_wall_s'] * 1e3:.0f} ms",
+                f"{values['tiled_analysis_rms']:.4f}",
+                f"{values['speedup']:.2f}x, mean err "
+                f"{values['mean_rel_err'] * 100:.1f}%",
+            ],
+        ],
+    )
+    record_bench("localized_update", values)
+
+    # Accuracy: the localized analysis must track the global one.
+    assert values["mean_rel_err"] < 0.15
+    assert values["variance_rel_err"] < 0.25
+    # Both engines fit the data: posterior residual below prior residual.
+    assert values["tiled_analysis_rms"] <= values["global_analysis_rms"] * 1.2
+    if not SMOKE:
+        # The whole point at scale: localization must win wall-clock.
+        assert values["tiled_wall_s"] < values["global_wall_s"]

@@ -123,6 +123,91 @@ class EngineSection:
 
 
 @dataclass(frozen=True)
+class AssimilationSection:
+    """Analysis-backend selection (``docs/ASSIMILATION.md``).
+
+    Parameters
+    ----------
+    backend:
+        ``global`` (the paper's full-domain update) or ``tiled``
+        (localized analysis over independent grid tiles).
+    tile_ny, tile_nx:
+        Nominal tile shape for the ``tiled`` backend, in grid cells.
+    taper:
+        Localization taper: ``gaspari_cohn``, ``cutoff`` or ``none``.
+    radius:
+        Taper support radius in grid cells.
+    halo:
+        Hard observation-selection radius on top of the taper; 0 means
+        no hard cap (taper support alone decides).
+    inflation:
+        ``multiplicative`` (constant ``inflation_factor``) or
+        ``adaptive`` (innovation-consistency estimate clipped to
+        ``[inflation_factor, adaptive_inflation_max]``).
+    inflation_factor:
+        Constant sigma inflation factor (>= 1).
+    adaptive_inflation_max:
+        Upper clip for the adaptive estimate.
+    local_energy_floor:
+        Per-tile relative mode-energy truncation floor in [0, 1).
+    n_workers:
+        Tile-pool width for the ``tiled`` backend.
+    max_attempts:
+        Retry budget per tile task (1 disables retries).
+    """
+
+    backend: str = "global"
+    tile_ny: int = 16
+    tile_nx: int = 16
+    taper: str = "gaspari_cohn"
+    radius: float = 8.0
+    halo: float = 0.0
+    inflation: str = "multiplicative"
+    inflation_factor: float = 1.0
+    adaptive_inflation_max: float = 2.0
+    local_energy_floor: float = 0.0
+    n_workers: int = 4
+    max_attempts: int = 3
+
+    def __post_init__(self):
+        if self.backend not in ("global", "tiled"):
+            raise ConfigError(
+                f"assimilation: unknown backend {self.backend!r} "
+                "(have: global, tiled)"
+            )
+        if self.tile_ny < 1 or self.tile_nx < 1:
+            raise ConfigError("assimilation: tile shape must be >= 1")
+        if self.taper not in ("gaspari_cohn", "cutoff", "none"):
+            raise ConfigError(
+                f"assimilation: unknown taper {self.taper!r} "
+                "(have: gaspari_cohn, cutoff, none)"
+            )
+        if self.radius <= 0:
+            raise ConfigError("assimilation: radius must be positive")
+        if self.halo < 0:
+            raise ConfigError("assimilation: halo must be >= 0")
+        if self.inflation not in ("multiplicative", "adaptive"):
+            raise ConfigError(
+                f"assimilation: unknown inflation {self.inflation!r} "
+                "(have: multiplicative, adaptive)"
+            )
+        if self.inflation_factor < 1.0:
+            raise ConfigError("assimilation: inflation_factor must be >= 1")
+        if self.adaptive_inflation_max < self.inflation_factor:
+            raise ConfigError(
+                "assimilation: adaptive_inflation_max must be >= inflation_factor"
+            )
+        if not 0.0 <= self.local_energy_floor < 1.0:
+            raise ConfigError(
+                "assimilation: local_energy_floor must be in [0, 1)"
+            )
+        if self.n_workers < 1:
+            raise ConfigError("assimilation: n_workers must be >= 1")
+        if self.max_attempts < 1:
+            raise ConfigError("assimilation: max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
 class ObservationsSection:
     """Observation-network parameters."""
 
@@ -156,6 +241,7 @@ _SECTIONS = {
     "model": ModelSection,
     "esse": ESSESection,
     "engine": EngineSection,
+    "assimilation": AssimilationSection,
     "observations": ObservationsSection,
     "timeline": TimelineSection,
 }
@@ -169,6 +255,7 @@ class ExperimentConfig:
     model: ModelSection = field(default_factory=ModelSection)
     esse: ESSESection = field(default_factory=ESSESection)
     engine: EngineSection = field(default_factory=EngineSection)
+    assimilation: AssimilationSection = field(default_factory=AssimilationSection)
     observations: ObservationsSection = field(default_factory=ObservationsSection)
     timeline: TimelineSection = field(default_factory=TimelineSection)
 
@@ -238,8 +325,51 @@ class ExperimentConfig:
             ),
         )
 
-    def build_driver(self, model: PEModel) -> ESSEDriver:
-        """The configured :class:`ESSEDriver`."""
+    def build_analysis(self, model: PEModel, telemetry=None, metrics=None):
+        """The configured analysis backend, or None for the driver default.
+
+        With ``assimilation.backend == "tiled"`` this builds a
+        :class:`~repro.core.assimilation.TiledESSEAnalysis` whose tile
+        tasks run through a fault-tolerant
+        :class:`~repro.workflow.tilepool.TileTaskPool` (retry seed =
+        ``esse.root_seed``); with ``"global"`` it returns None so
+        :class:`ESSEDriver` keeps its default global analysis.
+        """
+        asm = self.assimilation
+        if asm.backend == "global":
+            return None
+        from repro.core.assimilation import TiledESSEAnalysis
+        from repro.core.localization import make_inflation, make_taper
+        from repro.workflow.policies import RetryPolicy
+        from repro.workflow.tilepool import TileTaskPool
+
+        pool = TileTaskPool(
+            n_workers=asm.n_workers,
+            retry=RetryPolicy(
+                max_attempts=asm.max_attempts, seed=self.esse.root_seed
+            ),
+            telemetry=telemetry,
+            metrics=metrics,
+        )
+        return TiledESSEAnalysis(
+            model.layout,
+            model.grid.shape2d,
+            (asm.tile_ny, asm.tile_nx),
+            taper=make_taper(asm.taper, asm.radius),
+            halo=asm.halo if asm.halo > 0 else None,
+            inflation=make_inflation(
+                asm.inflation,
+                factor=asm.inflation_factor,
+                max_factor=asm.adaptive_inflation_max,
+            ),
+            local_energy_floor=asm.local_energy_floor,
+            task_runner=pool.run,
+            telemetry=telemetry,
+            metrics=metrics,
+        )
+
+    def build_driver(self, model: PEModel, telemetry=None) -> ESSEDriver:
+        """The configured :class:`ESSEDriver` (analysis backend included)."""
         return ESSEDriver(
             model,
             ESSEConfig(
@@ -250,6 +380,8 @@ class ExperimentConfig:
                 max_subspace_rank=self.esse.max_subspace_rank,
             ),
             root_seed=self.esse.root_seed,
+            telemetry=telemetry,
+            analysis=self.build_analysis(model, telemetry=telemetry),
         )
 
     def build_network(self, model: PEModel) -> ObservationNetwork:

@@ -8,7 +8,23 @@ from repro.core.perturbation import (
     PerturbationGenerator,
     synthetic_initial_subspace,
 )
-from repro.core.assimilation import AnalysisResult, ESSEAnalysis
+from repro.core.assimilation import (
+    AnalysisResult,
+    ESSEAnalysis,
+    TiledESSEAnalysis,
+    TileUpdate,
+    run_tiles_serial,
+)
+from repro.core.localization import (
+    AdaptiveInflation,
+    CutoffTaper,
+    GaspariCohnTaper,
+    MultiplicativeInflation,
+    make_inflation,
+    make_taper,
+)
+from repro.core.taskmodel import DegradedEnsembleWarning
+from repro.core.tiling import Tile, TileDecomposition
 from repro.core.ensemble import EnsembleRunner, MemberResult
 from repro.core.driver import ESSEConfig, ESSEDriver, ForecastResult
 from repro.core.smoother import ESSESmoother, SmootherResult
@@ -36,6 +52,18 @@ __all__ = [
     "synthetic_initial_subspace",
     "AnalysisResult",
     "ESSEAnalysis",
+    "TiledESSEAnalysis",
+    "TileUpdate",
+    "run_tiles_serial",
+    "AdaptiveInflation",
+    "CutoffTaper",
+    "GaspariCohnTaper",
+    "MultiplicativeInflation",
+    "make_inflation",
+    "make_taper",
+    "DegradedEnsembleWarning",
+    "Tile",
+    "TileDecomposition",
     "EnsembleRunner",
     "MemberResult",
     "ESSEConfig",

@@ -176,6 +176,13 @@ class ESSEDriver:
         A :class:`~repro.telemetry.spans.TraceRecorder` that receives
         stage/SVD/assimilation spans and supplies the clock for the Tmax
         deadline check.  The default records nothing.
+    analysis:
+        The analysis backend :meth:`assimilate` uses: any object with the
+        ``update(mean, subspace, operator) -> AnalysisResult`` contract,
+        e.g. a :class:`~repro.core.assimilation.TiledESSEAnalysis`.  The
+        default is the global :class:`ESSEAnalysis` with the config's
+        inflation (see ``config.py``'s ``assimilation`` section for
+        declarative backend selection).
     """
 
     def __init__(
@@ -184,12 +191,17 @@ class ESSEDriver:
         config: ESSEConfig | None = None,
         root_seed: int = 0,
         telemetry=None,
+        analysis=None,
     ):
         self.model = model
         self.config = config if config is not None else ESSEConfig()
         self.root_seed = int(root_seed)
         self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
-        self.analysis = ESSEAnalysis(model.layout, inflation=self.config.inflation)
+        self.analysis = (
+            analysis
+            if analysis is not None
+            else ESSEAnalysis(model.layout, inflation=self.config.inflation)
+        )
 
     # -- forecast stage -----------------------------------------------------
 
@@ -313,7 +325,11 @@ class ESSEDriver:
         operator: ObservationOperator,
     ) -> AnalysisResult:
         """Fig 2 step (v): assimilate one observation batch."""
-        with self.telemetry.span("driver.assimilate", rank=forecast.subspace.rank):
+        with self.telemetry.span(
+            "driver.assimilate",
+            rank=forecast.subspace.rank,
+            backend=type(self.analysis).__name__,
+        ):
             return self.analysis.update(
                 self.model.to_vector(forecast.central), forecast.subspace, operator
             )

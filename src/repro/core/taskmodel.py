@@ -1,4 +1,4 @@
-"""Measured reference task times shared by the execution layers.
+"""Shared task-execution vocabulary for the execution layers.
 
 Table 1 of the paper gives the single-task CPU times on the local
 cluster's Opteron 250 reference node; both execution layers consume
@@ -7,10 +7,24 @@ site models, and the workflow DAG analysis as default task durations.
 They live in ``core`` (not ``sched``) so that ``workflow`` and ``sched``
 can both read them without importing each other: this module replaced
 the last ``workflow -> sched`` edge, making the package DAG (REP005)
-cycle-free.
+cycle-free.  :class:`DegradedEnsembleWarning` lives here for the same
+reason: both the workflow task pools and the core tiled analysis raise
+it, and ``core`` must not import ``workflow``.
 """
 
 from __future__ import annotations
+
+
+class DegradedEnsembleWarning(UserWarning):
+    """Tasks were lost terminally; statistics come from survivors only.
+
+    Ensemble methods are sensitive to member loss in high dimensions, so
+    degradation is surfaced loudly rather than absorbed silently -- see
+    ``docs/FAILURE_MODEL.md`` for the semantics.  Raised by the member
+    pool (lost forecast members) and by the tiled analysis (tiles that
+    keep their prior after retries are exhausted).
+    """
+
 
 #: Measured single-task reference times on the local Opteron 250 (Table 1).
 REFERENCE_PERT_SECONDS = 6.21

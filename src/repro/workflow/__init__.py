@@ -23,7 +23,10 @@ serial ESSE job shepherd (Fig 3) into a decoupled many-task pipeline
   ``docs/FAILURE_MODEL.md``,
 - :mod:`~repro.workflow.ensemble` -- the backend-selectable ensemble
   engine: serial / threads / vectorized-batched / shared-memory process
-  propagation behind one interface (``docs/ENSEMBLE_ENGINE.md``).
+  propagation behind one interface (``docs/ENSEMBLE_ENGINE.md``),
+- :mod:`~repro.workflow.tilepool` -- the same retry/straggler/fault
+  semantics applied to the tiled analysis's tile tasks
+  (``docs/ASSIMILATION.md``).
 """
 
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
@@ -45,6 +48,7 @@ from repro.workflow.parallel import (
 )
 from repro.workflow.monitor import ProgressMonitor, ProgressReport
 from repro.workflow.parallel import SharedEnsembleBuffer
+from repro.workflow.tilepool import TileTaskPool
 from repro.workflow.ensemble import (
     BatchedBackend,
     EngineResult,
@@ -79,6 +83,7 @@ __all__ = [
     "ProgressMonitor",
     "ProgressReport",
     "SharedEnsembleBuffer",
+    "TileTaskPool",
     "BatchedBackend",
     "EngineResult",
     "EnsembleBackend",

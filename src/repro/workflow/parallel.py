@@ -59,13 +59,10 @@ from repro.workflow.policies import CancellationPolicy, RetryPolicy
 from repro.workflow.statefiles import StatusDirectory, TaskStatus
 
 
-class DegradedEnsembleWarning(UserWarning):
-    """Members were lost terminally; statistics come from survivors only.
-
-    Ensemble methods are sensitive to member loss in high dimensions, so
-    degradation is surfaced loudly rather than absorbed silently -- see
-    ``docs/FAILURE_MODEL.md`` for the semantics.
-    """
+# Re-exported for backward compatibility: the warning moved to
+# repro.core.taskmodel so the core tiled analysis can raise it too
+# without a core -> workflow import (REP005).
+from repro.core.taskmodel import DegradedEnsembleWarning
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,327 @@
+"""Fault-tolerant execution of independent analysis-tile tasks.
+
+:class:`~repro.core.assimilation.TiledESSEAnalysis` turns the ESSE
+update into a bag of independent tile closures -- exactly the many-task
+shape the member pool already handles.  :class:`TileTaskPool` gives the
+tile tasks the same failure semantics member propagation has
+(``docs/FAILURE_MODEL.md``):
+
+- transient failures are retried with the
+  :class:`~repro.workflow.policies.RetryPolicy` deterministic backoff,
+- attempts running past the policy's straggler deadline are cancelled
+  and replaced,
+- a seedable :class:`~repro.workflow.faults.FaultInjector` (task kind
+  ``"tile"``) injects crash/corrupt/stall/submit faults on demand,
+- a task whose retries are exhausted resolves to None; the analysis
+  keeps that tile's prior and raises
+  :class:`~repro.core.taskmodel.DegradedEnsembleWarning`.
+
+The pool reads time only through the telemetry clock and draws
+randomness only through the seeded policy/injector streams, so a fixed
+seed reproduces the exact retry schedule and fault sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import NULL_RECORDER
+from repro.util.sanitizer import new_lock, track
+from repro.workflow.faults import FaultInjector, FaultKind
+from repro.workflow.policies import RetryPolicy
+
+
+class _CorruptResult:
+    """Sentinel standing in for a torn tile output; fails validation."""
+
+
+_CORRUPT = _CorruptResult()
+
+
+class TileTaskPool:
+    """Runs tile-analysis closures with the member-pool failure semantics.
+
+    Parameters
+    ----------
+    n_workers:
+        Thread-pool width.  Tile tasks are numpy-heavy and release the
+        GIL inside BLAS, so modest widths already overlap usefully.
+    retry:
+        Resubmission policy (None disables retries *and* straggler
+        handling: every failure is terminal).
+    faults:
+        Deterministic fault injector exercised with task kind ``"tile"``.
+    telemetry:
+        Span/event recorder; also supplies the pool's clock.
+    metrics:
+        Optional registry fed ``task_seconds`` / ``task_retries`` /
+        ``task_timeouts`` with ``kind="tile"`` labels, mirroring the
+        member pool's metrics.
+    poll_interval:
+        Main-loop polling period in seconds.
+    validate:
+        Result predicate; a falsy verdict counts as a failed attempt
+        (default: the result is neither None nor the injected-corruption
+        sentinel).
+
+    Use :meth:`run` as the ``task_runner`` of a
+    :class:`~repro.core.assimilation.TiledESSEAnalysis`.
+    """
+
+    #: Bound on transient submission retries per task (matches the member
+    #: pool): beyond this the submission path itself is declared dead.
+    MAX_SUBMIT_TRIES = 50
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        retry: RetryPolicy | None = None,
+        faults: FaultInjector | None = None,
+        telemetry=None,
+        metrics: MetricsRegistry | None = None,
+        poll_interval: float = 0.005,
+        validate: Callable[[object], bool] | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {poll_interval}")
+        self.n_workers = int(n_workers)
+        self.retry = retry
+        self.faults = faults
+        self.telemetry = telemetry if telemetry is not None else NULL_RECORDER
+        self.metrics = metrics
+        self.poll_interval = float(poll_interval)
+        self.task_kind = "tile"
+        self.validate = validate if validate is not None else self._default_validate
+        self._clock = self.telemetry.clock
+        self._lock = new_lock("TileTaskPool._lock")
+        self._started_at: dict[tuple[int, int], float] = {}
+        track(self, "_started_at")
+
+    @staticmethod
+    def _default_validate(result) -> bool:
+        """A usable tile result: present and not a corrupted payload."""
+        return result is not None and not isinstance(result, _CorruptResult)
+
+    # -- one attempt --------------------------------------------------------
+
+    def _attempt(
+        self,
+        tasks: Sequence[Callable[[], object]],
+        idx: int,
+        att: int,
+        cancel: threading.Event,
+        root_span,
+    ) -> tuple[int, int, bool, object, str | None]:
+        """Execute one attempt of one tile task (runs on a worker thread)."""
+        started = self._clock()
+        with self._lock:
+            self._started_at[(idx, att)] = started
+        try:
+            with self.telemetry.span(
+                self.task_kind, parent=root_span, index=idx, attempt=att
+            ) as span:
+                fault = (
+                    self.faults.draw(idx, att, kind=self.task_kind)
+                    if self.faults is not None
+                    else None
+                )
+                if fault is FaultKind.STALL:
+                    self.faults.fire(fault, idx, att, kind=self.task_kind)
+                    if self.faults.stall(cancel):
+                        span.set(ok=False)
+                        return (idx, att, False, None, "stall cancelled")
+                if fault is FaultKind.CRASH:
+                    self.faults.fire(fault, idx, att, kind=self.task_kind)
+                    span.set(ok=False)
+                    return (idx, att, False, None, "injected crash")
+                try:
+                    value = tasks[idx]()
+                except Exception as exc:
+                    span.set(ok=False)
+                    return (idx, att, False, None, f"task error: {exc!r}")
+                if fault is FaultKind.CORRUPT:
+                    self.faults.fire(fault, idx, att, kind=self.task_kind)
+                    value = _CORRUPT
+                ok = bool(self.validate(value))
+                span.set(ok=ok)
+                if self.metrics is not None:
+                    self.metrics.histogram(
+                        "task_seconds", kind=self.task_kind
+                    ).observe(self._clock() - started)
+                if ok:
+                    return (idx, att, True, value, None)
+                return (idx, att, False, None, "invalid result")
+        finally:
+            with self._lock:
+                self._started_at.pop((idx, att), None)
+
+    # -- the pool -----------------------------------------------------------
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> list:
+        """Execute every task; return results in task order, None = lost.
+
+        A returned None means the task failed terminally (retries and
+        submission attempts exhausted, or straggler-cancelled with no
+        retry budget left); callers degrade gracefully per their own
+        semantics.
+        """
+        tasks = list(tasks)
+        results: list = [None] * len(tasks)
+        if not tasks:
+            return results
+        retry = self.retry
+        attempts: dict[int, int] = {i: 1 for i in range(len(tasks))}
+        submit_tries: dict[int, int] = {}
+        futures: dict[int, Future] = {}
+        cancel_events: dict[int, threading.Event] = {}
+        pending: list[tuple[float, int]] = []  # (ready_at, index) retry heap
+        processed: set[tuple[int, int]] = set()
+        abandoned: set[tuple[int, int]] = set()  # straggler-cancelled attempts
+        resolved: set[int] = set()  # delivered a result or failed terminally
+        terminal: set[int] = set()
+        n_retried = 0
+        n_timed_out = 0
+
+        with self.telemetry.span("tilepool.run", tasks=len(tasks)) as root:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
+
+                def schedule_resubmit(idx: int, why: str) -> bool:
+                    """Queue the next attempt; False when retries exhausted."""
+                    nonlocal n_retried
+                    att = attempts[idx]
+                    if retry is None or not retry.retries_left(att):
+                        return False
+                    attempts[idx] = att + 1
+                    delay = retry.backoff_seconds(idx, att)
+                    heapq.heappush(pending, (self._clock() + delay, idx))
+                    n_retried += 1
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "task_retries", kind=self.task_kind
+                        ).inc()
+                    self.telemetry.event(
+                        "tile_retry", index=idx, attempt=att + 1, why=why
+                    )
+                    return True
+
+                def terminal_failure(idx: int, why: str) -> None:
+                    terminal.add(idx)
+                    resolved.add(idx)
+                    self.telemetry.event(
+                        "tile_terminal_failure", index=idx, why=why
+                    )
+
+                def try_submit(idx: int) -> None:
+                    """Submit the current attempt (may transiently fail)."""
+                    tries = submit_tries.get(idx, 0) + 1
+                    submit_tries[idx] = tries
+                    if self.faults is not None and self.faults.submit_fails(
+                        idx, tries, kind=self.task_kind
+                    ):
+                        self.faults.fire(
+                            FaultKind.SUBMIT_FAILURE, idx, tries,
+                            kind=self.task_kind,
+                        )
+                        if tries >= self.MAX_SUBMIT_TRIES:
+                            terminal_failure(idx, "submit failures exhausted")
+                            return
+                        delay = (
+                            retry.backoff_seconds(idx, min(tries, 8))
+                            if retry is not None
+                            else self.poll_interval
+                        )
+                        heapq.heappush(pending, (self._clock() + delay, idx))
+                        return
+                    cancel = threading.Event()
+                    cancel_events[idx] = cancel
+                    futures[idx] = executor.submit(
+                        self._attempt, tasks, idx, attempts[idx], cancel, root
+                    )
+
+                def observe_done() -> None:
+                    for idx, fut in list(futures.items()):
+                        if not fut.done() or fut.cancelled():
+                            continue
+                        try:
+                            r_idx, r_att, ok, value, err = fut.result()
+                        except Exception as exc:  # worker infrastructure died
+                            r_idx, r_att = idx, attempts[idx]
+                            ok, value, err = False, None, f"worker error: {exc!r}"
+                        key = (r_idx, r_att)
+                        if key in processed:
+                            continue
+                        processed.add(key)
+                        if key in abandoned:
+                            continue  # straggler-cancelled; retry path owns it
+                        if ok:
+                            results[r_idx] = value
+                            resolved.add(r_idx)
+                        elif not schedule_resubmit(r_idx, err or "failure"):
+                            terminal_failure(r_idx, err or "failure")
+
+                def check_stragglers(now: float) -> None:
+                    """Cancel-and-replace attempts past the deadline."""
+                    nonlocal n_timed_out
+                    if retry is None or retry.timeout_seconds is None:
+                        return
+                    for idx, fut in list(futures.items()):
+                        if fut.done() or fut.cancelled():
+                            continue
+                        att = attempts[idx]
+                        if (idx, att) in abandoned:
+                            continue
+                        with self._lock:
+                            t_start = self._started_at.get((idx, att))
+                        if (
+                            t_start is None
+                            or now - t_start <= retry.timeout_seconds
+                        ):
+                            continue
+                        abandoned.add((idx, att))
+                        event = cancel_events.get(idx)
+                        if event is not None:
+                            event.set()  # frees the pool slot mid-stall
+                        n_timed_out += 1
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "task_timeouts", kind=self.task_kind
+                            ).inc()
+                        self.telemetry.event(
+                            "tile_straggler_cancel", index=idx, attempt=att
+                        )
+                        if not schedule_resubmit(idx, "straggler timeout"):
+                            terminal_failure(idx, "straggler timeout")
+
+                def process_pending(now: float) -> None:
+                    """Launch resubmissions whose backoff delay elapsed."""
+                    while pending and pending[0][0] <= now:
+                        _, idx = heapq.heappop(pending)
+                        if idx in resolved:
+                            continue
+                        try_submit(idx)
+
+                for idx in range(len(tasks)):
+                    try_submit(idx)
+                while len(resolved) < len(tasks):
+                    now = self._clock()
+                    check_stragglers(now)
+                    process_pending(now)
+                    observe_done()
+                    if len(resolved) >= len(tasks):
+                        break
+                    time.sleep(self.poll_interval)
+
+            root.set(
+                ok=len(tasks) - len(terminal),
+                failed=len(terminal),
+                retried=n_retried,
+                timed_out=n_timed_out,
+            )
+        return results

@@ -200,3 +200,127 @@ class TestEnsembleUpdate:
             analysis.update_ensemble(
                 np.zeros(layout.size), sub, op, np.random.default_rng(0)
             )
+
+
+class TestEnsembleUpdateRegressions:
+    """Failing-before/passing-after guards for the update_ensemble fixes.
+
+    Two latent bugs: (a) an empty subspace raised IndexError on
+    ``sigmas[0]`` instead of the ValueError ``update`` raises, and when
+    every mode sat below the variance floor a rank-0 subspace was
+    silently constructed; (b) the perturbed-observation update solved the
+    same Woodbury system once per member instead of once for all members.
+    """
+
+    def test_empty_subspace_raises_value_error(self, layout):
+        # Before the fix: IndexError from indexing sigmas[0] on rank 0.
+        analysis = ESSEAnalysis(layout)
+        empty = ErrorSubspace(modes=np.zeros((layout.size, 0)), sigmas=np.zeros(0))
+        op = obs_at(layout, [("a", 3, 1.0)])
+        members = np.zeros((3, layout.size))
+        with pytest.raises(ValueError, match="empty subspace"):
+            analysis.update_ensemble(members, empty, op, np.random.default_rng(0))
+
+    def test_all_modes_below_floor_raise(self, layout):
+        # Before the fix: a rank-0 subspace was built silently and the
+        # downstream solve produced garbage instead of an error.
+        sub = make_subspace(layout)
+        dead = ErrorSubspace(
+            modes=sub.modes, sigmas=np.zeros(sub.rank), n_samples=sub.n_samples
+        )
+        op = obs_at(layout, [("a", 3, 1.0)])
+        members = np.zeros((3, layout.size))
+        with pytest.raises(ValueError, match="no positive-variance modes"):
+            ESSEAnalysis(layout).update_ensemble(
+                members, dead, op, np.random.default_rng(0)
+            )
+
+    def test_guards_agree_with_update(self, layout):
+        """Both public paths reject degenerate subspaces identically."""
+        analysis = ESSEAnalysis(layout)
+        op = obs_at(layout, [("a", 3, 1.0)])
+        members = np.zeros((2, layout.size))
+        for bad in (
+            ErrorSubspace(modes=np.zeros((layout.size, 0)), sigmas=np.zeros(0)),
+            ErrorSubspace(
+                modes=make_subspace(layout).modes, sigmas=np.zeros(4)
+            ),
+        ):
+            with pytest.raises(ValueError) as from_update:
+                analysis.update(np.zeros(layout.size), bad, op)
+            with pytest.raises(ValueError) as from_ensemble:
+                analysis.update_ensemble(
+                    members, bad, op, np.random.default_rng(0)
+                )
+            assert str(from_update.value) == str(from_ensemble.value)
+
+    def test_single_woodbury_solve_for_all_members(self, layout, monkeypatch):
+        """All N member innovations go through ONE innovation-cov solve.
+
+        The old implementation called ``_solve_innovation_cov`` once per
+        member; this fails against it (N calls) and passes now (1 call).
+        """
+        analysis = ESSEAnalysis(layout)
+        sub = make_subspace(layout)
+        op = obs_at(layout, [("a", 1, 1.0), ("b", 2, 0.5)])
+        members = np.random.default_rng(3).standard_normal((6, layout.size))
+        calls = []
+        original = analysis._solve_innovation_cov
+
+        def counted(hde, variances, noise_var, rhs):
+            calls.append(np.shape(rhs))
+            return original(hde, variances, noise_var, rhs)
+
+        monkeypatch.setattr(analysis, "_solve_innovation_cov", counted)
+        analysis.update_ensemble(members, sub, op, np.random.default_rng(0))
+        assert len(calls) == 1
+        assert calls[0] == (op.size, 6)  # the stacked (m, N) rhs
+
+    def test_noise_stream_order_preserved(self, layout):
+        """The batched path consumes the RNG exactly like the old loop.
+
+        Perturbed-observation draws must stay member-by-member so a fixed
+        seed keeps producing the historical noise sequence.
+        """
+        analysis = ESSEAnalysis(layout)
+        sub = make_subspace(layout)
+        op = obs_at(layout, [("a", 1, 1.0), ("b", 2, 0.5)])
+        members = np.random.default_rng(3).standard_normal((5, layout.size))
+        rng_batched = np.random.default_rng(7)
+        analysis.update_ensemble(members, sub, op, rng_batched)
+        rng_loop = np.random.default_rng(7)
+        for _ in range(5):
+            op.perturbed_values(rng_loop)
+        # Same stream position afterwards => identical draw order.
+        assert rng_batched.random() == rng_loop.random()
+
+    def test_matches_per_member_loop(self, layout):
+        """Batched update equals the historical per-member loop.
+
+        The comparison is at near-ULP tolerance rather than bitwise:
+        the (m, N) matmul and the per-member matvec take different BLAS
+        kernels (gemm vs gemv) whose accumulation orders differ in the
+        last bits.  The noise draws themselves are bit-identical
+        (``test_noise_stream_order_preserved``).
+        """
+        analysis = ESSEAnalysis(layout, inflation=1.05)
+        sub = make_subspace(layout, p=3, sigma0=2.0)
+        op = obs_at(layout, [("a", 1, 1.0), ("a", 4, -0.5), ("b", 2, 0.5)])
+        members = np.random.default_rng(3).standard_normal((6, layout.size))
+
+        out = analysis.update_ensemble(members, sub, op, np.random.default_rng(11))
+
+        rng = np.random.default_rng(11)
+        kept = sub  # all sigmas positive in this fixture
+        sigmas = kept.sigmas * analysis.inflation
+        variances = sigmas**2
+        hde = analysis._observed_modes(kept, op)
+        expected = np.empty_like(members)
+        for j in range(members.shape[0]):
+            d_j = op.perturbed_values(rng) - op.observe(members[j])
+            solved = analysis._solve_innovation_cov(
+                hde, variances, op.noise_var, d_j
+            )
+            coeffs = variances * (hde.T @ solved)
+            expected[j] = members[j] + layout.denormalize(kept.modes @ coeffs)
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-13)

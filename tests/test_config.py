@@ -185,3 +185,120 @@ class TestEngineSection:
         result = engine.run(background)
         assert result.backend == "batched"
         assert result.ensemble_size == 4
+
+
+class TestAssimilationSection:
+    def test_defaults(self):
+        cfg = ExperimentConfig.from_dict({})
+        asm = cfg.assimilation
+        assert asm.backend == "global"
+        assert asm.taper == "gaspari_cohn"
+        assert (asm.tile_ny, asm.tile_nx) == (16, 16)
+        assert asm.inflation == "multiplicative"
+
+    def test_invalid_values_rejected(self):
+        bad = [
+            {"backend": "letkf"},
+            {"tile_ny": 0},
+            {"taper": "boxcar"},
+            {"radius": 0.0},
+            {"halo": -1.0},
+            {"inflation": "relaxation"},
+            {"inflation_factor": 0.5},
+            {"adaptive_inflation_max": 0.5, "inflation_factor": 1.0},
+            {"local_energy_floor": 1.0},
+            {"n_workers": 0},
+            {"max_attempts": 0},
+        ]
+        for overrides in bad:
+            with pytest.raises(ConfigError, match="assimilation"):
+                ExperimentConfig.from_dict({"assimilation": overrides})
+
+    def test_round_trips(self):
+        doc = {
+            "assimilation": {
+                "backend": "tiled",
+                "tile_ny": 8,
+                "tile_nx": 6,
+                "taper": "cutoff",
+                "radius": 5.0,
+                "local_energy_floor": 0.05,
+            }
+        }
+        cfg = ExperimentConfig.from_dict(doc)
+        again = ExperimentConfig.from_dict(cfg.to_dict())
+        assert again.assimilation == cfg.assimilation
+
+    def test_global_backend_builds_default_analysis(self):
+        from repro.core.assimilation import ESSEAnalysis
+
+        cfg = ExperimentConfig.from_dict(
+            {"domain": {"nx": 12, "ny": 10, "nz": 2}}
+        )
+        model = cfg.build_model()
+        assert cfg.build_analysis(model) is None
+        driver = cfg.build_driver(model)
+        assert type(driver.analysis) is ESSEAnalysis
+
+    def test_tiled_backend_builds_tiled_analysis(self):
+        from repro.core.assimilation import TiledESSEAnalysis
+        from repro.core.localization import CutoffTaper
+
+        cfg = ExperimentConfig.from_dict(
+            {
+                "domain": {"nx": 12, "ny": 10, "nz": 2},
+                "assimilation": {
+                    "backend": "tiled",
+                    "tile_ny": 5,
+                    "tile_nx": 6,
+                    "taper": "cutoff",
+                    "radius": 4.0,
+                    "halo": 3.0,
+                    "n_workers": 2,
+                },
+            }
+        )
+        model = cfg.build_model()
+        driver = cfg.build_driver(model)
+        analysis = driver.analysis
+        assert isinstance(analysis, TiledESSEAnalysis)
+        assert analysis.decomposition.grid_shape == (10, 12)
+        assert analysis.decomposition.tile_shape == (5, 6)
+        assert isinstance(analysis.taper, CutoffTaper)
+        assert analysis.halo == 3.0
+
+    def test_tiled_driver_assimilates(self):
+        """End to end: the tiled backend runs one configured cycle."""
+        from repro.core import synthetic_initial_subspace
+        from repro.obs.operators import Observation, ObservationOperator
+
+        cfg = ExperimentConfig.from_dict(
+            {
+                "domain": {"nx": 12, "ny": 10, "nz": 2},
+                "esse": {"initial_ensemble_size": 4, "max_ensemble_size": 4,
+                         "max_subspace_rank": 4, "root_seed": 3},
+                "assimilation": {"backend": "tiled", "tile_ny": 5,
+                                 "tile_nx": 6, "radius": 6.0},
+            }
+        )
+        model = cfg.build_model()
+        driver = cfg.build_driver(model)
+        background = model.run(model.rest_state(), 2 * model.config.dt)
+        subspace = synthetic_initial_subspace(
+            model.layout, model.grid.shape2d, model.grid.nz, rank=4, seed=0
+        )
+        forecast = driver.forecast(
+            background, subspace, duration=2 * model.config.dt
+        )
+        operator = ObservationOperator(
+            model.layout,
+            [
+                Observation(field="temp", level=0, j=2, i=3, value=12.0,
+                            noise_std=0.5),
+                Observation(field="temp", level=1, j=7, i=9, value=11.0,
+                            noise_std=0.5),
+            ],
+        )
+        analysis = driver.assimilate(forecast, operator)
+        assert analysis.mean.shape == (model.layout.size,)
+        assert analysis.subspace.rank >= 1

@@ -43,7 +43,9 @@ fi
 if [ -n "${CI_FULL:-}" ]; then
     python -m pytest -x -q
 else
-    python -m pytest tests/workflow tests/telemetry tests/lint tests/products -q
+    python -m pytest tests/workflow tests/telemetry tests/lint tests/products \
+        tests/core/test_localization.py tests/core/test_tiling.py \
+        tests/core/test_tiled_analysis.py tests/core/test_assimilation.py -q
 fi
 
 # Sanitized pass: the threaded suites again, with the lockset race
@@ -79,6 +81,8 @@ python tools/check_docs.py \
     repro.telemetry.events repro.telemetry.export
 python tools/check_docs.py repro.util.sanitizer repro.core.taskmodel
 python tools/check_docs.py \
+    repro.core.localization repro.core.tiling repro.workflow.tilepool
+python tools/check_docs.py \
     repro.products.store repro.products.tiles repro.products.cache \
     repro.products.service repro.products.server
 
@@ -102,6 +106,15 @@ BENCH_SMOKE=1 BENCH_OUTPUT_DIR="$products_tmp" \
     --rootdir=benchmarks -p no:cacheprovider
 rm -rf "$products_tmp"
 echo "product service smoke: ok"
+
+# Smoke: the global-vs-tiled analysis bench at CI scale (the committed
+# full-size numbers live in benchmarks/results/BENCH_localized_update.json).
+localized_tmp="$(mktemp -d)"
+BENCH_SMOKE=1 BENCH_OUTPUT_DIR="$localized_tmp" \
+    python -m pytest benchmarks/bench_localized_update.py -q \
+    --rootdir=benchmarks -p no:cacheprovider
+rm -rf "$localized_tmp"
+echo "localized update smoke: ok"
 
 # Smoke: the lint-engine bench at CI scale (lints tools/lint only; the
 # committed full-repo numbers live in benchmarks/results/BENCH_lint.json).
